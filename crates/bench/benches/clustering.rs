@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of Algorithm-1 clustering and of feature
+//! extraction over generated SoC netlists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssresf::{cluster_cells, ClusteringConfig};
+use ssresf_netlist::FeatureExtractor;
+use ssresf_socgen::{build_soc, SocConfig};
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_clustering");
+    for index in [0usize, 4] {
+        let config = SocConfig::table1()[index].clone();
+        let soc = build_soc(&config).expect("soc builds");
+        let flat = soc.design.flatten().expect("soc flattens");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{} ({} cells)", config.name, flat.cells().len())),
+            &flat,
+            |b, flat| {
+                b.iter(|| {
+                    cluster_cells(
+                        flat,
+                        &ClusteringConfig {
+                            clusters: 12,
+                            layer_depth: 3,
+                            seed: 1,
+                            max_iters: 64,
+                        },
+                    )
+                    .expect("clustering succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let soc = build_soc(&SocConfig::table1()[0]).expect("soc builds");
+    let flat = soc.design.flatten().expect("soc flattens");
+    c.bench_function("feature_extraction_soc1", |b| {
+        b.iter(|| {
+            FeatureExtractor::new(&flat)
+                .expect("extractor builds")
+                .extract(None)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_clustering, bench_feature_extraction
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the two simulation engines — the
+//! VCS-vs-CVC performance comparison underlying the paper's Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssresf::{Dut, EngineKind, Workload};
+use ssresf_socgen::{build_soc, SocConfig};
+
+fn bench_golden_runs(c: &mut Criterion) {
+    let soc = build_soc(&SocConfig::table1()[0]).expect("soc builds");
+    let flat = soc.design.flatten().expect("soc flattens");
+    let dut = Dut::from_conventions(&flat).expect("conventions");
+    let workload = Workload {
+        reset_cycles: 3,
+        run_cycles: 30,
+    };
+
+    let mut group = c.benchmark_group("golden_run_soc1");
+    for kind in [EngineKind::EventDriven, EngineKind::Levelized] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| dut.run(kind, &workload, &[]).expect("run succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_injection_run(c: &mut Criterion) {
+    let soc = build_soc(&SocConfig::table1()[0]).expect("soc builds");
+    let flat = soc.design.flatten().expect("soc flattens");
+    let dut = Dut::from_conventions(&flat).expect("conventions");
+    let workload = Workload {
+        reset_cycles: 3,
+        run_cycles: 30,
+    };
+    let ff = flat
+        .iter_cells()
+        .find(|(_, cell)| cell.kind.is_sequential())
+        .map(|(id, _)| id)
+        .expect("soc has flip-flops");
+    let fault = ssresf_sim::Fault::Seu(ssresf_sim::SeuFault {
+        cell: ff,
+        cycle: 10,
+        offset: 0.3,
+    });
+
+    let mut group = c.benchmark_group("seu_injection_soc1");
+    for kind in [EngineKind::EventDriven, EngineKind::Levelized] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| dut.run(kind, &workload, &[fault]).expect("run succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_golden_runs, bench_injection_run
+}
+criterion_main!(benches);

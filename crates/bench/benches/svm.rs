@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the SMO solver and prediction path —
+//! training scaling and the per-node cost of the paper's fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssresf_mlcore::{Dataset, Kernel, SvmModel, SvmParams};
+
+fn blob(n_per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n_per_class {
+        x.push(vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]);
+        y.push(-1);
+        x.push(vec![
+            rng.gen::<f64>() + 1.0,
+            rng.gen::<f64>() + 1.0,
+            rng.gen::<f64>() + 1.0,
+        ]);
+        y.push(1);
+    }
+    Dataset::new(x, y).expect("valid dataset")
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_training");
+    for n in [50usize, 150, 400] {
+        let data = blob(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(data.len()), &data, |b, data| {
+            b.iter(|| SvmModel::train(data, &SvmParams::default()).expect("training succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let data = blob(150, 5);
+    let mut group = c.benchmark_group("smo_training_by_kernel");
+    for (name, kernel) in [
+        ("linear", Kernel::Linear),
+        ("rbf", Kernel::Rbf { gamma: 0.5 }),
+        (
+            "poly3",
+            Kernel::Poly {
+                gamma: 0.5,
+                coef0: 1.0,
+                degree: 3,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |b, &kernel| {
+            b.iter(|| {
+                SvmModel::train(
+                    &data,
+                    &SvmParams {
+                        kernel,
+                        ..SvmParams::default()
+                    },
+                )
+                .expect("training succeeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = blob(200, 7);
+    let model = SvmModel::train(&data, &SvmParams::default()).expect("training succeeds");
+    let queries: Vec<Vec<f64>> = (0..1000)
+        .map(|i| vec![i as f64 / 500.0, 0.5, 0.5])
+        .collect();
+    c.bench_function("svm_predict_1000_nodes", |b| {
+        b.iter(|| model.predict_batch(&queries));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_training, bench_kernels, bench_prediction
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Ablation: the SVM against logistic-regression and k-NN baselines on the
+//! identical sensitive-node features and labels.
+//!
+//! ```sh
+//! cargo run --release -p ssresf-bench --bin ablation_baselines
+//! ```
+
+use ssresf::Ssresf;
+use ssresf_bench::{analysis_config, soc};
+use ssresf_mlcore::{
+    baseline::{KnnClassifier, LogisticParams, LogisticRegression},
+    BinaryMetrics, Dataset, KFold, StandardScaler, SvmModel, SvmParams,
+};
+use ssresf_netlist::FeatureExtractor;
+
+fn main() {
+    let (built, flat) = soc(0);
+    let config = analysis_config(&built, flat.cells().len());
+    let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+
+    // Rebuild the labeled dataset the pipeline trained on.
+    let extractor = FeatureExtractor::new(&flat).expect("levelizable");
+    let features = extractor.extract(Some(&analysis.campaign.golden_activity));
+    let sampled = analysis.sample.all_cells();
+    let chip = analysis.ser.chip_ser.max(1e-9);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for &cell in &sampled {
+        rows.push(features[cell.index()].values.clone());
+        let prob = analysis.campaign.cell_error_probability(cell).unwrap_or(0.0);
+        let cluster = analysis.clustering.cluster_of(cell);
+        let cluster_ser = analysis.ser.per_cluster[cluster].ser();
+        labels.push(if (prob + cluster_ser) / 2.0 >= chip { 1i8 } else { -1 });
+    }
+    let scaler = StandardScaler::fit(&rows).expect("fit succeeds");
+    let data = Dataset::new(scaler.transform(&rows), labels).expect("valid dataset");
+    let folds = KFold::new(5, 0).expect("k >= 2");
+
+    println!("Ablation: classifier family on the PULP SoC_1 sensitive-node task\n");
+    println!(
+        "{:<22} {:>9} {:>8} {:>8} {:>8}",
+        "classifier", "accuracy", "TPR", "TNR", "F1"
+    );
+
+    let evaluate = |name: &str, predict: &dyn Fn(&Dataset, &[usize], &[usize]) -> Vec<i8>| {
+        let mut truth = Vec::new();
+        let mut predicted = Vec::new();
+        for (train_idx, test_idx) in folds.split(&data).expect("split succeeds") {
+            let train = data.subset(&train_idx);
+            if !train.has_both_classes() {
+                continue;
+            }
+            let preds = predict(&data, &train_idx, &test_idx);
+            for (&i, p) in test_idx.iter().zip(preds) {
+                truth.push(data.labels()[i]);
+                predicted.push(p);
+            }
+        }
+        let m = BinaryMetrics::from_predictions(&truth, &predicted);
+        println!(
+            "{:<22} {:>8.2}% {:>7.2}% {:>7.2}% {:>8.2}",
+            name,
+            m.accuracy() * 100.0,
+            m.tpr() * 100.0,
+            m.tnr() * 100.0,
+            m.f1()
+        );
+    };
+
+    evaluate("svm (rbf, weighted)", &|data, train_idx, test_idx| {
+        let train = data.subset(train_idx);
+        let pos = train.positives().max(1) as f64;
+        let neg = (train.len() - train.positives()).max(1) as f64;
+        let model = SvmModel::train(
+            &train,
+            &SvmParams {
+                positive_weight: (neg / pos).clamp(1.0 / 16.0, 16.0),
+                ..SvmParams::default()
+            },
+        )
+        .expect("training succeeds");
+        test_idx.iter().map(|&i| model.predict(data.row(i))).collect()
+    });
+
+    evaluate("logistic regression", &|data, train_idx, test_idx| {
+        let train = data.subset(train_idx);
+        let model =
+            LogisticRegression::train(&train, &LogisticParams::default()).expect("training");
+        test_idx.iter().map(|&i| model.predict(data.row(i))).collect()
+    });
+
+    for k in [1usize, 5] {
+        evaluate(&format!("knn (k={k})"), &move |data, train_idx, test_idx| {
+            let train = data.subset(train_idx);
+            let model = KnnClassifier::fit(&train, k).expect("fit succeeds");
+            test_idx.iter().map(|&i| model.predict(data.row(i))).collect()
+        });
+    }
+    println!("\n(The weighted RBF SVM should match or beat the baselines on F1/TPR.)");
+}

@@ -1,0 +1,49 @@
+//! Regenerates the paper's **Fig. 5**: mean 10-fold cross-validation score
+//! versus the number of features retained by forward selection. The paper
+//! observes the curve peaking at 6 features.
+//!
+//! ```sh
+//! cargo run --release -p ssresf-bench --bin fig5
+//! ```
+
+use ssresf::{Ssresf, SensitivityConfig};
+use ssresf_bench::{analysis_config, soc};
+use ssresf_netlist::STRUCTURAL_FEATURE_NAMES;
+
+fn main() {
+    let (built, flat) = soc(0);
+    let mut config = analysis_config(&built, flat.cells().len());
+    config.sensitivity = SensitivityConfig {
+        feature_selection: true,
+        max_features: STRUCTURAL_FEATURE_NAMES.len(),
+        ..config.sensitivity
+    };
+    let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+    let curve = analysis
+        .sensitivity_report
+        .selection
+        .expect("selection enabled");
+
+    println!("FIG. 5: Mean 10-fold CV score vs number of selected features\n");
+    println!("{:>9} {:>10}  {:<14} {}", "features", "cv score", "added", "bar");
+    for (i, &score) in curve.scores.iter().enumerate() {
+        let bar = "#".repeat((score * 50.0).round() as usize);
+        println!(
+            "{:>9} {:>10.4}  {:<14} {}",
+            i + 1,
+            score,
+            STRUCTURAL_FEATURE_NAMES[curve.order[i]],
+            bar
+        );
+    }
+    println!(
+        "\npeak at {} features: {:?}",
+        curve.best_count(),
+        curve
+            .best_features()
+            .iter()
+            .map(|&c| STRUCTURAL_FEATURE_NAMES[c])
+            .collect::<Vec<_>>()
+    );
+    println!("(Paper: the score peaks at 6 of the candidate features.)");
+}

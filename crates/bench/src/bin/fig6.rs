@@ -1,0 +1,59 @@
+//! Regenerates the paper's **Fig. 6**: the ROC curve of the SVM sensitive-
+//! node classifier, from held-out cross-validation decision values.
+//!
+//! ```sh
+//! cargo run --release -p ssresf-bench --bin fig6
+//! ```
+
+use ssresf_bench::analyze;
+
+fn main() {
+    let (_built, analysis) = analyze(0);
+    let roc = &analysis.sensitivity_report.roc;
+
+    println!("FIG. 6: ROC curve of the SVM model (PULP SoC_1)\n");
+    println!("{:>8} {:>8}", "FPR", "TPR");
+    for &(fpr, tpr) in &roc.points {
+        println!("{fpr:>8.4} {tpr:>8.4}");
+    }
+    println!("\nAUC = {:.4}", roc.auc);
+
+    // ASCII rendering: 20x10 grid, curve marked with '*'.
+    println!("\n  TPR");
+    let width = 40usize;
+    let height = 12usize;
+    for row in (0..=height).rev() {
+        let tpr_level = row as f64 / height as f64;
+        let mut line = String::new();
+        for col in 0..=width {
+            let fpr_level = col as f64 / width as f64;
+            // The curve's TPR at this FPR.
+            let curve_tpr = roc
+                .points
+                .windows(2)
+                .find(|w| w[0].0 <= fpr_level && fpr_level <= w[1].0)
+                .map(|w| {
+                    if (w[1].0 - w[0].0).abs() < 1e-12 {
+                        w[1].1
+                    } else {
+                        w[0].1 + (w[1].1 - w[0].1) * (fpr_level - w[0].0) / (w[1].0 - w[0].0)
+                    }
+                })
+                .unwrap_or(1.0);
+            if (curve_tpr - tpr_level).abs() <= 0.5 / height as f64 {
+                line.push('*');
+            } else if col == 0 {
+                line.push('|');
+            } else if row == 0 {
+                line.push('-');
+            } else if (fpr_level - tpr_level).abs() < 0.5 / width as f64 {
+                line.push('.');
+            } else {
+                line.push(' ');
+            }
+        }
+        println!("  {line}");
+    }
+    println!("  0{:>width$}", "FPR -> 1", width = width);
+    println!("\n(The closer the curve hugs the upper-left corner, the better — paper Fig. 6.)");
+}

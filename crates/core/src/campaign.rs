@@ -1,0 +1,421 @@
+//! Fault-injection campaigns over sampled cells.
+//!
+//! For every cell in the fault-injection list the campaign generates one or
+//! more single-particle faults (SEU for state-holding cells, SET with a
+//! LET-dependent pulse width for combinational cells), re-simulates the
+//! workload, and classifies the run as a soft error when the primary-output
+//! trace diverges from the golden run — the paper's VCD-comparison loop.
+//! Injections run in parallel across threads; results are deterministic
+//! under the configured seed regardless of thread count.
+
+use crate::error::SsresfError;
+use crate::workload::{Dut, EngineKind, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use ssresf_netlist::CellId;
+use ssresf_radiation::{PulseWidthModel, RadiationEnvironment};
+use ssresf_sim::{CycleTrace, Fault, SetFault, SeuFault};
+use std::time::{Duration, Instant};
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Workload length.
+    pub workload: Workload,
+    /// Particle environment (LET drives the SET pulse-width model).
+    pub environment: RadiationEnvironment,
+    /// Faults injected per sampled cell.
+    pub injections_per_cell: usize,
+    /// SET pulse-width model.
+    pub pulse: PulseWidthModel,
+    /// Base seed; per-cell streams derive from it.
+    pub seed: u64,
+    /// Simulation engine.
+    pub engine: EngineKind,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            workload: Workload::default(),
+            environment: RadiationEnvironment::geo_transfer(),
+            injections_per_cell: 1,
+            pulse: PulseWidthModel::standard(),
+            seed: 3,
+            engine: EngineKind::EventDriven,
+            threads: 0,
+        }
+    }
+}
+
+/// The outcome of one injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// The struck cell.
+    pub cell: CellId,
+    /// The injected fault (workload-relative cycle).
+    pub fault: Fault,
+    /// Whether the primary outputs diverged from the golden run.
+    pub soft_error: bool,
+    /// Number of divergent (cycle, signal) samples.
+    pub divergences: usize,
+}
+
+/// Aggregate campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Golden (fault-free) output trace.
+    pub golden: CycleTrace,
+    /// Per-net toggle activity of the golden run.
+    pub golden_activity: Vec<f64>,
+    /// One record per injection, ordered by cell then injection index.
+    pub records: Vec<InjectionRecord>,
+    /// Wall-clock time spent simulating (golden + all injections).
+    pub simulation_time: Duration,
+    /// Engine work proxy accumulated over all runs.
+    pub total_work: u64,
+}
+
+impl CampaignOutcome {
+    /// Number of injections that produced a soft error.
+    pub fn soft_errors(&self) -> usize {
+        self.records.iter().filter(|r| r.soft_error).count()
+    }
+
+    /// Cells that produced at least one soft error.
+    pub fn sensitive_cells(&self) -> Vec<CellId> {
+        let mut cells: Vec<CellId> = self
+            .records
+            .iter()
+            .filter(|r| r.soft_error)
+            .map(|r| r.cell)
+            .collect();
+        cells.sort();
+        cells.dedup();
+        cells
+    }
+
+    /// Observed soft-error probability of one cell (errors / injections),
+    /// or `None` if the cell was never injected.
+    pub fn cell_error_probability(&self, cell: CellId) -> Option<f64> {
+        let mut total = 0usize;
+        let mut errors = 0usize;
+        for r in &self.records {
+            if r.cell == cell {
+                total += 1;
+                if r.soft_error {
+                    errors += 1;
+                }
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(errors as f64 / total as f64)
+        }
+    }
+}
+
+/// Generates the faults for one cell (deterministic per cell and seed).
+pub fn faults_for_cell(
+    dut: &Dut<'_>,
+    cell: CellId,
+    config: &CampaignConfig,
+) -> Vec<Fault> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(cell.0) + 1)));
+    let info = dut.netlist().cell(cell);
+    (0..config.injections_per_cell)
+        .map(|_| {
+            let cycle = rng.gen_range(0..config.workload.run_cycles.max(1));
+            let offset = rng.gen::<f64>() * 0.999;
+            if info.kind.is_sequential() {
+                Fault::Seu(SeuFault {
+                    cell,
+                    cycle,
+                    offset,
+                })
+            } else {
+                Fault::Set(SetFault {
+                    net: info.output,
+                    cycle,
+                    offset,
+                    width: config
+                        .pulse
+                        .sample_width(config.environment.let_value, &mut rng),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Runs the full campaign over `cells`.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation failures.
+pub fn run_campaign(
+    dut: &Dut<'_>,
+    cells: &[CellId],
+    config: &CampaignConfig,
+) -> Result<CampaignOutcome, SsresfError> {
+    if config.injections_per_cell == 0 {
+        return Err(SsresfError::Config("injections_per_cell is 0".into()));
+    }
+    let started = Instant::now();
+    let golden = dut.run(config.engine, &config.workload, &[])?;
+
+    // Pre-generate every fault so worker threads only simulate.
+    let jobs: Vec<(CellId, Fault)> = cells
+        .iter()
+        .flat_map(|&cell| {
+            faults_for_cell(dut, cell, config)
+                .into_iter()
+                .map(move |f| (cell, f))
+        })
+        .collect();
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let threads = threads.min(jobs.len().max(1));
+
+    let golden_trace = &golden.trace;
+    let mut results: Vec<Option<(InjectionRecord, u64)>> = vec![None; jobs.len()];
+    let error: std::sync::Mutex<Option<SsresfError>> = std::sync::Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let mut remaining: &mut [Option<(InjectionRecord, u64)>] = &mut results;
+        let chunk = jobs.len().div_ceil(threads).max(1);
+        for (t, job_chunk) in jobs.chunks(chunk).enumerate() {
+            let (mine, rest) = remaining.split_at_mut(job_chunk.len().min(remaining.len()));
+            remaining = rest;
+            let error = &error;
+            let _ = t;
+            scope.spawn(move || {
+                for ((cell, fault), slot) in job_chunk.iter().zip(mine.iter_mut()) {
+                    match dut.run(config.engine, &config.workload, &[*fault]) {
+                        Ok(outcome) => {
+                            let diffs = golden_trace.diff(&outcome.trace);
+                            *slot = Some((
+                                InjectionRecord {
+                                    cell: *cell,
+                                    fault: *fault,
+                                    soft_error: !diffs.is_empty(),
+                                    divergences: diffs.len(),
+                                },
+                                outcome.work,
+                            ));
+                        }
+                        Err(e) => {
+                            let mut guard = error.lock().expect("mutex poisoned");
+                            if guard.is_none() {
+                                *guard = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner().expect("mutex poisoned") {
+        return Err(e);
+    }
+    let mut records = Vec::with_capacity(jobs.len());
+    let mut total_work = golden.work;
+    for slot in results {
+        let (record, work) = slot.expect("worker completed without error");
+        records.push(record);
+        total_work += work;
+    }
+
+    Ok(CampaignOutcome {
+        golden: golden.trace,
+        golden_activity: golden.activity_per_cycle,
+        records,
+        simulation_time: started.elapsed(),
+        total_work,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssresf_netlist::{CellKind, Design, FlatNetlist, ModuleBuilder, PortDir};
+
+    /// A 4-bit counter: every FF is observable, so SEUs cause soft errors.
+    fn counter_netlist() -> FlatNetlist {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("ctr");
+        let clk = mb.port("clk", PortDir::Input);
+        let rst_n = mb.port("rst_n", PortDir::Input);
+        let mut qs = Vec::new();
+        for i in 0..4 {
+            qs.push(mb.port(format!("q_{i}"), PortDir::Output));
+        }
+        let mut carry = qs[0];
+        for i in 0..4 {
+            let d = mb.net(format!("d_{i}"));
+            if i == 0 {
+                mb.cell("u_inc_0", CellKind::Inv, &[qs[0]], &[d]).unwrap();
+            } else {
+                mb.cell(format!("u_inc_{i}"), CellKind::Xor2, &[qs[i], carry], &[d])
+                    .unwrap();
+                if i + 1 < 4 {
+                    let c = mb.net(format!("c_{i}"));
+                    mb.cell(format!("u_car_{i}"), CellKind::And2, &[qs[i], carry], &[c])
+                        .unwrap();
+                    carry = c;
+                }
+            }
+            mb.cell(format!("u_ff_{i}"), CellKind::Dffr, &[clk, d, rst_n], &[qs[i]])
+                .unwrap();
+        }
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn seu_on_observable_ffs_always_errors() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let ffs: Vec<CellId> = flat
+            .iter_cells()
+            .filter(|(_, c)| c.kind.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        let config = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 20,
+            },
+            injections_per_cell: 2,
+            ..CampaignConfig::default()
+        };
+        let outcome = run_campaign(&dut, &ffs, &config).unwrap();
+        assert_eq!(outcome.records.len(), 8);
+        // Counter bits are directly observable: every flip is a soft error.
+        assert_eq!(outcome.soft_errors(), 8);
+        assert_eq!(outcome.sensitive_cells().len(), 4);
+        for &ff in &ffs {
+            assert_eq!(outcome.cell_error_probability(ff), Some(1.0));
+        }
+        assert!(outcome.total_work > 0);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 15,
+            },
+            ..CampaignConfig::default()
+        };
+        let one = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                threads: 1,
+                ..base
+            },
+        )
+        .unwrap();
+        let four = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                threads: 4,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(one.records, four.records);
+    }
+
+    #[test]
+    fn engines_agree_on_seu_verdicts() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let ffs: Vec<CellId> = flat
+            .iter_cells()
+            .filter(|(_, c)| c.kind.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 20,
+            },
+            ..CampaignConfig::default()
+        };
+        let ev = run_campaign(
+            &dut,
+            &ffs,
+            &CampaignConfig {
+                engine: EngineKind::EventDriven,
+                ..base
+            },
+        )
+        .unwrap();
+        let lv = run_campaign(
+            &dut,
+            &ffs,
+            &CampaignConfig {
+                engine: EngineKind::Levelized,
+                ..base
+            },
+        )
+        .unwrap();
+        // SEU semantics are cycle-exact in both engines.
+        let verdicts = |o: &CampaignOutcome| -> Vec<bool> {
+            o.records.iter().map(|r| r.soft_error).collect()
+        };
+        assert_eq!(verdicts(&ev), verdicts(&lv));
+    }
+
+    #[test]
+    fn zero_injections_rejected() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let config = CampaignConfig {
+            injections_per_cell: 0,
+            ..CampaignConfig::default()
+        };
+        assert!(run_campaign(&dut, &[], &config).is_err());
+    }
+
+    #[test]
+    fn fault_generation_matches_cell_kind() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let config = CampaignConfig::default();
+        for (id, cell) in flat.iter_cells() {
+            for fault in faults_for_cell(&dut, id, &config) {
+                match fault {
+                    Fault::Seu(f) => {
+                        assert!(cell.kind.is_sequential());
+                        assert_eq!(f.cell, id);
+                    }
+                    Fault::Set(f) => {
+                        assert!(cell.kind.is_combinational());
+                        assert_eq!(f.net, cell.output);
+                        assert!(fault.validate().is_ok());
+                    }
+                }
+            }
+        }
+    }
+}

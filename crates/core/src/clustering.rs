@@ -1,0 +1,381 @@
+//! Algorithm 1: clustering analysis for the internal cells of a netlist.
+//!
+//! Cells are grouped by the hierarchical-path distance of paper Eq. 1:
+//!
+//! ```text
+//! D(A, B) = Σ_{Li=1}^{LN} Compare(Module(A, Li), Module(B, Li)) · 2^(LN−Li)
+//! ```
+//!
+//! i.e. a mismatch near the top of the hierarchy weighs exponentially more
+//! than one deep inside. The k-medoids iteration of Algorithm 1 (random
+//! centers → assign → recenter on the member with the minimum distance sum
+//! → repeat until stable) is executed over *distinct paths* weighted by
+//! their cell multiplicity — cells sharing a path are indistinguishable
+//! under Eq. 1, which turns an O(cells²) medoid update into an
+//! O(paths²) one without changing the result.
+
+use crate::error::SsresfError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use ssresf_netlist::{CellId, FlatNetlist, HierPath, PathId};
+use std::collections::HashMap;
+
+/// Configuration of the clustering pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// `KN` — number of clusters.
+    pub clusters: usize,
+    /// `LN` — layer depth considered by the distance function.
+    pub layer_depth: usize,
+    /// Seed for the random initial centers.
+    pub seed: u64,
+    /// Iteration bound (Algorithm 1 converges long before this).
+    pub max_iters: usize,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig {
+            clusters: 5,
+            layer_depth: 3,
+            seed: 1,
+            max_iters: 64,
+        }
+    }
+}
+
+/// The result of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster index of every cell (indexed by `CellId`).
+    pub assignment: Vec<u32>,
+    /// Number of clusters actually produced (≤ configured `KN` when there
+    /// are fewer distinct paths than requested clusters).
+    pub clusters: usize,
+    /// Member cells per cluster.
+    pub members: Vec<Vec<CellId>>,
+}
+
+impl Clustering {
+    /// Cluster of one cell.
+    pub fn cluster_of(&self, cell: CellId) -> usize {
+        self.assignment[cell.index()] as usize
+    }
+
+    /// Cells per cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.members.iter().map(Vec::len).collect()
+    }
+}
+
+/// Paper Eq. 1: weighted layer-by-layer path comparison.
+///
+/// `Module(A, Li)` is the instance-path segment of `A` at (1-based) layer
+/// `Li`; two absent segments compare equal (both cells live above that
+/// depth), an absent vs. present segment compares unequal.
+pub fn hier_distance(a: &HierPath, b: &HierPath, layer_depth: usize) -> u64 {
+    let mut distance = 0u64;
+    for li in 1..=layer_depth {
+        let differs = a.layer(li) != b.layer(li);
+        if differs {
+            distance += 1u64 << (layer_depth - li);
+        }
+    }
+    distance
+}
+
+/// Runs Algorithm 1 over the netlist.
+///
+/// # Errors
+///
+/// Returns [`SsresfError::Config`] for zero clusters or zero layer depth,
+/// and [`SsresfError::EmptyNetlist`] when there are no cells.
+pub fn cluster_cells(
+    netlist: &FlatNetlist,
+    config: &ClusteringConfig,
+) -> Result<Clustering, SsresfError> {
+    if config.clusters == 0 {
+        return Err(SsresfError::Config("clusters must be nonzero".into()));
+    }
+    if config.layer_depth == 0 || config.layer_depth > 63 {
+        return Err(SsresfError::Config(format!(
+            "layer depth {} out of range 1..=63",
+            config.layer_depth
+        )));
+    }
+    if netlist.cells().is_empty() {
+        return Err(SsresfError::EmptyNetlist);
+    }
+
+    // Group cells by distinct path.
+    let mut groups: HashMap<PathId, Vec<CellId>> = HashMap::new();
+    for (id, cell) in netlist.iter_cells() {
+        groups.entry(cell.path).or_default().push(id);
+    }
+    let mut path_ids: Vec<PathId> = groups.keys().copied().collect();
+    path_ids.sort();
+    let paths: Vec<&HierPath> = path_ids.iter().map(|&p| netlist.paths().resolve(p)).collect();
+    let weights: Vec<u64> = path_ids.iter().map(|p| groups[p].len() as u64).collect();
+    let n = paths.len();
+    let kn = config.clusters.min(n);
+
+    // Pairwise distances between distinct paths.
+    let ln = config.layer_depth;
+    let mut dist = vec![0u64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = hier_distance(paths[i], paths[j], ln);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    // Random initial centers (line 2 of Algorithm 1).
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centers: Vec<usize> = (0..n).collect();
+    centers.shuffle(&mut rng);
+    centers.truncate(kn);
+    centers.sort_unstable();
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..config.max_iters {
+        // assign_cells: nearest center, ties to the lowest cluster index.
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let mut best = 0;
+            let mut best_d = u64::MAX;
+            for (c, &center) in centers.iter().enumerate() {
+                let d = dist[i * n + center];
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            *slot = best;
+        }
+
+        // update_centers: weighted medoid per cluster.
+        let mut new_centers = centers.clone();
+        for (c, new_center) in new_centers.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = members[0];
+            let mut best_sum = u64::MAX;
+            for &candidate in &members {
+                let sum: u64 = members
+                    .iter()
+                    .map(|&m| dist[candidate * n + m] * weights[m])
+                    .sum();
+                if sum < best_sum {
+                    best_sum = sum;
+                    best = candidate;
+                }
+            }
+            *new_center = best;
+        }
+
+        if new_centers == centers {
+            break;
+        }
+        centers = new_centers;
+    }
+
+    // Final assignment after convergence, mapped back to cells. Renumber
+    // clusters densely in case some ended up empty.
+    let mut used: Vec<usize> = assignment.clone();
+    used.sort_unstable();
+    used.dedup();
+    let remap: HashMap<usize, u32> = used
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new as u32))
+        .collect();
+
+    let mut cell_assignment = vec![0u32; netlist.cells().len()];
+    let mut members = vec![Vec::new(); used.len()];
+    for (gi, path_id) in path_ids.iter().enumerate() {
+        let cluster = remap[&assignment[gi]];
+        for &cell in &groups[path_id] {
+            cell_assignment[cell.index()] = cluster;
+            members[cluster as usize].push(cell);
+        }
+    }
+    for m in &mut members {
+        m.sort();
+    }
+
+    Ok(Clustering {
+        assignment: cell_assignment,
+        clusters: members.len(),
+        members,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssresf_netlist::{CellKind, Design, ModuleBuilder, PortDir};
+
+    fn path(segments: &[&str]) -> HierPath {
+        HierPath::from_segments(segments.iter().copied())
+    }
+
+    #[test]
+    fn distance_weights_upper_layers_exponentially() {
+        let ln = 3;
+        let a = path(&["cpu", "alu", "add"]);
+        // Mismatch only at layer 3.
+        assert_eq!(hier_distance(&a, &path(&["cpu", "alu", "sub"]), ln), 1);
+        // Mismatch at layers 2 and 3.
+        assert_eq!(hier_distance(&a, &path(&["cpu", "lsu", "sub"]), ln), 3);
+        // Mismatch everywhere.
+        assert_eq!(hier_distance(&a, &path(&["bus", "lane", "ff"]), ln), 7);
+        // Identity.
+        assert_eq!(hier_distance(&a, &a, ln), 0);
+    }
+
+    #[test]
+    fn distance_handles_shallow_paths() {
+        let ln = 3;
+        let shallow = path(&["cpu"]);
+        let deep = path(&["cpu", "alu", "add"]);
+        // Layers 2 and 3: None vs Some -> mismatch.
+        assert_eq!(hier_distance(&shallow, &deep, ln), 3);
+        // Two root cells agree at every layer (both absent).
+        assert_eq!(hier_distance(&HierPath::root(), &HierPath::root(), ln), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangleish() {
+        let ln = 4;
+        let ps = [
+            path(&["a"]),
+            path(&["a", "b"]),
+            path(&["a", "b", "c"]),
+            path(&["x", "y"]),
+        ];
+        for i in &ps {
+            for j in &ps {
+                assert_eq!(hier_distance(i, j, ln), hier_distance(j, i, ln));
+                for k in &ps {
+                    // The per-layer Hamming structure satisfies the triangle
+                    // inequality.
+                    assert!(
+                        hier_distance(i, k, ln)
+                            <= hier_distance(i, j, ln) + hier_distance(j, k, ln)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Builds a netlist with three obviously distinct hierarchy branches.
+    fn three_branch_netlist() -> FlatNetlist {
+        let mut design = Design::new();
+        let mut leaf = ModuleBuilder::new("leaf");
+        let a = leaf.port("a", PortDir::Input);
+        let y = leaf.port("y", PortDir::Output);
+        let w1 = leaf.net("w1");
+        let w2 = leaf.net("w2");
+        leaf.cell("u0", CellKind::Inv, &[a], &[w1]).unwrap();
+        leaf.cell("u1", CellKind::Buf, &[w1], &[w2]).unwrap();
+        leaf.cell("u2", CellKind::Inv, &[w2], &[y]).unwrap();
+        let leaf_id = design.add_module(leaf.finish()).unwrap();
+
+        let mut top = ModuleBuilder::new("top");
+        let x = top.port("x", PortDir::Input);
+        let z = top.port("z", PortDir::Output);
+        let m1 = top.net("m1");
+        let m2 = top.net("m2");
+        top.instance("u_cpu", leaf_id, &[x, m1]).unwrap();
+        top.instance("u_bus", leaf_id, &[m1, m2]).unwrap();
+        top.instance("u_mem", leaf_id, &[m2, z]).unwrap();
+        let top_id = design.add_module(top.finish()).unwrap();
+        design.set_top(top_id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn clusters_follow_hierarchy_branches() {
+        let flat = three_branch_netlist();
+        let clustering = cluster_cells(
+            &flat,
+            &ClusteringConfig {
+                clusters: 3,
+                layer_depth: 2,
+                seed: 7,
+                max_iters: 32,
+            },
+        )
+        .unwrap();
+        assert_eq!(clustering.clusters, 3);
+        // Cells sharing an instance must share a cluster.
+        for prefix in ["u_cpu", "u_bus", "u_mem"] {
+            let ids: Vec<CellId> = flat
+                .iter_cells()
+                .filter(|(id, _)| flat.cell_full_name(*id).starts_with(prefix))
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(ids.len(), 3);
+            let first = clustering.cluster_of(ids[0]);
+            assert!(ids.iter().all(|&c| clustering.cluster_of(c) == first));
+        }
+        // And the three branches land in three different clusters.
+        let cluster_of = |name: &str| clustering.cluster_of(flat.cell_by_name(name).unwrap());
+        let set: std::collections::HashSet<usize> = ["u_cpu.u0", "u_bus.u0", "u_mem.u0"]
+            .iter()
+            .map(|n| cluster_of(n))
+            .collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn cluster_count_is_capped_by_distinct_paths() {
+        let flat = three_branch_netlist();
+        let clustering = cluster_cells(
+            &flat,
+            &ClusteringConfig {
+                clusters: 10,
+                ..ClusteringConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(clustering.clusters <= 3);
+        // Every cell is assigned.
+        let total: usize = clustering.sizes().iter().sum();
+        assert_eq!(total, flat.cells().len());
+    }
+
+    #[test]
+    fn clustering_is_deterministic_under_seed() {
+        let flat = three_branch_netlist();
+        let cfg = ClusteringConfig::default();
+        let a = cluster_cells(&flat, &cfg).unwrap();
+        let b = cluster_cells(&flat, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        let flat = three_branch_netlist();
+        assert!(cluster_cells(
+            &flat,
+            &ClusteringConfig {
+                clusters: 0,
+                ..ClusteringConfig::default()
+            }
+        )
+        .is_err());
+        assert!(cluster_cells(
+            &flat,
+            &ClusteringConfig {
+                layer_depth: 0,
+                ..ClusteringConfig::default()
+            }
+        )
+        .is_err());
+    }
+}

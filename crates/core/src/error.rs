@@ -1,0 +1,91 @@
+//! Framework-level error type.
+
+use ssresf_mlcore::MlError;
+use ssresf_netlist::NetlistError;
+use ssresf_radiation::RadiationError;
+use ssresf_sim::SimError;
+use std::fmt;
+
+/// Errors produced by the SSRESF pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsresfError {
+    /// Netlist construction or elaboration failure.
+    Netlist(NetlistError),
+    /// Simulation failure.
+    Sim(SimError),
+    /// Radiation-model failure.
+    Radiation(RadiationError),
+    /// Machine-learning failure.
+    Ml(MlError),
+    /// The netlist has no cells.
+    EmptyNetlist,
+    /// A required design convention is missing (clock or reset net).
+    MissingNet(String),
+    /// Invalid framework configuration.
+    Config(String),
+}
+
+impl fmt::Display for SsresfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsresfError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SsresfError::Sim(e) => write!(f, "simulation error: {e}"),
+            SsresfError::Radiation(e) => write!(f, "radiation model error: {e}"),
+            SsresfError::Ml(e) => write!(f, "ml error: {e}"),
+            SsresfError::EmptyNetlist => write!(f, "netlist has no cells"),
+            SsresfError::MissingNet(name) => write!(f, "required net `{name}` not found"),
+            SsresfError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SsresfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SsresfError::Netlist(e) => Some(e),
+            SsresfError::Sim(e) => Some(e),
+            SsresfError::Radiation(e) => Some(e),
+            SsresfError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SsresfError {
+    fn from(e: NetlistError) -> Self {
+        SsresfError::Netlist(e)
+    }
+}
+
+impl From<SimError> for SsresfError {
+    fn from(e: SimError) -> Self {
+        SsresfError::Sim(e)
+    }
+}
+
+impl From<RadiationError> for SsresfError {
+    fn from(e: RadiationError) -> Self {
+        SsresfError::Radiation(e)
+    }
+}
+
+impl From<MlError> for SsresfError {
+    fn from(e: MlError) -> Self {
+        SsresfError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error as _;
+        let err: SsresfError = NetlistError::NoTop.into();
+        assert!(err.source().is_some());
+        let err: SsresfError = MlError::Param("C".into()).into();
+        assert!(err.to_string().contains("ml error"));
+        assert!(SsresfError::EmptyNetlist.source().is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! The end-to-end SSRESF pipeline.
+//!
+//! [`Ssresf::analyze`] executes the full flow of the paper's Fig. 1 on one
+//! netlist: clustering → equal-proportion sampling → fault injection and
+//! simulation → SER evaluation → sensitive-node labeling → feature
+//! engineering → SVM training → whole-netlist sensitivity prediction,
+//! returning an [`Analysis`] with every intermediate artifact plus the
+//! timing split that yields the paper's Table-III speed-up.
+
+use crate::campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+use crate::clustering::{cluster_cells, Clustering, ClusteringConfig};
+use crate::error::SsresfError;
+use crate::sampling::{sample_clusters, ClusterSample, SamplingConfig};
+use crate::sensitivity::{
+    train_sensitivity, SensitivityConfig, SensitivityReport, TrainedSensitivity,
+};
+use crate::ser::{evaluate_ser, SerEvaluation};
+use serde::{Deserialize, Serialize};
+use ssresf_netlist::{CellId, FeatureExtractor, FlatNetlist, ModuleClass};
+use ssresf_radiation::SoftErrorDatabase;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// How sampled cells are labeled for SVM training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LabelRule {
+    /// A cell is sensitive when its observed per-cell soft-error
+    /// probability reaches the threshold.
+    PerCell {
+        /// Minimum error probability, in `(0, 1]`.
+        min_probability: f64,
+    },
+    /// The paper's rule: cluster-level SER ranking blended with the
+    /// per-cell outcome. A cell is sensitive when
+    /// `(cell_probability + cluster_SER) / 2` reaches the chip SER.
+    Blended,
+}
+
+impl Default for LabelRule {
+    fn default() -> Self {
+        LabelRule::Blended
+    }
+}
+
+/// Complete framework configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsresfConfig {
+    /// Algorithm-1 clustering parameters.
+    pub clustering: ClusteringConfig,
+    /// Equal-proportion sampling parameters.
+    pub sampling: SamplingConfig,
+    /// Fault-injection campaign parameters.
+    pub campaign: CampaignConfig,
+    /// SVM pipeline parameters.
+    pub sensitivity: SensitivityConfig,
+    /// Statistical extrapolation factor for memory bit cells when reporting
+    /// chip cross-sections (1.0 = none; see `ssresf-socgen`'s
+    /// `SocInfo::memory_scale_factor`).
+    pub memory_scale: f64,
+    /// Sensitive-node labeling rule.
+    pub labeling: LabelRule,
+}
+
+impl Default for SsresfConfig {
+    fn default() -> Self {
+        SsresfConfig {
+            clustering: ClusteringConfig::default(),
+            sampling: SamplingConfig::default(),
+            campaign: CampaignConfig::default(),
+            sensitivity: SensitivityConfig::default(),
+            memory_scale: 1.0,
+            labeling: LabelRule::default(),
+        }
+    }
+}
+
+impl SsresfConfig {
+    /// A configuration with all defaults and the given memory scale.
+    pub fn with_memory_scale(mut self, scale: f64) -> Self {
+        self.memory_scale = scale;
+        self
+    }
+}
+
+/// Wall-clock timing split of an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Fault-injection simulation time (golden + all injections).
+    pub simulation: Duration,
+    /// SVM training time (selection + search + fit + CV).
+    pub training: Duration,
+    /// Whole-netlist prediction time.
+    pub prediction: Duration,
+}
+
+impl Timing {
+    /// Simulation time over prediction time — the paper's speed-up metric.
+    pub fn speedup(&self) -> f64 {
+        let p = self.prediction.as_secs_f64();
+        if p <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.simulation.as_secs_f64() / p
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Cluster assignment of every cell.
+    pub clustering: Clustering,
+    /// The fault-injection sample.
+    pub sample: ClusterSample,
+    /// Raw campaign records and golden run.
+    pub campaign: CampaignOutcome,
+    /// Per-cluster and chip SER (Eq. 2).
+    pub ser: SerEvaluation,
+    /// SVM training diagnostics (Table II / Figs. 5–6 material).
+    pub sensitivity_report: SensitivityReport,
+    /// The trained classifier.
+    pub classifier: TrainedSensitivity,
+    /// Predicted sensitivity of every cell in the netlist.
+    pub predictions: Vec<(CellId, bool)>,
+    /// `(high-sensitivity, total)` predicted counts per module class.
+    pub class_counts: BTreeMap<String, (usize, usize)>,
+    /// Chip-level `(SEU, SET)` cross-sections in cm² at the campaign LET,
+    /// with memory bits extrapolated by the configured scale factor.
+    pub chip_xsect: (f64, f64),
+    /// Timing split.
+    pub timing: Timing,
+}
+
+impl Analysis {
+    /// Fraction of nodes predicted highly sensitive in `class`.
+    pub fn class_sensitive_fraction(&self, class: &str) -> f64 {
+        match self.class_counts.get(class) {
+            Some(&(high, total)) if total > 0 => high as f64 / total as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The SSRESF framework facade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ssresf {
+    config: SsresfConfig,
+}
+
+impl Ssresf {
+    /// Creates a framework with the given configuration.
+    pub fn new(config: SsresfConfig) -> Self {
+        Ssresf { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SsresfConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from every stage; notably
+    /// [`SsresfError::Config`] when the campaign labels only one class (the
+    /// workload or sample was too small to observe both sensitive and
+    /// insensitive nodes).
+    pub fn analyze(&self, netlist: &FlatNetlist) -> Result<Analysis, SsresfError> {
+        let dut = crate::workload::Dut::from_conventions(netlist)?;
+
+        // 1–2. Clustering and equal-proportion sampling.
+        let clustering = cluster_cells(netlist, &self.config.clustering)?;
+        let sample = sample_clusters(&clustering, &self.config.sampling)?;
+
+        // 3. Fault injection and simulation.
+        let campaign = run_campaign(&dut, &sample.all_cells(), &self.config.campaign)?;
+
+        // 4. SER evaluation (Eq. 2).
+        let ser = evaluate_ser(netlist, &clustering, &sample, &campaign)?;
+
+        // 5–7. Feature engineering and SVM training on the sampled cells.
+        let extractor = FeatureExtractor::new(netlist)?;
+        let features = extractor.extract(Some(&campaign.golden_activity));
+        let labels: Vec<(CellId, bool)> = sample
+            .all_cells()
+            .iter()
+            .map(|&cell| {
+                let probability = campaign.cell_error_probability(cell).unwrap_or(0.0);
+                let sensitive = match self.config.labeling {
+                    LabelRule::PerCell { min_probability } => probability >= min_probability,
+                    LabelRule::Blended => {
+                        let cluster = clustering.cluster_of(cell);
+                        let cluster_ser = ser.per_cluster[cluster].ser();
+                        (probability + cluster_ser) / 2.0 >= ser.chip_ser.max(1e-9)
+                    }
+                };
+                (cell, sensitive)
+            })
+            .collect();
+        let (classifier, sensitivity_report) =
+            train_sensitivity(&features, &labels, &self.config.sensitivity)?;
+
+        // 8. Whole-netlist prediction (the fast path replacing simulation).
+        let predict_started = Instant::now();
+        let predictions = classifier.classify_all(&features);
+        let prediction = predict_started.elapsed();
+
+        let mut class_counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for (&(cell, high), feature) in predictions.iter().zip(&features) {
+            debug_assert_eq!(cell, feature.cell);
+            let class = ModuleClass::infer(
+                netlist.paths().resolve(netlist.cell(cell).path).segments(),
+            );
+            let entry = class_counts.entry(class.name().to_owned()).or_default();
+            entry.1 += 1;
+            if high {
+                entry.0 += 1;
+            }
+        }
+
+        // 9. Chip cross-sections at the campaign LET.
+        let chip_xsect = scaled_chip_xsect(
+            netlist,
+            self.config.campaign.environment.let_value,
+            if self.config.memory_scale > 0.0 {
+                self.config.memory_scale
+            } else {
+                1.0
+            },
+        );
+
+        Ok(Analysis {
+            timing: Timing {
+                simulation: campaign.simulation_time,
+                training: sensitivity_report.training_time,
+                prediction,
+            },
+            clustering,
+            sample,
+            campaign,
+            ser,
+            sensitivity_report,
+            classifier,
+            predictions,
+            class_counts,
+            chip_xsect,
+        })
+    }
+}
+
+/// Chip `(SEU, SET)` cross-sections with memory bits scaled by `mem_scale`.
+pub fn scaled_chip_xsect(
+    netlist: &FlatNetlist,
+    let_value: ssresf_radiation::Let,
+    mem_scale: f64,
+) -> (f64, f64) {
+    let db = SoftErrorDatabase::standard();
+    let mut seu = 0.0;
+    let mut set = 0.0;
+    for (_, cell) in netlist.iter_cells() {
+        let scale = if cell.kind.is_memory_bit() {
+            mem_scale
+        } else {
+            1.0
+        };
+        seu += db.seu_cross_section(cell.kind, let_value) * scale;
+        set += db.set_cross_section(cell.kind, let_value) * scale;
+    }
+    (seu, set)
+}

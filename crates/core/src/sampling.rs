@@ -1,0 +1,198 @@
+//! Equal-proportion random sampling within clusters.
+//!
+//! SSRESF does not simulate every cell: each cluster contributes a fixed
+//! fraction of its members to the fault-injection list, with a minimum
+//! per-cluster sample so tiny clusters still get coverage.
+
+use crate::clustering::Clustering;
+use crate::error::SsresfError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use ssresf_netlist::CellId;
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Fraction of each cluster to sample, in `(0, 1]`.
+    pub fraction: f64,
+    /// Lower bound on samples per (nonempty) cluster.
+    pub min_per_cluster: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            fraction: 0.2,
+            min_per_cluster: 4,
+            seed: 2,
+        }
+    }
+}
+
+/// The fault-injection sample: selected cells per cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSample {
+    /// Selected cells, one list per cluster (same order as the clustering).
+    pub per_cluster: Vec<Vec<CellId>>,
+}
+
+impl ClusterSample {
+    /// All sampled cells, flattened.
+    pub fn all_cells(&self) -> Vec<CellId> {
+        self.per_cluster.iter().flatten().copied().collect()
+    }
+
+    /// Total sample size.
+    pub fn len(&self) -> usize {
+        self.per_cluster.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Draws the equal-proportion sample from every cluster.
+///
+/// # Errors
+///
+/// Returns [`SsresfError::Config`] for a fraction outside `(0, 1]`.
+pub fn sample_clusters(
+    clustering: &Clustering,
+    config: &SamplingConfig,
+) -> Result<ClusterSample, SsresfError> {
+    if !(config.fraction > 0.0 && config.fraction <= 1.0) {
+        return Err(SsresfError::Config(format!(
+            "sampling fraction {} outside (0, 1]",
+            config.fraction
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut per_cluster = Vec::with_capacity(clustering.members.len());
+    for members in &clustering.members {
+        if members.is_empty() {
+            per_cluster.push(Vec::new());
+            continue;
+        }
+        let want = ((members.len() as f64 * config.fraction).ceil() as usize)
+            .max(config.min_per_cluster)
+            .min(members.len());
+        let mut pool = members.clone();
+        pool.shuffle(&mut rng);
+        pool.truncate(want);
+        pool.sort();
+        per_cluster.push(pool);
+    }
+    Ok(ClusterSample { per_cluster })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustering(sizes: &[usize]) -> Clustering {
+        let mut members = Vec::new();
+        let mut assignment = Vec::new();
+        let mut next = 0u32;
+        for (c, &size) in sizes.iter().enumerate() {
+            let mut cluster = Vec::new();
+            for _ in 0..size {
+                cluster.push(CellId(next));
+                assignment.push(c as u32);
+                next += 1;
+            }
+            members.push(cluster);
+        }
+        Clustering {
+            assignment,
+            clusters: sizes.len(),
+            members,
+        }
+    }
+
+    #[test]
+    fn samples_proportionally_with_minimum() {
+        let c = clustering(&[100, 10, 2]);
+        let sample = sample_clusters(
+            &c,
+            &SamplingConfig {
+                fraction: 0.1,
+                min_per_cluster: 4,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(sample.per_cluster[0].len(), 10); // 10% of 100
+        assert_eq!(sample.per_cluster[1].len(), 4); // min kicks in
+        assert_eq!(sample.per_cluster[2].len(), 2); // capped by cluster size
+        assert_eq!(sample.len(), 16);
+    }
+
+    #[test]
+    fn sampled_cells_belong_to_their_cluster() {
+        let c = clustering(&[20, 20]);
+        let sample = sample_clusters(&c, &SamplingConfig::default()).unwrap();
+        for (cluster, cells) in sample.per_cluster.iter().enumerate() {
+            for cell in cells {
+                assert!(c.members[cluster].contains(cell));
+            }
+            // No duplicates.
+            let mut sorted = cells.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cells.len());
+        }
+    }
+
+    #[test]
+    fn full_fraction_takes_everything() {
+        let c = clustering(&[7, 3]);
+        let sample = sample_clusters(
+            &c,
+            &SamplingConfig {
+                fraction: 1.0,
+                min_per_cluster: 1,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(sample.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = clustering(&[50]);
+        let cfg = SamplingConfig::default();
+        assert_eq!(
+            sample_clusters(&c, &cfg).unwrap(),
+            sample_clusters(&c, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        let c = clustering(&[5]);
+        for fraction in [0.0, -0.5, 1.5] {
+            assert!(sample_clusters(
+                &c,
+                &SamplingConfig {
+                    fraction,
+                    ..SamplingConfig::default()
+                }
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn empty_clusters_stay_empty() {
+        let c = clustering(&[0, 5]);
+        let sample = sample_clusters(&c, &SamplingConfig::default()).unwrap();
+        assert!(sample.per_cluster[0].is_empty());
+        assert!(!sample.per_cluster[1].is_empty());
+    }
+}

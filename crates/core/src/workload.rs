@@ -1,0 +1,287 @@
+//! Driving a device-under-test through its workload.
+//!
+//! SSRESF designs follow two conventions: the clock input is named `clk`
+//! and the active-low reset `rst_n`. A [`Dut`] wraps a flat netlist, builds
+//! either simulation engine on demand, and runs the standard sequence —
+//! reset, post-reset memory-image load, then `run_cycles` of execution —
+//! sampling all primary outputs each cycle.
+
+use crate::error::SsresfError;
+use serde::{Deserialize, Serialize};
+use ssresf_netlist::{FlatNetlist, NetId};
+use ssresf_sim::{
+    CycleTrace, Engine, EventDrivenEngine, Fault, LevelizedEngine, Logic, SetFault, SeuFault,
+};
+
+/// Which simulation engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// [`EventDrivenEngine`] — the VCS stand-in.
+    EventDriven,
+    /// [`LevelizedEngine`] — the OSS-CVC stand-in.
+    Levelized,
+}
+
+impl EngineKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::EventDriven => "event-driven",
+            EngineKind::Levelized => "levelized",
+        }
+    }
+}
+
+/// Workload length parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Cycles with reset asserted.
+    pub reset_cycles: u64,
+    /// Post-reset cycles simulated and observed.
+    pub run_cycles: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            reset_cycles: 3,
+            run_cycles: 120,
+        }
+    }
+}
+
+/// One simulation run's outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Per-cycle primary-output samples (post-reset cycles only).
+    pub trace: CycleTrace,
+    /// Per-net toggle activity per cycle (for the activity feature).
+    pub activity_per_cycle: Vec<f64>,
+    /// Engine work proxy (events processed / cells evaluated).
+    pub work: u64,
+}
+
+/// A device-under-test: netlist plus its clock/reset conventions.
+#[derive(Debug, Clone, Copy)]
+pub struct Dut<'a> {
+    netlist: &'a FlatNetlist,
+    clock: NetId,
+    reset: Option<NetId>,
+}
+
+impl<'a> Dut<'a> {
+    /// Wraps a netlist using the `clk`/`rst_n` naming conventions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsresfError::MissingNet`] when no `clk` input exists. A
+    /// missing `rst_n` is tolerated (purely combinational DUTs).
+    pub fn from_conventions(netlist: &'a FlatNetlist) -> Result<Self, SsresfError> {
+        let clock = netlist
+            .net_by_name("clk")
+            .ok_or_else(|| SsresfError::MissingNet("clk".into()))?;
+        let reset = netlist.net_by_name("rst_n");
+        Ok(Dut {
+            netlist,
+            clock,
+            reset,
+        })
+    }
+
+    /// The wrapped netlist.
+    pub fn netlist(&self) -> &'a FlatNetlist {
+        self.netlist
+    }
+
+    /// The clock net.
+    pub fn clock(&self) -> NetId {
+        self.clock
+    }
+
+    /// Runs the workload with the given faults (whose cycles are relative
+    /// to the first post-reset cycle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    pub fn run(
+        &self,
+        kind: EngineKind,
+        workload: &Workload,
+        faults: &[Fault],
+    ) -> Result<RunOutcome, SsresfError> {
+        match kind {
+            EngineKind::EventDriven => {
+                let engine = EventDrivenEngine::new(self.netlist, self.clock)?;
+                self.drive(engine, workload, faults, |e| e.events_processed())
+            }
+            EngineKind::Levelized => {
+                let engine = LevelizedEngine::new(self.netlist, self.clock)?;
+                self.drive(engine, workload, faults, |e| e.cells_evaluated())
+            }
+        }
+    }
+
+    fn drive<E: Engine>(
+        &self,
+        mut engine: E,
+        workload: &Workload,
+        faults: &[Fault],
+        work: impl Fn(&E) -> u64,
+    ) -> Result<RunOutcome, SsresfError> {
+        // Reset sequence.
+        if let Some(rst) = self.reset {
+            engine.poke(rst, Logic::Zero);
+            for _ in 0..workload.reset_cycles {
+                engine.step_cycle();
+            }
+            engine.poke(rst, Logic::One);
+        }
+        // Memory-image load happens after reset so that the first clock
+        // edges never latch undefined write-enables into the array.
+        let memory_cells: Vec<_> = self
+            .netlist
+            .iter_cells()
+            .filter(|(_, c)| c.kind.is_memory_bit())
+            .map(|(id, _)| id)
+            .collect();
+        for id in memory_cells {
+            engine.set_cell_state(id, Logic::Zero);
+        }
+
+        // Schedule faults, shifted into absolute engine cycles.
+        let offset = if self.reset.is_some() {
+            workload.reset_cycles
+        } else {
+            0
+        };
+        for fault in faults {
+            let shifted = match *fault {
+                Fault::Seu(f) => Fault::Seu(SeuFault {
+                    cycle: f.cycle + offset,
+                    ..f
+                }),
+                Fault::Set(f) => Fault::Set(SetFault {
+                    cycle: f.cycle + offset,
+                    ..f
+                }),
+            };
+            engine.schedule_fault(shifted);
+        }
+
+        // Observe all primary outputs.
+        let outputs: Vec<NetId> = self.netlist.primary_outputs().to_vec();
+        let names = outputs
+            .iter()
+            .map(|&n| self.netlist.net(n).name.clone())
+            .collect();
+        let mut trace = CycleTrace::new(names);
+        for _ in 0..workload.run_cycles {
+            engine.step_cycle();
+            trace.push_row(engine.sample(&outputs));
+        }
+        Ok(RunOutcome {
+            trace,
+            activity_per_cycle: engine.activity_per_cycle(),
+            work: work(&engine),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssresf_netlist::{CellKind, Design, ModuleBuilder, PortDir};
+
+    fn counter_netlist() -> FlatNetlist {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("ctr");
+        let clk = mb.port("clk", PortDir::Input);
+        let rst_n = mb.port("rst_n", PortDir::Input);
+        let q0 = mb.port("q0", PortDir::Output);
+        let nq = mb.net("nq");
+        mb.cell("u_inv", CellKind::Inv, &[q0], &[nq]).unwrap();
+        mb.cell("u_ff", CellKind::Dffr, &[clk, nq, rst_n], &[q0])
+            .unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn conventions_find_clock_and_reset() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        assert_eq!(flat.net(dut.clock()).name, "clk");
+    }
+
+    #[test]
+    fn missing_clock_is_an_error() {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("comb");
+        let a = mb.port("a", PortDir::Input);
+        let y = mb.port("y", PortDir::Output);
+        mb.cell("u0", CellKind::Inv, &[a], &[y]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        let flat = design.flatten().unwrap();
+        assert!(matches!(
+            Dut::from_conventions(&flat),
+            Err(SsresfError::MissingNet(_))
+        ));
+    }
+
+    #[test]
+    fn both_engines_produce_identical_golden_traces() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let wl = Workload {
+            reset_cycles: 2,
+            run_cycles: 12,
+        };
+        let ev = dut.run(EngineKind::EventDriven, &wl, &[]).unwrap();
+        let lv = dut.run(EngineKind::Levelized, &wl, &[]).unwrap();
+        assert!(ev.trace.matches(&lv.trace));
+        assert_eq!(ev.trace.len(), 12);
+        assert!(ev.work > 0 && lv.work > 0);
+    }
+
+    #[test]
+    fn fault_cycles_are_relative_to_post_reset_time() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let wl = Workload {
+            reset_cycles: 4,
+            run_cycles: 10,
+        };
+        let golden = dut.run(EngineKind::EventDriven, &wl, &[]).unwrap();
+        let ff = flat.cell_by_name("u_ff").unwrap();
+        let faulty = dut
+            .run(
+                EngineKind::EventDriven,
+                &wl,
+                &[Fault::Seu(SeuFault {
+                    cell: ff,
+                    cycle: 5,
+                    offset: 0.1,
+                })],
+            )
+            .unwrap();
+        let diffs = golden.trace.diff(&faulty.trace);
+        assert!(!diffs.is_empty());
+        // The first divergence appears exactly at workload cycle 5.
+        assert_eq!(diffs.iter().map(|d| d.cycle).min(), Some(5));
+    }
+
+    #[test]
+    fn activity_is_normalized_per_cycle() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let out = dut
+            .run(EngineKind::EventDriven, &Workload::default(), &[])
+            .unwrap();
+        let q0 = flat.net_by_name("q0").unwrap();
+        // The toggler flips every cycle.
+        assert!(out.activity_per_cycle[q0.index()] > 0.5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic stratified k-fold cross-validation.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::metrics::BinaryMetrics;
+use crate::svm::{SvmModel, SvmParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A stratified k-fold splitter.
+///
+/// Rows of each class are shuffled (seeded) and dealt round-robin into `k`
+/// folds, so every fold keeps roughly the global class balance.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    k: usize,
+    seed: u64,
+}
+
+impl KFold {
+    /// Creates a splitter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Param`] for `k < 2`.
+    pub fn new(k: usize, seed: u64) -> Result<Self, MlError> {
+        if k < 2 {
+            return Err(MlError::Param(format!("k = {k} must be at least 2")));
+        }
+        Ok(KFold { k, seed })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Splits `data` into `(train_indices, test_indices)` pairs, one per
+    /// fold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Degenerate`] when there are fewer rows than folds.
+    pub fn split(&self, data: &Dataset) -> Result<Vec<(Vec<usize>, Vec<usize>)>, MlError> {
+        if data.len() < self.k {
+            return Err(MlError::Degenerate(format!(
+                "{} rows cannot fill {} folds",
+                data.len(),
+                self.k
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut fold_of = vec![0usize; data.len()];
+        for class in [1i8, -1] {
+            let mut members: Vec<usize> = (0..data.len())
+                .filter(|&i| data.labels()[i] == class)
+                .collect();
+            members.shuffle(&mut rng);
+            for (pos, &idx) in members.iter().enumerate() {
+                fold_of[idx] = pos % self.k;
+            }
+        }
+        let mut splits = Vec::with_capacity(self.k);
+        for fold in 0..self.k {
+            let test: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == fold).collect();
+            let train: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
+            splits.push((train, test));
+        }
+        Ok(splits)
+    }
+}
+
+/// Mean cross-validated accuracy of an SVM with the given parameters.
+///
+/// Folds whose training split degenerates to a single class are skipped; if
+/// every fold degenerates an error is returned.
+///
+/// # Errors
+///
+/// Propagates splitter and training errors.
+pub fn cross_val_score(
+    data: &Dataset,
+    params: &SvmParams,
+    folds: &KFold,
+) -> Result<f64, MlError> {
+    let splits = folds.split(data)?;
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (train_idx, test_idx) in splits {
+        let train = data.subset(&train_idx);
+        if !train.has_both_classes() || test_idx.is_empty() {
+            continue;
+        }
+        let model = SvmModel::train(&train, params)?;
+        let test = data.subset(&test_idx);
+        let predicted = model.predict_batch(test.features());
+        let metrics = BinaryMetrics::from_predictions(test.labels(), &predicted);
+        total += metrics.accuracy();
+        counted += 1;
+    }
+    if counted == 0 {
+        return Err(MlError::Degenerate(
+            "every fold degenerated to one class".into(),
+        ));
+    }
+    Ok(total / counted as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blob(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            x.push(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
+            y.push(-1);
+            x.push(vec![rng.gen::<f64>() + 2.0, rng.gen::<f64>() + 2.0]);
+            y.push(1);
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let data = blob(20, 1);
+        let kf = KFold::new(5, 0).unwrap();
+        let splits = kf.split(&data).unwrap();
+        assert_eq!(splits.len(), 5);
+        let mut seen = vec![0usize; data.len()];
+        for (train, test) in &splits {
+            assert_eq!(train.len() + test.len(), data.len());
+            for &i in test {
+                seen[i] += 1;
+                assert!(!train.contains(&i));
+            }
+        }
+        // Every row appears in exactly one test fold.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let data = blob(25, 2);
+        let kf = KFold::new(5, 0).unwrap();
+        for (_, test) in kf.split(&data).unwrap() {
+            let pos = test.iter().filter(|&&i| data.labels()[i] == 1).count();
+            let neg = test.len() - pos;
+            assert!((pos as i64 - neg as i64).abs() <= 1, "{pos} vs {neg}");
+        }
+    }
+
+    #[test]
+    fn splitting_is_deterministic() {
+        let data = blob(10, 3);
+        let a = KFold::new(4, 9).unwrap().split(&data).unwrap();
+        let b = KFold::new(4, 9).unwrap().split(&data).unwrap();
+        assert_eq!(a, b);
+        let c = KFold::new(4, 10).unwrap().split(&data).unwrap();
+        assert_ne!(a, c, "different seed should shuffle differently");
+    }
+
+    #[test]
+    fn rejects_k_below_two_and_tiny_data() {
+        assert!(KFold::new(1, 0).is_err());
+        let tiny = Dataset::new(vec![vec![1.0]], vec![1]).unwrap();
+        assert!(KFold::new(2, 0).unwrap().split(&tiny).is_err());
+    }
+
+    #[test]
+    fn cv_score_is_high_on_separable_data() {
+        let data = blob(30, 4);
+        let score = cross_val_score(
+            &data,
+            &SvmParams::default(),
+            &KFold::new(5, 0).unwrap(),
+        )
+        .unwrap();
+        assert!(score > 0.95, "score = {score}");
+    }
+
+    #[test]
+    fn cv_score_is_poor_on_random_labels() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x: Vec<Vec<f64>> = (0..60).map(|_| vec![rng.gen(), rng.gen()]).collect();
+        let y: Vec<i8> = (0..60).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let score = cross_val_score(
+            &data,
+            &SvmParams::default(),
+            &KFold::new(5, 0).unwrap(),
+        )
+        .unwrap();
+        assert!(score < 0.75, "score = {score}");
+    }
+}

@@ -1,0 +1,38 @@
+//! ML substrate error type.
+
+use std::fmt;
+
+/// Errors produced by dataset construction, training and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Feature rows have inconsistent widths or labels mismatch rows.
+    Shape(String),
+    /// The dataset is unusable for the requested operation (empty, single
+    /// class, fewer rows than folds, …).
+    Degenerate(String),
+    /// A hyper-parameter is out of its valid range.
+    Param(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            MlError::Degenerate(msg) => write!(f, "degenerate data: {msg}"),
+            MlError::Param(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MlError::Shape("row 3".into()).to_string().contains("row 3"));
+        assert!(MlError::Param("C = 0".into()).to_string().contains("C = 0"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Hyper-parameter grid search over (C, γ) with cross-validation.
+
+use crate::crossval::{cross_val_score, KFold};
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::kernel::Kernel;
+use crate::svm::SvmParams;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a grid search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSearchResult {
+    /// The best (C, γ) pair.
+    pub best_c: f64,
+    /// Best RBF γ.
+    pub best_gamma: f64,
+    /// Mean CV accuracy at the best point.
+    pub best_score: f64,
+    /// Every `(c, gamma, score)` evaluated, in grid order.
+    pub evaluations: Vec<(f64, f64, f64)>,
+}
+
+/// The default C grid used when none is supplied (log-spaced, as in the
+/// paper's scikit-learn flow).
+pub const DEFAULT_C_GRID: &[f64] = &[0.1, 1.0, 10.0, 100.0];
+
+/// The default γ grid.
+pub const DEFAULT_GAMMA_GRID: &[f64] = &[0.01, 0.1, 0.5, 1.0, 4.0];
+
+/// Exhaustively evaluates an RBF SVM over `c_grid × gamma_grid` with k-fold
+/// cross-validation, returning the best pair (ties break toward the first
+/// grid point, making the search deterministic).
+///
+/// # Errors
+///
+/// Returns [`MlError::Param`] for empty grids and propagates CV errors.
+pub fn grid_search(
+    data: &Dataset,
+    c_grid: &[f64],
+    gamma_grid: &[f64],
+    folds: &KFold,
+) -> Result<GridSearchResult, MlError> {
+    if c_grid.is_empty() || gamma_grid.is_empty() {
+        return Err(MlError::Param("empty hyper-parameter grid".into()));
+    }
+    let mut best: Option<(f64, f64, f64)> = None;
+    let mut evaluations = Vec::with_capacity(c_grid.len() * gamma_grid.len());
+    for &c in c_grid {
+        for &gamma in gamma_grid {
+            let params = SvmParams {
+                c,
+                kernel: Kernel::Rbf { gamma },
+                ..SvmParams::default()
+            };
+            let score = cross_val_score(data, &params, folds)?;
+            evaluations.push((c, gamma, score));
+            let better = match best {
+                None => true,
+                Some((_, _, s)) => score > s,
+            };
+            if better {
+                best = Some((c, gamma, score));
+            }
+        }
+    }
+    let (best_c, best_gamma, best_score) = best.expect("grids are nonempty");
+    Ok(GridSearchResult {
+        best_c,
+        best_gamma,
+        best_score,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            x.push(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
+            y.push(-1);
+            x.push(vec![rng.gen::<f64>() + 1.5, rng.gen::<f64>() + 1.5]);
+            y.push(1);
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn finds_a_good_point_and_records_all_evaluations() {
+        let data = blob(25);
+        let folds = KFold::new(5, 0).unwrap();
+        let result = grid_search(&data, &[0.5, 5.0], &[0.1, 1.0], &folds).unwrap();
+        assert_eq!(result.evaluations.len(), 4);
+        assert!(result.best_score > 0.9, "{}", result.best_score);
+        assert!(result
+            .evaluations
+            .iter()
+            .all(|&(_, _, s)| s <= result.best_score));
+        assert!([0.5, 5.0].contains(&result.best_c));
+        assert!([0.1, 1.0].contains(&result.best_gamma));
+    }
+
+    #[test]
+    fn rejects_empty_grids() {
+        let data = blob(10);
+        let folds = KFold::new(2, 0).unwrap();
+        assert!(grid_search(&data, &[], &[0.1], &folds).is_err());
+        assert!(grid_search(&data, &[1.0], &[], &folds).is_err());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let data = blob(15);
+        let folds = KFold::new(3, 1).unwrap();
+        let a = grid_search(&data, DEFAULT_C_GRID, DEFAULT_GAMMA_GRID, &folds).unwrap();
+        let b = grid_search(&data, DEFAULT_C_GRID, DEFAULT_GAMMA_GRID, &folds).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! SVM kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// A Mercer kernel for the SVM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `k(x, z) = x·z`
+    Linear,
+    /// `k(x, z) = exp(−γ‖x − z‖²)`
+    Rbf {
+        /// Width parameter γ.
+        gamma: f64,
+    },
+    /// `k(x, z) = (γ x·z + c₀)^d`
+    Poly {
+        /// Scale γ.
+        gamma: f64,
+        /// Offset c₀.
+        coef0: f64,
+        /// Degree d.
+        degree: u32,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the vectors have different lengths.
+    pub fn eval(&self, x: &[f64], z: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), z.len());
+        match *self {
+            Kernel::Linear => dot(x, z),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = x
+                    .iter()
+                    .zip(z)
+                    .map(|(a, b)| {
+                        let d = a - b;
+                        d * d
+                    })
+                    .sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(x, z) + coef0).powi(degree as i32),
+        }
+    }
+
+    /// Short display name for reports (`linear`, `rbf`, `poly`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Linear => "linear",
+            Kernel::Rbf { .. } => "rbf",
+            Kernel::Poly { .. } => "poly",
+        }
+    }
+}
+
+impl Default for Kernel {
+    /// RBF with γ = 0.5 — the family the paper's grid search explores.
+    fn default() -> Self {
+        Kernel::Rbf { gamma: 0.5 }
+    }
+}
+
+fn dot(x: &[f64], z: &[f64]) -> f64 {
+    x.iter().zip(z).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot_product() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_is_one_at_zero_distance_and_decays() {
+        let k = Kernel::Rbf { gamma: 1.0 };
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn poly_matches_closed_form() {
+        let k = Kernel::Poly {
+            gamma: 1.0,
+            coef0: 1.0,
+            degree: 2,
+        };
+        // (1*1 + 1)^2 = 4
+        assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        let x = [0.3, -1.2, 4.0];
+        let z = [2.0, 0.5, -0.7];
+        for k in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.7 },
+            Kernel::Poly {
+                gamma: 0.5,
+                coef0: 1.0,
+                degree: 3,
+            },
+        ] {
+            assert!((k.eval(&x, &z) - k.eval(&z, &x)).abs() < 1e-12, "{k:?}");
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! C-SVC training via the SMO algorithm.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::kernel::Kernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`SvmModel::train`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvmParams {
+    /// Soft-margin penalty C.
+    pub c: f64,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Convergence: passes over the data without an update.
+    pub max_passes: u32,
+    /// Hard iteration cap (full sweeps).
+    pub max_iters: u32,
+    /// RNG seed for the SMO partner-selection heuristic.
+    pub seed: u64,
+    /// Multiplier on `C` for +1-labeled samples (class weighting for
+    /// imbalanced data; 1.0 = unweighted).
+    pub positive_weight: f64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams {
+            c: 1.0,
+            kernel: Kernel::default(),
+            tol: 1e-3,
+            max_passes: 8,
+            max_iters: 2_000,
+            seed: 42,
+            positive_weight: 1.0,
+        }
+    }
+}
+
+impl SvmParams {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Param`] for non-positive `c`/`tol` or zero pass
+    /// and iteration budgets.
+    pub fn validate(&self) -> Result<(), MlError> {
+        if !(self.c > 0.0 && self.c.is_finite()) {
+            return Err(MlError::Param(format!("C = {} must be positive", self.c)));
+        }
+        if !(self.tol > 0.0 && self.tol.is_finite()) {
+            return Err(MlError::Param(format!("tol = {} must be positive", self.tol)));
+        }
+        if self.max_passes == 0 || self.max_iters == 0 {
+            return Err(MlError::Param("iteration budgets must be nonzero".into()));
+        }
+        if !(self.positive_weight > 0.0 && self.positive_weight.is_finite()) {
+            return Err(MlError::Param(format!(
+                "positive_weight = {} must be positive",
+                self.positive_weight
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A trained support-vector classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvmModel {
+    support_x: Vec<Vec<f64>>,
+    support_coeff: Vec<f64>, // alpha_i * y_i
+    bias: f64,
+    kernel: Kernel,
+}
+
+impl SvmModel {
+    /// Trains a C-SVC on `data` with the SMO algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Degenerate`] when the data is empty or contains a
+    /// single class, and [`MlError::Param`] for invalid hyper-parameters.
+    pub fn train(data: &Dataset, params: &SvmParams) -> Result<Self, MlError> {
+        params.validate()?;
+        let n = data.len();
+        if n == 0 {
+            return Err(MlError::Degenerate("empty training set".into()));
+        }
+        if !data.has_both_classes() {
+            return Err(MlError::Degenerate("training set has a single class".into()));
+        }
+
+        // Precompute the kernel matrix (training sets in SSRESF are the
+        // sampled fault lists — hundreds to a few thousand rows).
+        let x = data.features();
+        let y: Vec<f64> = data.labels().iter().map(|&l| f64::from(l)).collect();
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = params.kernel.eval(&x[i], &x[j]);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+        let kij = |i: usize, j: usize| k[i * n + j];
+
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        // Per-sample box constraint: weighted C for the positive class.
+        let c_of: Vec<f64> = y
+            .iter()
+            .map(|&yi| {
+                if yi > 0.0 {
+                    params.c * params.positive_weight
+                } else {
+                    params.c
+                }
+            })
+            .collect();
+        let tol = params.tol;
+
+
+        let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
+            let mut sum = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    sum += alpha[j] * y[j] * kij(i, j);
+                }
+            }
+            sum
+        };
+
+        let mut passes = 0u32;
+        let mut iters = 0u32;
+        while passes < params.max_passes && iters < params.max_iters {
+            let mut changed = 0usize;
+            for i in 0..n {
+                let e_i = f(&alpha, b, i) - y[i];
+                let violates = (y[i] * e_i < -tol && alpha[i] < c_of[i])
+                    || (y[i] * e_i > tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let e_j = f(&alpha, b, j) - y[j];
+                let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
+                // Box constraints with per-sample C (weighted classes).
+                let (low, high) = if (y[i] - y[j]).abs() > f64::EPSILON {
+                    (
+                        (a_j_old - a_i_old).max(0.0),
+                        (c_of[j].min(c_of[i] + a_j_old - a_i_old)).max(0.0),
+                    )
+                } else {
+                    (
+                        (a_i_old + a_j_old - c_of[i]).max(0.0),
+                        (a_i_old + a_j_old).min(c_of[j]),
+                    )
+                };
+                if high - low < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * kij(i, j) - kij(i, i) - kij(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut a_j = a_j_old - y[j] * (e_i - e_j) / eta;
+                a_j = a_j.clamp(low, high);
+                if (a_j - a_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
+                alpha[i] = a_i;
+                alpha[j] = a_j;
+
+                let b1 = b - e_i
+                    - y[i] * (a_i - a_i_old) * kij(i, i)
+                    - y[j] * (a_j - a_j_old) * kij(i, j);
+                let b2 = b - e_j
+                    - y[i] * (a_i - a_i_old) * kij(i, j)
+                    - y[j] * (a_j - a_j_old) * kij(j, j);
+                b = if a_i > 0.0 && a_i < c_of[i] {
+                    b1
+                } else if a_j > 0.0 && a_j < c_of[j] {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+            iters += 1;
+        }
+
+        let mut support_x = Vec::new();
+        let mut support_coeff = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-8 {
+                support_x.push(x[i].clone());
+                support_coeff.push(alpha[i] * y[i]);
+            }
+        }
+        Ok(SvmModel {
+            support_x,
+            support_coeff,
+            bias: b,
+            kernel: params.kernel,
+        })
+    }
+
+    /// Signed decision value for one sample (positive ⇒ class +1).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        let mut sum = self.bias;
+        for (sv, &coeff) in self.support_x.iter().zip(&self.support_coeff) {
+            sum += coeff * self.kernel.eval(sv, x);
+        }
+        sum
+    }
+
+    /// Predicted class (+1 / −1).
+    pub fn predict(&self, x: &[f64]) -> i8 {
+        if self.decision(x) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Predicts a batch of samples.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<i8> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of support vectors retained.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support_x.len()
+    }
+
+    /// The kernel the model was trained with.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_dataset(n_per_class: usize, separation: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n_per_class {
+            x.push(vec![rng.gen::<f64>(), rng.gen::<f64>()]);
+            y.push(-1);
+            x.push(vec![
+                rng.gen::<f64>() + separation,
+                rng.gen::<f64>() + separation,
+            ]);
+            y.push(1);
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn separable_blobs_classify_perfectly() {
+        let data = blob_dataset(25, 2.0, 1);
+        let model = SvmModel::train(&data, &SvmParams::default()).unwrap();
+        for (row, &label) in data.features().iter().zip(data.labels()) {
+            assert_eq!(model.predict(row), label);
+        }
+        assert!(model.num_support_vectors() < data.len());
+    }
+
+    #[test]
+    fn xor_needs_rbf() {
+        // XOR pattern with 4 tight clusters.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            for (cx, cy, label) in
+                [(0.0, 0.0, -1i8), (1.0, 1.0, -1), (0.0, 1.0, 1), (1.0, 0.0, 1)]
+            {
+                x.push(vec![cx + rng.gen::<f64>() * 0.2, cy + rng.gen::<f64>() * 0.2]);
+                y.push(label);
+            }
+        }
+        let data = Dataset::new(x, y).unwrap();
+        let rbf = SvmModel::train(
+            &data,
+            &SvmParams {
+                kernel: Kernel::Rbf { gamma: 4.0 },
+                c: 10.0,
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        let correct = data
+            .features()
+            .iter()
+            .zip(data.labels())
+            .filter(|(row, &l)| rbf.predict(row) == l)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.95, "{correct}");
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seed() {
+        let data = blob_dataset(15, 1.5, 7);
+        let a = SvmModel::train(&data, &SvmParams::default()).unwrap();
+        let b = SvmModel::train(&data, &SvmParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_single_class_and_empty() {
+        let one_class = Dataset::new(vec![vec![1.0], vec![2.0]], vec![1, 1]).unwrap();
+        assert!(matches!(
+            SvmModel::train(&one_class, &SvmParams::default()),
+            Err(MlError::Degenerate(_))
+        ));
+        let empty = Dataset::new(vec![], vec![]).unwrap();
+        assert!(SvmModel::train(&empty, &SvmParams::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = blob_dataset(5, 2.0, 1);
+        for params in [
+            SvmParams {
+                c: 0.0,
+                ..SvmParams::default()
+            },
+            SvmParams {
+                tol: -1.0,
+                ..SvmParams::default()
+            },
+            SvmParams {
+                max_passes: 0,
+                ..SvmParams::default()
+            },
+        ] {
+            assert!(matches!(
+                SvmModel::train(&data, &params),
+                Err(MlError::Param(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn decision_sign_matches_prediction() {
+        let data = blob_dataset(20, 2.0, 5);
+        let model = SvmModel::train(&data, &SvmParams::default()).unwrap();
+        for row in data.features() {
+            let d = model.decision(row);
+            assert_eq!(model.predict(row), if d >= 0.0 { 1 } else { -1 });
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let data = blob_dataset(10, 2.0, 9);
+        let model = SvmModel::train(&data, &SvmParams::default()).unwrap();
+        let batch = model.predict_batch(data.features());
+        for (i, row) in data.features().iter().enumerate() {
+            assert_eq!(batch[i], model.predict(row));
+        }
+    }
+
+    #[test]
+    fn positive_weight_recovers_minority_class() {
+        // 5 positives vs 50 negatives with overlap: unweighted SVM tends to
+        // ignore the minority; a weighted one must catch most positives.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..50 {
+            x.push(vec![rng.gen::<f64>() * 1.2, rng.gen::<f64>() * 1.2]);
+            y.push(-1);
+        }
+        for _ in 0..5 {
+            x.push(vec![1.0 + rng.gen::<f64>() * 0.6, 1.0 + rng.gen::<f64>() * 0.6]);
+            y.push(1);
+        }
+        let data = Dataset::new(x, y).unwrap();
+        let weighted = SvmModel::train(
+            &data,
+            &SvmParams {
+                positive_weight: 10.0,
+                kernel: Kernel::Rbf { gamma: 1.0 },
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        let caught = data
+            .features()
+            .iter()
+            .zip(data.labels())
+            .filter(|(row, &l)| l == 1 && weighted.predict(row) == 1)
+            .count();
+        assert!(caught >= 4, "caught only {caught}/5 positives");
+    }
+
+    #[test]
+    fn rejects_nonpositive_weight() {
+        let data = blob_dataset(5, 2.0, 1);
+        assert!(SvmModel::train(
+            &data,
+            &SvmParams {
+                positive_weight: 0.0,
+                ..SvmParams::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn linear_kernel_works_on_separable_data() {
+        let data = blob_dataset(20, 3.0, 11);
+        let model = SvmModel::train(
+            &data,
+            &SvmParams {
+                kernel: Kernel::Linear,
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        let correct = data
+            .features()
+            .iter()
+            .zip(data.labels())
+            .filter(|(row, &l)| model.predict(row) == l)
+            .count();
+        assert_eq!(correct, data.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type shared by all netlist operations.
+
+use std::fmt;
+
+/// Errors produced while building, elaborating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell was given the wrong number of input or output connections.
+    PinArity {
+        /// Cell instance name.
+        cell: String,
+        /// Cell kind name.
+        kind: &'static str,
+        /// Expected (inputs, outputs).
+        expected: (usize, usize),
+        /// Provided (inputs, outputs).
+        got: (usize, usize),
+    },
+    /// A name (module, cell, instance or net) was declared twice in one scope.
+    DuplicateName(String),
+    /// A referenced module does not exist in the design.
+    UnknownModule(String),
+    /// An instance connection list does not match the module port list.
+    PortMismatch {
+        /// Instance name.
+        instance: String,
+        /// Target module name.
+        module: String,
+        /// Number of ports on the module.
+        ports: usize,
+        /// Number of connections supplied.
+        connections: usize,
+    },
+    /// The design has no top module set.
+    NoTop,
+    /// A net has more than one driver after elaboration.
+    MultipleDrivers(String),
+    /// A net that is read has no driver and is not a primary input.
+    Undriven(String),
+    /// The combinational portion of the netlist contains a cycle.
+    CombinationalLoop(String),
+    /// The design's module instantiation graph is recursive.
+    RecursiveHierarchy(String),
+    /// Structural Verilog could not be parsed.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::PinArity {
+                cell,
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cell `{cell}` of kind {kind} expects {}/{} input/output pins, got {}/{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            NetlistError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            NetlistError::UnknownModule(name) => write!(f, "unknown module `{name}`"),
+            NetlistError::PortMismatch {
+                instance,
+                module,
+                ports,
+                connections,
+            } => write!(
+                f,
+                "instance `{instance}` of `{module}` supplies {connections} connections for {ports} ports"
+            ),
+            NetlistError::NoTop => write!(f, "design has no top module"),
+            NetlistError::MultipleDrivers(net) => write!(f, "net `{net}` has multiple drivers"),
+            NetlistError::Undriven(net) => write!(f, "net `{net}` is read but never driven"),
+            NetlistError::CombinationalLoop(net) => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+            NetlistError::RecursiveHierarchy(module) => {
+                write!(f, "recursive instantiation of module `{module}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = NetlistError::DuplicateName("u1".into());
+        let s = err.to_string();
+        assert!(s.starts_with("duplicate"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,389 @@
+//! Structural feature extraction for sensitive-node classification.
+//!
+//! The SSRESF SVM classifier (paper §III-E) learns from "structural features
+//! of the netlist". This module computes, for every cell of a
+//! [`FlatNetlist`], the candidate feature set from which the paper's forward
+//! feature selection (Fig. 5) picks the best subset:
+//!
+//! | index | name | description |
+//! |---|---|---|
+//! | 0 | `fanout` | loads on the cell's output net |
+//! | 1 | `fanin` | number of input pins |
+//! | 2 | `depth_fwd` | combinational depth from the nearest source |
+//! | 3 | `depth_obs` | cell hops to the nearest observation point |
+//! | 4 | `transistors` | transistor-count complexity proxy |
+//! | 5 | `is_sequential` | 1 for state-holding cells |
+//! | 6 | `hier_depth` | hierarchy depth of the instance path |
+//! | 7 | `is_cpu` | one-hot module class: CPU logic |
+//! | 8 | `is_bus` | one-hot module class: bus fabric |
+//! | 9 | `is_memory` | one-hot module class: memory |
+//! | 10 | `neighborhood` | distinct cells at distance 1 |
+//! | 11 | `activity` | toggle activity of the output net (from simulation) |
+
+use crate::flat::{CellId, Driver, FlatNetlist};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Names of the candidate features, indexed like the extracted vectors.
+pub const STRUCTURAL_FEATURE_NAMES: &[&str] = &[
+    "fanout",
+    "fanin",
+    "depth_fwd",
+    "depth_obs",
+    "transistors",
+    "is_sequential",
+    "hier_depth",
+    "is_cpu",
+    "is_bus",
+    "is_memory",
+    "neighborhood",
+    "activity",
+];
+
+/// Coarse functional class of the module containing a cell, inferred from
+/// its hierarchical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModuleClass {
+    /// CPU core logic.
+    Cpu,
+    /// Bus/interconnect fabric.
+    Bus,
+    /// Memory arrays and their periphery.
+    Memory,
+    /// Anything else (pads, clocking, glue).
+    Other,
+}
+
+impl ModuleClass {
+    /// Infers the class from a hierarchical path's segments.
+    ///
+    /// Matching is case-insensitive on well-known substrings (`cpu`/`core`,
+    /// `bus`/`axi`/`ahb`/`apb`/`noc`, `mem`/`ram`/`sram`/`dram`).
+    pub fn infer(segments: &[String]) -> ModuleClass {
+        for seg in segments {
+            let s = seg.to_ascii_lowercase();
+            if s.contains("cpu") || s.contains("core") {
+                return ModuleClass::Cpu;
+            }
+            if s.contains("bus")
+                || s.contains("axi")
+                || s.contains("ahb")
+                || s.contains("apb")
+                || s.contains("noc")
+            {
+                return ModuleClass::Bus;
+            }
+            if s.contains("mem") || s.contains("ram") {
+                return ModuleClass::Memory;
+            }
+        }
+        ModuleClass::Other
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModuleClass::Cpu => "cpu",
+            ModuleClass::Bus => "bus",
+            ModuleClass::Memory => "memory",
+            ModuleClass::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for ModuleClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The extracted feature record of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFeatures {
+    /// The cell this record describes.
+    pub cell: CellId,
+    /// Inferred module class.
+    pub module_class: ModuleClass,
+    /// Feature values, indexed like [`STRUCTURAL_FEATURE_NAMES`].
+    pub values: Vec<f64>,
+}
+
+/// Computes [`CellFeatures`] for every cell of a netlist.
+///
+/// # Example
+///
+/// ```
+/// use ssresf_netlist::{CellKind, Design, FeatureExtractor, ModuleBuilder, PortDir};
+///
+/// # fn main() -> Result<(), ssresf_netlist::NetlistError> {
+/// let mut design = Design::new();
+/// let mut mb = ModuleBuilder::new("top");
+/// let a = mb.port("a", PortDir::Input);
+/// let y = mb.port("y", PortDir::Output);
+/// mb.cell("u0", CellKind::Inv, &[a], &[y])?;
+/// let id = design.add_module(mb.finish())?;
+/// design.set_top(id)?;
+/// let flat = design.flatten()?;
+/// let features = FeatureExtractor::new(&flat)?.extract(None);
+/// assert_eq!(features.len(), 1);
+/// assert_eq!(features[0].values.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FeatureExtractor<'a> {
+    netlist: &'a FlatNetlist,
+    depth_fwd: Vec<u32>,
+    depth_obs: Vec<u32>,
+}
+
+/// Sentinel observation distance for cells from which no observation point
+/// is reachable.
+const UNOBSERVABLE: u32 = u32::MAX;
+
+impl<'a> FeatureExtractor<'a> {
+    /// Prepares depth maps for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalLoop`](crate::NetlistError::CombinationalLoop)
+    /// from levelization.
+    pub fn new(netlist: &'a FlatNetlist) -> Result<Self, crate::NetlistError> {
+        let lv = netlist.levelize()?;
+        let depth_obs = observation_distances(netlist);
+        Ok(FeatureExtractor {
+            netlist,
+            depth_fwd: lv.cell_depth,
+            depth_obs,
+        })
+    }
+
+    /// Extracts features for all cells.
+    ///
+    /// `activity` optionally supplies per-net toggle activity (in toggles per
+    /// cycle) measured by a golden simulation; when absent the activity
+    /// feature is 0 for every cell.
+    pub fn extract(&self, activity: Option<&[f64]>) -> Vec<CellFeatures> {
+        self.netlist
+            .iter_cells()
+            .map(|(id, _)| self.extract_cell(id, activity))
+            .collect()
+    }
+
+    /// Extracts the feature record of a single cell.
+    pub fn extract_cell(&self, id: CellId, activity: Option<&[f64]>) -> CellFeatures {
+        let netlist = self.netlist;
+        let cell = netlist.cell(id);
+        let path = netlist.paths().resolve(cell.path);
+        let module_class = ModuleClass::infer(path.segments());
+
+        let fanout = netlist.fanout(cell.output) as f64;
+        let fanin = cell.inputs.len() as f64;
+        let depth_fwd = f64::from(self.depth_fwd[id.index()]);
+        let depth_obs = match self.depth_obs[id.index()] {
+            UNOBSERVABLE => 64.0, // saturate: effectively unobservable
+            d => f64::from(d),
+        };
+        let transistors = f64::from(cell.kind.transistor_count());
+        let is_sequential = if cell.kind.is_sequential() { 1.0 } else { 0.0 };
+        let hier_depth = path.depth() as f64;
+        let (is_cpu, is_bus, is_memory) = match module_class {
+            ModuleClass::Cpu => (1.0, 0.0, 0.0),
+            ModuleClass::Bus => (0.0, 1.0, 0.0),
+            ModuleClass::Memory => (0.0, 0.0, 1.0),
+            ModuleClass::Other => (0.0, 0.0, 0.0),
+        };
+        let neighborhood = neighborhood_size(netlist, id) as f64;
+        let act = activity
+            .map(|a| a[cell.output.index()])
+            .unwrap_or(0.0);
+
+        CellFeatures {
+            cell: id,
+            module_class,
+            values: vec![
+                fanout,
+                fanin,
+                depth_fwd,
+                depth_obs,
+                transistors,
+                is_sequential,
+                hier_depth,
+                is_cpu,
+                is_bus,
+                is_memory,
+                neighborhood,
+                act,
+            ],
+        }
+    }
+}
+
+/// Number of distinct cells adjacent to `id` (input drivers plus output loads).
+fn neighborhood_size(netlist: &FlatNetlist, id: CellId) -> usize {
+    let cell = netlist.cell(id);
+    let mut neighbors: Vec<CellId> = Vec::new();
+    for &input in &cell.inputs {
+        if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
+            if driver != id && !neighbors.contains(&driver) {
+                neighbors.push(driver);
+            }
+        }
+    }
+    for &(load, _) in &netlist.net(cell.output).loads {
+        if load != id && !neighbors.contains(&load) {
+            neighbors.push(load);
+        }
+    }
+    neighbors.len()
+}
+
+/// Per-cell hop distance to the nearest observation point: a primary output
+/// net (distance 0) or a sequential cell's data input (distance 1).
+fn observation_distances(netlist: &FlatNetlist) -> Vec<u32> {
+    let mut dist = vec![UNOBSERVABLE; netlist.cells().len()];
+    let mut queue = VecDeque::new();
+
+    // Seeds at distance 0: cells driving a primary output.
+    for &out in netlist.primary_outputs() {
+        if let Some(Driver::Cell(cell)) = netlist.net(out).driver {
+            if dist[cell.index()] > 0 {
+                dist[cell.index()] = 0;
+                queue.push_back(cell);
+            }
+        }
+    }
+    // Seeds at distance 1: cells feeding any sequential cell.
+    for (_, cell) in netlist.iter_cells() {
+        if !cell.kind.is_sequential() {
+            continue;
+        }
+        for &input in &cell.inputs {
+            if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
+                if dist[driver.index()] > 1 {
+                    dist[driver.index()] = 1;
+                    queue.push_back(driver);
+                }
+            }
+        }
+    }
+
+    // BFS backward through input drivers. The queue was seeded in
+    // nondecreasing distance order (all 0s pushed before any 1s only if we
+    // pushed them that way — they were), so plain BFS yields shortest hops.
+    while let Some(cell) = queue.pop_front() {
+        let d = dist[cell.index()];
+        for &input in &netlist.cell(cell).inputs {
+            if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
+                if dist[driver.index()] > d + 1 {
+                    dist[driver.index()] = d + 1;
+                    queue.push_back(driver);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::design::{Design, ModuleBuilder, PortDir};
+
+    fn pipeline_netlist() -> FlatNetlist {
+        // in -> INV -> AND(+in2) -> DFF -> BUF -> out
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("pipe");
+        let clk = mb.port("clk", PortDir::Input);
+        let a = mb.port("a", PortDir::Input);
+        let b = mb.port("b", PortDir::Input);
+        let y = mb.port("y", PortDir::Output);
+        let na = mb.net("na");
+        let anded = mb.net("anded");
+        let q = mb.net("q");
+        mb.cell("u_inv", CellKind::Inv, &[a], &[na]).unwrap();
+        mb.cell("u_and", CellKind::And2, &[na, b], &[anded]).unwrap();
+        mb.cell("u_ff", CellKind::Dff, &[clk, anded], &[q]).unwrap();
+        mb.cell("u_buf", CellKind::Buf, &[q], &[y]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn module_class_inference() {
+        let class = |s: &str| ModuleClass::infer(&[s.to_string()]);
+        assert_eq!(class("u_cpu0"), ModuleClass::Cpu);
+        assert_eq!(class("riscv_core"), ModuleClass::Cpu);
+        assert_eq!(class("axi_xbar"), ModuleClass::Bus);
+        assert_eq!(class("apb_bridge"), ModuleClass::Bus);
+        assert_eq!(class("sram_bank"), ModuleClass::Memory);
+        assert_eq!(class("u_pll"), ModuleClass::Other);
+        assert_eq!(ModuleClass::infer(&[]), ModuleClass::Other);
+    }
+
+    #[test]
+    fn feature_vector_has_documented_width() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let feats = fx.extract(None);
+        assert_eq!(feats.len(), 4);
+        for f in &feats {
+            assert_eq!(f.values.len(), STRUCTURAL_FEATURE_NAMES.len());
+        }
+    }
+
+    #[test]
+    fn observation_distance_decreases_toward_outputs() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let idx = |name: &str| flat.cell_by_name(name).unwrap().index();
+        // u_buf drives the primary output: distance 0.
+        assert_eq!(fx.depth_obs[idx("u_buf")], 0);
+        // u_and feeds the DFF: distance 1.
+        assert_eq!(fx.depth_obs[idx("u_and")], 1);
+        // u_inv is one hop further.
+        assert_eq!(fx.depth_obs[idx("u_inv")], 2);
+    }
+
+    #[test]
+    fn forward_depth_matches_levelization() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let feats = fx.extract(None);
+        let inv = flat.cell_by_name("u_inv").unwrap();
+        let and = flat.cell_by_name("u_and").unwrap();
+        let depth = |id: CellId| {
+            feats
+                .iter()
+                .find(|f| f.cell == id)
+                .map(|f| f.values[2])
+                .unwrap()
+        };
+        assert_eq!(depth(inv), 0.0);
+        assert_eq!(depth(and), 1.0);
+    }
+
+    #[test]
+    fn activity_is_looked_up_per_output_net() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let mut activity = vec![0.0; flat.nets().len()];
+        let q = flat.net_by_name("q").unwrap();
+        activity[q.index()] = 0.5;
+        let ff = flat.cell_by_name("u_ff").unwrap();
+        let feats = fx.extract_cell(ff, Some(&activity));
+        assert_eq!(*feats.values.last().unwrap(), 0.5);
+    }
+
+    #[test]
+    fn sequential_flag_set_only_for_ffs() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        for f in fx.extract(None) {
+            let is_seq = flat.cell(f.cell).kind.is_sequential();
+            assert_eq!(f.values[5] == 1.0, is_seq);
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! Elaboration of hierarchical designs into flat netlists.
+//!
+//! A [`FlatNetlist`] is the form consumed by the simulator, the clustering
+//! algorithm and the feature extractor: a flat array of primitive cells, each
+//! tagged with its hierarchical instance path, plus fully resolved nets with
+//! driver/load connectivity.
+
+use crate::cell::CellKind;
+use crate::design::{Design, PortDir};
+use crate::error::NetlistError;
+use crate::path::{HierPath, PathId, PathInterner};
+use crate::ModuleId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a cell in a [`FlatNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// Raw index of the cell.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a net in a [`FlatNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// Raw index of the net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// The output pin of a cell.
+    Cell(CellId),
+    /// A primary input of the flattened design.
+    PrimaryInput,
+}
+
+/// A primitive cell in the flat netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatCell {
+    /// Leaf instance name (unique within its parent module instance).
+    pub name: String,
+    /// Hierarchical instance path of the containing module.
+    pub path: PathId,
+    /// Library cell kind.
+    pub kind: CellKind,
+    /// Input nets in canonical pin order.
+    pub inputs: Vec<NetId>,
+    /// Net driven by the output pin.
+    pub output: NetId,
+}
+
+/// A net in the flat netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlatNet {
+    /// Full hierarchical name.
+    pub name: String,
+    /// The unique driver, if any.
+    pub driver: Option<Driver>,
+    /// Cells reading this net, as `(cell, input-pin index)` pairs.
+    pub loads: Vec<(CellId, u8)>,
+}
+
+/// Result of levelizing the combinational portion of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levelization {
+    /// Topological order of all combinational cells (sources first).
+    pub order: Vec<CellId>,
+    /// Per-cell combinational depth. Sequential cells and tie cells have
+    /// depth 0; a combinational cell's depth is one more than the maximum
+    /// depth among its input drivers.
+    pub cell_depth: Vec<u32>,
+    /// Maximum combinational depth in the design.
+    pub max_depth: u32,
+}
+
+/// A flattened gate-level netlist.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlatNetlist {
+    /// Name of the top module this netlist was flattened from.
+    pub top_name: String,
+    cells: Vec<FlatCell>,
+    nets: Vec<FlatNet>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    paths: PathInterner,
+    #[serde(skip)]
+    cell_by_name: HashMap<String, CellId>,
+    #[serde(skip)]
+    net_by_name: HashMap<String, NetId>,
+}
+
+impl FlatNetlist {
+    /// All cells.
+    pub fn cells(&self) -> &[FlatCell] {
+        &self.cells
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[FlatNet] {
+        &self.nets
+    }
+
+    /// Resolves a cell id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &FlatCell {
+        &self.cells[id.index()]
+    }
+
+    /// Resolves a net id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: NetId) -> &FlatNet {
+        &self.nets[id.index()]
+    }
+
+    /// Primary inputs (top-module input ports), in port order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs (top-module output ports), in port order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// The interner resolving cell [`PathId`]s.
+    pub fn paths(&self) -> &PathInterner {
+        &self.paths
+    }
+
+    /// Full hierarchical name of a cell.
+    pub fn cell_full_name(&self, id: CellId) -> String {
+        let cell = self.cell(id);
+        self.paths.resolve(cell.path).join(&cell.name)
+    }
+
+    /// Looks a cell up by full hierarchical name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.cell_by_name.get(name).copied()
+    }
+
+    /// Looks a net up by full hierarchical name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_by_name.get(name).copied()
+    }
+
+    /// Number of cells whose output fans out to `net`'s loads.
+    pub fn fanout(&self, net: NetId) -> usize {
+        self.net(net).loads.len()
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (CellId, &FlatCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    pub(crate) fn nets_raw(&mut self) -> &mut Vec<FlatNet> {
+        &mut self.nets
+    }
+
+    pub(crate) fn cells_raw(&mut self) -> &mut Vec<FlatCell> {
+        &mut self.cells
+    }
+
+    /// Rebuilds name lookup tables (needed after deserialization).
+    pub fn rebuild_lookup(&mut self) {
+        self.paths.rebuild_lookup();
+        self.cell_by_name = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    self.paths.resolve(c.path).join(&c.name),
+                    CellId(i as u32),
+                )
+            })
+            .collect();
+        self.net_by_name = self
+            .nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), NetId(i as u32)))
+            .collect();
+    }
+
+    /// Levelizes the combinational portion of the netlist.
+    ///
+    /// Sources are primary inputs, tie cells and sequential-cell outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if combinational cells
+    /// form a cycle.
+    pub fn levelize(&self) -> Result<Levelization, NetlistError> {
+        let mut pending: Vec<u32> = vec![0; self.cells.len()];
+        let mut order = Vec::new();
+        let mut ready = Vec::new();
+        let mut cell_depth = vec![0u32; self.cells.len()];
+
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.kind.is_sequential() {
+                // Sequential cells are sources; they never wait on inputs here.
+                continue;
+            }
+            let mut count = 0;
+            for &input in &cell.inputs {
+                if let Some(Driver::Cell(driver)) = self.nets[input.index()].driver {
+                    if self.cells[driver.index()].kind.is_combinational() {
+                        count += 1;
+                    }
+                }
+            }
+            pending[i] = count;
+            if count == 0 {
+                ready.push(CellId(i as u32));
+            }
+        }
+
+        let total_comb = self
+            .cells
+            .iter()
+            .filter(|c| c.kind.is_combinational())
+            .count();
+
+        let mut max_depth = 0;
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            let cell = &self.cells[id.index()];
+            let mut depth = 0;
+            for &input in &cell.inputs {
+                if let Some(Driver::Cell(driver)) = self.nets[input.index()].driver {
+                    if self.cells[driver.index()].kind.is_combinational() {
+                        depth = depth.max(cell_depth[driver.index()] + 1);
+                    }
+                }
+            }
+            cell_depth[id.index()] = depth;
+            max_depth = max_depth.max(depth);
+            for &(load, _pin) in &self.nets[cell.output.index()].loads {
+                if self.cells[load.index()].kind.is_combinational() {
+                    pending[load.index()] -= 1;
+                    if pending[load.index()] == 0 {
+                        ready.push(load);
+                    }
+                }
+            }
+        }
+
+        if order.len() != total_comb {
+            // Find a cell stuck in the cycle for the error message.
+            let stuck = self
+                .cells
+                .iter()
+                .enumerate()
+                .find(|(i, c)| c.kind.is_combinational() && pending[*i] > 0)
+                .map(|(i, _)| self.nets[self.cells[i].output.index()].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalLoop(stuck));
+        }
+
+        Ok(Levelization {
+            order,
+            cell_depth,
+            max_depth,
+        })
+    }
+}
+
+impl Design {
+    /// Flattens the design starting from its top module.
+    ///
+    /// Every module instance is expanded recursively; submodule port nets are
+    /// merged with the parent nets they connect to. Cell and net names are
+    /// prefixed with their dotted instance path.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetlistError::NoTop`] when no top module is set.
+    /// - [`NetlistError::RecursiveHierarchy`] on instantiation cycles.
+    /// - [`NetlistError::MultipleDrivers`] / [`NetlistError::Undriven`] when
+    ///   connectivity is inconsistent after merging.
+    pub fn flatten(&self) -> Result<FlatNetlist, NetlistError> {
+        let top = self.top().ok_or(NetlistError::NoTop)?;
+        let mut flat = FlatNetlist {
+            top_name: self.module(top).name.clone(),
+            ..FlatNetlist::default()
+        };
+        let root = flat.paths.intern(HierPath::root());
+        let mut stack = Vec::new();
+
+        // Create nets for the top module and record primary ports.
+        let top_module = self.module(top);
+        let mut net_map = Vec::with_capacity(top_module.nets.len());
+        for name in &top_module.nets {
+            net_map.push(push_net(&mut flat, name.clone()));
+        }
+        for port in &top_module.ports {
+            let net = net_map[port.net.index()];
+            match port.dir {
+                PortDir::Input => {
+                    flat.primary_inputs.push(net);
+                    flat.nets[net.index()].driver = Some(Driver::PrimaryInput);
+                }
+                PortDir::Output => flat.primary_outputs.push(net),
+            }
+        }
+
+        expand(self, top, root, HierPath::root(), &net_map, &mut flat, &mut stack)?;
+
+        // Connectivity check: every net with loads (or marked as primary
+        // output) must have exactly one driver.
+        for (i, net) in flat.nets.iter().enumerate() {
+            let id = NetId(i as u32);
+            let observed = flat.primary_outputs.contains(&id);
+            if net.driver.is_none() && (!net.loads.is_empty() || observed) {
+                return Err(NetlistError::Undriven(net.name.clone()));
+            }
+        }
+
+        flat.rebuild_lookup();
+        Ok(flat)
+    }
+}
+
+fn push_net(flat: &mut FlatNetlist, name: String) -> NetId {
+    let id = NetId(flat.nets.len() as u32);
+    flat.nets.push(FlatNet {
+        name,
+        driver: None,
+        loads: Vec::new(),
+    });
+    id
+}
+
+fn expand(
+    design: &Design,
+    module_id: ModuleId,
+    path_id: PathId,
+    path: HierPath,
+    net_map: &[NetId],
+    flat: &mut FlatNetlist,
+    stack: &mut Vec<ModuleId>,
+) -> Result<(), NetlistError> {
+    if stack.contains(&module_id) {
+        return Err(NetlistError::RecursiveHierarchy(
+            design.module(module_id).name.clone(),
+        ));
+    }
+    stack.push(module_id);
+    let module = design.module(module_id);
+
+    for cell in &module.cells {
+        let cell_id = CellId(flat.cells.len() as u32);
+        let inputs: Vec<NetId> = cell.inputs.iter().map(|n| net_map[n.index()]).collect();
+        let output = net_map[cell.output.index()];
+        for (pin, &net) in inputs.iter().enumerate() {
+            flat.nets[net.index()].loads.push((cell_id, pin as u8));
+        }
+        {
+            let out_net = &mut flat.nets[output.index()];
+            if out_net.driver.is_some() {
+                return Err(NetlistError::MultipleDrivers(out_net.name.clone()));
+            }
+            out_net.driver = Some(Driver::Cell(cell_id));
+        }
+        flat.cells.push(FlatCell {
+            name: cell.name.clone(),
+            path: path_id,
+            kind: cell.kind,
+            inputs,
+            output,
+        });
+    }
+
+    for inst in &module.instances {
+        let child = design.module(inst.module);
+        let child_path = path.child(&inst.name);
+        let child_path_id = flat.paths.intern(child_path.clone());
+
+        // Bind port nets to parent nets; allocate new flat nets for the rest.
+        let mut child_map: Vec<Option<NetId>> = vec![None; child.nets.len()];
+        for (port, &conn) in child.ports.iter().zip(&inst.connections) {
+            child_map[port.net.index()] = Some(net_map[conn.index()]);
+        }
+        let mut resolved = Vec::with_capacity(child.nets.len());
+        for (i, name) in child.nets.iter().enumerate() {
+            let id = match child_map[i] {
+                Some(id) => id,
+                None => push_net(flat, child_path.join(name)),
+            };
+            resolved.push(id);
+        }
+
+        expand(design, inst.module, child_path_id, child_path, &resolved, flat, stack)?;
+    }
+
+    stack.pop();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::ModuleBuilder;
+
+    /// Two-level hierarchy: top instantiates two half adders.
+    fn hierarchical_design() -> Design {
+        let mut design = Design::new();
+
+        let mut ha = ModuleBuilder::new("half_adder");
+        let a = ha.port("a", PortDir::Input);
+        let b = ha.port("b", PortDir::Input);
+        let s = ha.port("s", PortDir::Output);
+        let c = ha.port("c", PortDir::Output);
+        ha.cell("u_xor", CellKind::Xor2, &[a, b], &[s]).unwrap();
+        ha.cell("u_and", CellKind::And2, &[a, b], &[c]).unwrap();
+        let ha_id = design.add_module(ha.finish()).unwrap();
+
+        let mut top = ModuleBuilder::new("top");
+        let x = top.port("x", PortDir::Input);
+        let y = top.port("y", PortDir::Input);
+        let z = top.port("z", PortDir::Input);
+        let sum = top.port("sum", PortDir::Output);
+        let carry = top.port("carry", PortDir::Output);
+        let s0 = top.net("s0");
+        let c0 = top.net("c0");
+        let c1 = top.net("c1");
+        top.instance("u_ha0", ha_id, &[x, y, s0, c0]).unwrap();
+        top.instance("u_ha1", ha_id, &[s0, z, sum, c1]).unwrap();
+        top.cell("u_or", CellKind::Or2, &[c0, c1], &[carry]).unwrap();
+        let top_id = design.add_module(top.finish()).unwrap();
+        design.set_top(top_id).unwrap();
+        design
+    }
+
+    #[test]
+    fn flatten_counts_cells_and_ports() {
+        let flat = hierarchical_design().flatten().unwrap();
+        assert_eq!(flat.cells().len(), 5); // 2 per half adder + 1 OR
+        assert_eq!(flat.primary_inputs().len(), 3);
+        assert_eq!(flat.primary_outputs().len(), 2);
+    }
+
+    #[test]
+    fn flatten_assigns_paths() {
+        let flat = hierarchical_design().flatten().unwrap();
+        let names: Vec<String> = flat
+            .iter_cells()
+            .map(|(id, _)| flat.cell_full_name(id))
+            .collect();
+        assert!(names.contains(&"u_ha0.u_xor".to_string()));
+        assert!(names.contains(&"u_ha1.u_and".to_string()));
+        assert!(names.contains(&"u_or".to_string()));
+    }
+
+    #[test]
+    fn flatten_merges_port_nets() {
+        let flat = hierarchical_design().flatten().unwrap();
+        // The net s0 connects u_ha0's output to u_ha1's input — one flat net.
+        let s0 = flat.net_by_name("s0").unwrap();
+        assert!(matches!(flat.net(s0).driver, Some(Driver::Cell(_))));
+        assert_eq!(flat.net(s0).loads.len(), 2); // u_ha1.u_xor and u_ha1.u_and
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        let flat = hierarchical_design().flatten().unwrap();
+        for (id, _) in flat.iter_cells() {
+            let name = flat.cell_full_name(id);
+            assert_eq!(flat.cell_by_name(&name), Some(id));
+        }
+    }
+
+    #[test]
+    fn flatten_requires_top() {
+        let design = Design::new();
+        assert_eq!(design.flatten().unwrap_err(), NetlistError::NoTop);
+    }
+
+    #[test]
+    fn undriven_loaded_net_is_rejected() {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("bad");
+        let y = mb.port("y", PortDir::Output);
+        let floating = mb.net("floating");
+        mb.cell("u0", CellKind::Buf, &[floating], &[y]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        assert!(matches!(
+            design.flatten().unwrap_err(),
+            NetlistError::Undriven(_)
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("bad");
+        let a = mb.port("a", PortDir::Input);
+        let y = mb.port("y", PortDir::Output);
+        mb.cell("u0", CellKind::Buf, &[a], &[y]).unwrap();
+        mb.cell("u1", CellKind::Inv, &[a], &[y]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        assert!(matches!(
+            design.flatten().unwrap_err(),
+            NetlistError::MultipleDrivers(_)
+        ));
+    }
+
+    #[test]
+    fn levelize_orders_by_depth() {
+        let flat = hierarchical_design().flatten().unwrap();
+        let lv = flat.levelize().unwrap();
+        assert_eq!(lv.order.len(), 5);
+        // The OR gate consumes c0 (depth 1) and c1 (depth 2 via s0) so its
+        // depth must exceed both half-adder gates it depends on.
+        let or_id = flat.cell_by_name("u_or").unwrap();
+        let ha1_and = flat.cell_by_name("u_ha1.u_and").unwrap();
+        assert!(lv.cell_depth[or_id.index()] > lv.cell_depth[ha1_and.index()]);
+        assert_eq!(lv.max_depth, lv.cell_depth[or_id.index()]);
+    }
+
+    #[test]
+    fn levelize_detects_loop() {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("looped");
+        let a = mb.port("a", PortDir::Input);
+        let y = mb.port("y", PortDir::Output);
+        let w = mb.net("w");
+        mb.cell("u0", CellKind::And2, &[a, y], &[w]).unwrap();
+        mb.cell("u1", CellKind::Buf, &[w], &[y]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        let flat = design.flatten().unwrap();
+        assert!(matches!(
+            flat.levelize().unwrap_err(),
+            NetlistError::CombinationalLoop(_)
+        ));
+    }
+
+    #[test]
+    fn sequential_cells_break_loops() {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("toggler");
+        let clk = mb.port("clk", PortDir::Input);
+        let q = mb.port("q", PortDir::Output);
+        let nq = mb.net("nq");
+        mb.cell("u_inv", CellKind::Inv, &[q], &[nq]).unwrap();
+        mb.cell("u_ff", CellKind::Dff, &[clk, nq], &[q]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        let flat = design.flatten().unwrap();
+        let lv = flat.levelize().unwrap();
+        assert_eq!(lv.order.len(), 1); // just the inverter
+        assert_eq!(lv.max_depth, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Hierarchical instance paths and their interner.
+//!
+//! Every cell in a [`FlatNetlist`](crate::FlatNetlist) carries the path of
+//! module instances from the top module down to the module containing the
+//! cell. The SSRESF clustering distance (paper Eq. 1) compares these paths
+//! layer by layer, so paths are stored as interned segment sequences that
+//! are cheap to compare.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interned identifier of a hierarchical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathId(pub(crate) u32);
+
+impl PathId {
+    /// Raw index into the owning [`PathInterner`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A hierarchical instance path: the sequence of instance names from the top
+/// module (exclusive) down to the containing module.
+///
+/// The top-level module itself is represented by the empty path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct HierPath {
+    segments: Vec<String>,
+}
+
+impl HierPath {
+    /// The empty path (a cell directly inside the top module).
+    pub fn root() -> Self {
+        HierPath::default()
+    }
+
+    /// Builds a path from instance-name segments.
+    pub fn from_segments<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        HierPath {
+            segments: segments.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Segments of the path, outermost first.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Hierarchy depth (number of instance levels below the top module).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns a new path with `segment` appended.
+    pub fn child(&self, segment: &str) -> Self {
+        let mut segments = self.segments.clone();
+        segments.push(segment.to_owned());
+        HierPath { segments }
+    }
+
+    /// The segment at 1-based layer `layer`, or `None` past the path's depth.
+    ///
+    /// Layer 1 is the instance directly inside the top module. This is the
+    /// `Module(A, Li)` accessor used by the Eq.-1 clustering distance.
+    pub fn layer(&self, layer: usize) -> Option<&str> {
+        if layer == 0 {
+            return None;
+        }
+        self.segments.get(layer - 1).map(String::as_str)
+    }
+
+    /// Joins the segments with `.`, the conventional hierarchical separator.
+    pub fn dotted(&self) -> String {
+        self.segments.join(".")
+    }
+
+    /// Joins the path and a leaf name with `.`; just the leaf for root paths.
+    pub fn join(&self, leaf: &str) -> String {
+        if self.segments.is_empty() {
+            leaf.to_owned()
+        } else {
+            format!("{}.{leaf}", self.dotted())
+        }
+    }
+}
+
+impl std::fmt::Display for HierPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.dotted())
+    }
+}
+
+/// Deduplicating store of [`HierPath`]s.
+///
+/// Flattening a netlist produces one path per module instance but thousands
+/// of cells per instance; interning lets every cell store a 4-byte [`PathId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PathInterner {
+    paths: Vec<HierPath>,
+    #[serde(skip)]
+    lookup: HashMap<HierPath, PathId>,
+}
+
+impl PathInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        PathInterner::default()
+    }
+
+    /// Interns `path`, returning its stable identifier.
+    pub fn intern(&mut self, path: HierPath) -> PathId {
+        if let Some(&id) = self.lookup.get(&path) {
+            return id;
+        }
+        let id = PathId(u32::try_from(self.paths.len()).expect("more than u32::MAX paths"));
+        self.lookup.insert(path.clone(), id);
+        self.paths.push(path);
+        id
+    }
+
+    /// Resolves an identifier back to its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this interner.
+    pub fn resolve(&self, id: PathId) -> &HierPath {
+        &self.paths[id.index()]
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no path has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterates over `(id, path)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &HierPath)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PathId(i as u32), p))
+    }
+
+    /// Rebuilds the reverse-lookup table (needed after deserialization).
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), PathId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_path_is_empty_and_displays_empty() {
+        let root = HierPath::root();
+        assert_eq!(root.depth(), 0);
+        assert_eq!(root.to_string(), "");
+        assert_eq!(root.join("u1"), "u1");
+    }
+
+    #[test]
+    fn child_appends_segment() {
+        let p = HierPath::root().child("cpu").child("alu");
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.dotted(), "cpu.alu");
+        assert_eq!(p.join("u_nand"), "cpu.alu.u_nand");
+    }
+
+    #[test]
+    fn layer_is_one_based() {
+        let p = HierPath::from_segments(["cpu", "alu", "adder"]);
+        assert_eq!(p.layer(0), None);
+        assert_eq!(p.layer(1), Some("cpu"));
+        assert_eq!(p.layer(3), Some("adder"));
+        assert_eq!(p.layer(4), None);
+    }
+
+    #[test]
+    fn interner_deduplicates() {
+        let mut interner = PathInterner::new();
+        let a = interner.intern(HierPath::from_segments(["cpu"]));
+        let b = interner.intern(HierPath::from_segments(["bus"]));
+        let a2 = interner.intern(HierPath::from_segments(["cpu"]));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a).dotted(), "cpu");
+    }
+
+    #[test]
+    fn rebuild_lookup_restores_dedup_after_clone_without_map() {
+        let mut interner = PathInterner::new();
+        interner.intern(HierPath::from_segments(["cpu"]));
+        let mut copy = PathInterner {
+            paths: interner.paths.clone(),
+            lookup: HashMap::new(),
+        };
+        copy.rebuild_lookup();
+        let id = copy.intern(HierPath::from_segments(["cpu"]));
+        assert_eq!(copy.len(), 1);
+        assert_eq!(copy.resolve(id).dotted(), "cpu");
+    }
+}

@@ -1,0 +1,161 @@
+//! Tokenizer for the structural-Verilog subset.
+
+use crate::error::NetlistError;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds of the structural subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// `module`, `endmodule`, `input`, `output`, `wire` or an identifier.
+    Ident(String),
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Dot,
+}
+
+/// Special comment directive `// top: <name>` recognized by the parser.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct Directives {
+    pub top: Option<String>,
+}
+
+/// Tokenizes `source`, stripping `//` line comments and `/* */` block
+/// comments, and collecting `// top:` directives.
+pub(crate) fn lex(source: &str) -> Result<(Vec<Token>, Directives), NetlistError> {
+    let mut tokens = Vec::new();
+    let mut directives = Directives::default();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = source[i..]
+                    .find('\n')
+                    .map(|o| i + o)
+                    .unwrap_or(bytes.len());
+                let comment = &source[i + 2..end];
+                if let Some(rest) = comment.trim().strip_prefix("top:") {
+                    directives.top = Some(rest.trim().to_owned());
+                }
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let close = source[i + 2..].find("*/").ok_or(NetlistError::Parse {
+                    line,
+                    message: "unterminated block comment".into(),
+                })?;
+                line += source[i..i + 2 + close].matches('\n').count();
+                i += close + 4;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, line });
+                i += 1;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(source[start..i].to_owned()),
+                    line,
+                });
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok((tokens, directives))
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '\\'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '$'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[Token]) -> Vec<&str> {
+        tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lexes_basic_module() {
+        let (tokens, _) = lex("module m (a);\nendmodule\n").unwrap();
+        assert_eq!(idents(&tokens), vec!["module", "m", "a", "endmodule"]);
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Semi));
+    }
+
+    #[test]
+    fn strips_comments_and_reads_top_directive() {
+        let src = "// top: soc\n/* block\ncomment */ module soc ( ) ; endmodule";
+        let (tokens, dir) = lex(src).unwrap();
+        assert_eq!(dir.top.as_deref(), Some("soc"));
+        assert_eq!(idents(&tokens), vec!["module", "soc", "endmodule"]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let (tokens, _) = lex("module\nm\n(\n)\n;\nendmodule").unwrap();
+        assert_eq!(tokens.last().unwrap().line, 6);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("module m #; endmodule").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        let err = lex("/* never closed").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+    }
+}

@@ -1,0 +1,36 @@
+//! Structural-Verilog interchange.
+//!
+//! SSRESF consumes and produces gate-level netlists in a structural subset of
+//! IEEE 1364 Verilog: `module`/`endmodule`, scalar `input`/`output`/`wire`
+//! declarations, and named-connection instantiations of library cells and
+//! submodules. [`write_verilog`] emits this subset; [`parse_verilog`] reads
+//! it back, so designs round-trip losslessly.
+//!
+//! # Example
+//!
+//! ```
+//! use ssresf_netlist::{CellKind, Design, ModuleBuilder, PortDir};
+//! use ssresf_netlist::verilog::{parse_verilog, write_verilog};
+//!
+//! # fn main() -> Result<(), ssresf_netlist::NetlistError> {
+//! let mut design = Design::new();
+//! let mut mb = ModuleBuilder::new("inv_top");
+//! let a = mb.port("a", PortDir::Input);
+//! let y = mb.port("y", PortDir::Output);
+//! mb.cell("u0", CellKind::Inv, &[a], &[y])?;
+//! let id = design.add_module(mb.finish())?;
+//! design.set_top(id)?;
+//!
+//! let text = write_verilog(&design);
+//! let reparsed = parse_verilog(&text)?;
+//! assert_eq!(reparsed.module_by_name("inv_top").is_some(), true);
+//! # Ok(())
+//! # }
+//! ```
+
+mod lexer;
+mod parser;
+mod writer;
+
+pub use parser::parse_verilog;
+pub use writer::write_verilog;

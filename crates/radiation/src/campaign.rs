@@ -1,0 +1,317 @@
+//! Flux-driven fault-campaign generation.
+//!
+//! Given a netlist, an environment and an exposure window, a [`FluxCampaign`]
+//! turns the physics into concrete simulator faults: particle strikes arrive
+//! as a Poisson process with rate `flux × Σσ_cell(LET)`, each strike picks a
+//! victim cell with probability proportional to its cross-section, and
+//! becomes an SEU (sequential victim) or a SET with a LET-dependent pulse
+//! width (combinational victim).
+
+use crate::database::SoftErrorDatabase;
+use crate::environment::RadiationEnvironment;
+use crate::error::RadiationError;
+use crate::pulse::PulseWidthModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use ssresf_netlist::{CellId, FlatNetlist};
+use ssresf_sim::{Fault, SetFault, SeuFault};
+
+/// Configuration of a flux-driven campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// The particle environment.
+    pub environment: RadiationEnvironment,
+    /// Number of simulated clock cycles in the exposure window.
+    pub exposure_cycles: u64,
+    /// Wall-clock duration of one simulated cycle, in seconds.
+    pub cycle_time_s: f64,
+    /// SET pulse-width model.
+    pub pulse_model: PulseWidthModel,
+}
+
+impl CampaignConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RadiationError::Config`] when the window is empty or the
+    /// cycle time non-positive.
+    pub fn validate(&self) -> Result<(), RadiationError> {
+        if self.exposure_cycles == 0 {
+            return Err(RadiationError::Config("exposure_cycles is 0".into()));
+        }
+        if !(self.cycle_time_s > 0.0 && self.cycle_time_s.is_finite()) {
+            return Err(RadiationError::Config(format!(
+                "cycle_time_s {} must be positive",
+                self.cycle_time_s
+            )));
+        }
+        Ok(())
+    }
+
+    /// Exposure duration in seconds.
+    pub fn exposure_seconds(&self) -> f64 {
+        self.exposure_cycles as f64 * self.cycle_time_s
+    }
+}
+
+/// A fault produced by a campaign, tagged with its victim cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedFault {
+    /// The struck cell.
+    pub cell: CellId,
+    /// The simulator fault to inject.
+    pub fault: Fault,
+}
+
+/// Poisson-arrival fault generator for one netlist and environment.
+#[derive(Debug)]
+pub struct FluxCampaign<'a> {
+    database: &'a SoftErrorDatabase,
+    config: CampaignConfig,
+}
+
+impl<'a> FluxCampaign<'a> {
+    /// Creates a campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CampaignConfig::validate`] failures.
+    pub fn new(
+        database: &'a SoftErrorDatabase,
+        config: CampaignConfig,
+    ) -> Result<Self, RadiationError> {
+        config.validate()?;
+        Ok(FluxCampaign { database, config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Per-cell upset rates (events/second) at this campaign's LET and flux.
+    pub fn cell_rates(&self, netlist: &FlatNetlist) -> Vec<f64> {
+        let env = self.config.environment;
+        let flux = env.flux.value();
+        netlist
+            .iter_cells()
+            .map(|(_, cell)| {
+                let sigma = if cell.kind.is_sequential() {
+                    self.database.seu_cross_section(cell.kind, env.let_value)
+                } else {
+                    self.database.set_cross_section(cell.kind, env.let_value)
+                };
+                sigma * flux
+            })
+            .collect()
+    }
+
+    /// Expected number of strikes over the exposure window.
+    pub fn expected_events(&self, netlist: &FlatNetlist) -> f64 {
+        self.cell_rates(netlist).iter().sum::<f64>() * self.config.exposure_seconds()
+    }
+
+    /// Generates the concrete fault list for one exposure.
+    ///
+    /// The number of faults is Poisson-distributed around
+    /// [`expected_events`](FluxCampaign::expected_events); victims are drawn
+    /// with probability proportional to their cross-sections; strike times
+    /// are uniform over the window.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        netlist: &FlatNetlist,
+        rng: &mut R,
+    ) -> Vec<GeneratedFault> {
+        let rates = self.cell_rates(netlist);
+        let total: f64 = rates.iter().sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let lambda = total * self.config.exposure_seconds();
+        let count = sample_poisson(lambda, rng);
+
+        // Cumulative weights for victim selection.
+        let mut cumulative = Vec::with_capacity(rates.len());
+        let mut acc = 0.0;
+        for &r in &rates {
+            acc += r;
+            cumulative.push(acc);
+        }
+
+        let mut faults = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let pick = rng.gen::<f64>() * total;
+            let idx = cumulative.partition_point(|&c| c < pick).min(rates.len() - 1);
+            let cell_id = CellId(idx as u32);
+            let cell = netlist.cell(cell_id);
+            let cycle = rng.gen_range(0..self.config.exposure_cycles);
+            let offset = rng.gen::<f64>() * 0.999;
+            let fault = if cell.kind.is_sequential() {
+                Fault::Seu(SeuFault {
+                    cell: cell_id,
+                    cycle,
+                    offset,
+                })
+            } else {
+                Fault::Set(SetFault {
+                    net: cell.output,
+                    cycle,
+                    offset,
+                    width: self
+                        .config
+                        .pulse_model
+                        .sample_width(self.config.environment.let_value, rng),
+                })
+            };
+            faults.push(GeneratedFault {
+                cell: cell_id,
+                fault,
+            });
+        }
+        faults
+    }
+}
+
+/// Samples a Poisson-distributed count.
+///
+/// Uses Knuth's product method for small rates and a normal approximation
+/// above `λ = 64`.
+pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "bad lambda {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let limit = (-lambda).exp();
+        let mut product = 1.0;
+        let mut count = 0u64;
+        loop {
+            product *= rng.gen::<f64>();
+            if product <= limit {
+                return count;
+            }
+            count += 1;
+        }
+    }
+    // Box-Muller normal approximation for large rates.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let sample = lambda + lambda.sqrt() * z;
+    sample.max(0.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Flux, Let};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssresf_netlist::{CellKind, Design, ModuleBuilder, PortDir};
+
+    fn small_netlist() -> FlatNetlist {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("dut");
+        let clk = mb.port("clk", PortDir::Input);
+        let a = mb.port("a", PortDir::Input);
+        let y = mb.port("y", PortDir::Output);
+        let na = mb.net("na");
+        mb.cell("u_inv", CellKind::Inv, &[a], &[na]).unwrap();
+        mb.cell("u_ff", CellKind::Dff, &[clk, na], &[y]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    fn config(flux: f64) -> CampaignConfig {
+        CampaignConfig {
+            environment: RadiationEnvironment::new(Let::new(37.0), Flux::new(flux)),
+            exposure_cycles: 100,
+            cycle_time_s: 10e-9,
+            pulse_model: PulseWidthModel::standard(),
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = config(1e8);
+        cfg.exposure_cycles = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config(1e8);
+        cfg.cycle_time_s = 0.0;
+        assert!(cfg.validate().is_err());
+        assert!(config(1e8).validate().is_ok());
+    }
+
+    #[test]
+    fn expected_events_scale_with_flux() {
+        let db = SoftErrorDatabase::standard();
+        let netlist = small_netlist();
+        let low = FluxCampaign::new(&db, config(1e8)).unwrap();
+        let high = FluxCampaign::new(&db, config(8e8)).unwrap();
+        let el = low.expected_events(&netlist);
+        let eh = high.expected_events(&netlist);
+        assert!(eh > 7.9 * el && eh < 8.1 * el);
+    }
+
+    #[test]
+    fn generated_faults_match_victim_types() {
+        let db = SoftErrorDatabase::standard();
+        let netlist = small_netlist();
+        // Astronomically high flux so we reliably get faults.
+        let campaign = FluxCampaign::new(&db, config(1e17)).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let faults = campaign.generate(&netlist, &mut rng);
+        assert!(!faults.is_empty());
+        for gf in &faults {
+            let kind = netlist.cell(gf.cell).kind;
+            match gf.fault {
+                Fault::Seu(f) => {
+                    assert!(kind.is_sequential());
+                    assert_eq!(f.cell, gf.cell);
+                    assert!(f.cycle < 100);
+                }
+                Fault::Set(f) => {
+                    assert!(kind.is_combinational());
+                    assert_eq!(f.net, netlist.cell(gf.cell).output);
+                    assert!(f.width > 0.0 && f.width <= 0.5);
+                }
+            }
+            assert!(gf.fault.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &lambda in &[0.5, 3.0, 20.0, 200.0] {
+            let n = 3000;
+            let sum: u64 = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_yields_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let db = SoftErrorDatabase::standard();
+        let netlist = small_netlist();
+        let campaign = FluxCampaign::new(&db, config(1e16)).unwrap();
+        let a = campaign.generate(&netlist, &mut StdRng::seed_from_u64(42));
+        let b = campaign.generate(&netlist, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cell, y.cell);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The common interface of the simulation engines.
+
+use crate::inject::Fault;
+use crate::value::Logic;
+use ssresf_netlist::{CellId, FlatNetlist, NetId};
+
+/// A gate-level logic simulation engine.
+///
+/// Both [`EventDrivenEngine`](crate::EventDrivenEngine) (the VCS stand-in)
+/// and [`LevelizedEngine`](crate::LevelizedEngine) (the OSS-CVC stand-in)
+/// implement this trait, so fault-injection campaigns are engine-agnostic.
+///
+/// The driving protocol per clock cycle is:
+/// 1. [`poke`](Engine::poke) primary inputs (other than the clock),
+/// 2. [`step_cycle`](Engine::step_cycle) — the engine toggles the clock and
+///    lets the netlist settle,
+/// 3. [`peek`](Engine::peek) or [`sample`](Engine::sample) outputs.
+pub trait Engine {
+    /// Short engine name used in reports (e.g. `"event-driven"`).
+    fn name(&self) -> &'static str;
+
+    /// The netlist under simulation.
+    fn netlist(&self) -> &FlatNetlist;
+
+    /// Sets a primary input for the upcoming cycle.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `net` is not a primary input (the clock is driven by the
+    /// engine and must not be poked).
+    fn poke(&mut self, net: NetId, value: Logic);
+
+    /// Current value of a net.
+    fn peek(&self, net: NetId) -> Logic;
+
+    /// Directly sets the stored state of a sequential cell (memory preload,
+    /// deterministic initialization).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `cell` is combinational.
+    fn set_cell_state(&mut self, cell: CellId, value: Logic);
+
+    /// Stored state of a sequential cell.
+    fn cell_state(&self, cell: CellId) -> Logic;
+
+    /// Schedules a fault; it fires when simulation reaches its cycle.
+    fn schedule_fault(&mut self, fault: Fault);
+
+    /// Advances one full clock cycle.
+    fn step_cycle(&mut self);
+
+    /// Number of completed cycles.
+    fn cycle(&self) -> u64;
+
+    /// Samples the current values of `nets`.
+    fn sample(&self, nets: &[NetId]) -> Vec<Logic> {
+        nets.iter().map(|&n| self.peek(n)).collect()
+    }
+
+    /// Cumulative toggle count per net since construction.
+    fn activity(&self) -> &[u64];
+
+    /// Per-net toggle activity normalized by completed cycles.
+    fn activity_per_cycle(&self) -> Vec<f64> {
+        let cycles = self.cycle().max(1) as f64;
+        self.activity().iter().map(|&t| t as f64 / cycles).collect()
+    }
+}

@@ -1,0 +1,63 @@
+//! Simulation error type.
+
+use ssresf_netlist::NetlistError;
+use std::fmt;
+
+/// Errors produced while constructing or driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The netlist is not simulatable (e.g. combinational loop).
+    Netlist(NetlistError),
+    /// The designated clock (or another poked net) is not a primary input.
+    NotAnInput(String),
+    /// A VCD file could not be parsed.
+    VcdParse {
+        /// 1-based line of the problem.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Netlist(e) => write!(f, "netlist not simulatable: {e}"),
+            SimError::NotAnInput(name) => write!(f, "net `{name}` is not a primary input"),
+            SimError::VcdParse { line, message } => {
+                write!(f, "vcd parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let err = SimError::Netlist(NetlistError::NoTop);
+        assert!(err.to_string().contains("not simulatable"));
+        assert!(err.source().is_some());
+        let err = SimError::NotAnInput("clk".into());
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("clk"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Cell evaluation semantics shared by both simulation engines.
+
+use crate::value::Logic;
+use ssresf_netlist::CellKind;
+
+/// Evaluates a combinational cell given its input pin values (in canonical
+/// pin order).
+///
+/// # Panics
+///
+/// Panics if `kind` is sequential or `inputs.len()` does not match the kind's
+/// arity; both indicate an engine bug, not user error.
+pub fn eval_comb(kind: CellKind, inputs: &[Logic]) -> Logic {
+    assert!(
+        kind.is_combinational(),
+        "eval_comb called on sequential cell {kind}"
+    );
+    assert_eq!(inputs.len(), kind.num_inputs(), "arity mismatch for {kind}");
+    match kind {
+        CellKind::Tie0 => Logic::Zero,
+        CellKind::Tie1 => Logic::One,
+        CellKind::Buf => inputs[0].or(Logic::Zero),
+        CellKind::Inv => inputs[0].not(),
+        CellKind::And2 => inputs[0].and(inputs[1]),
+        CellKind::Or2 => inputs[0].or(inputs[1]),
+        CellKind::Nand2 => inputs[0].and(inputs[1]).not(),
+        CellKind::Nor2 => inputs[0].or(inputs[1]).not(),
+        CellKind::Xor2 => inputs[0].xor(inputs[1]),
+        CellKind::Xnor2 => inputs[0].xor(inputs[1]).not(),
+        CellKind::And3 => inputs[0].and(inputs[1]).and(inputs[2]),
+        CellKind::Or3 => inputs[0].or(inputs[1]).or(inputs[2]),
+        CellKind::Nand3 => inputs[0].and(inputs[1]).and(inputs[2]).not(),
+        CellKind::Nor3 => inputs[0].or(inputs[1]).or(inputs[2]).not(),
+        CellKind::Mux2 => inputs[2].mux(inputs[0], inputs[1]),
+        CellKind::Aoi21 => inputs[0].and(inputs[1]).or(inputs[2]).not(),
+        CellKind::Oai21 => inputs[0].or(inputs[1]).and(inputs[2]).not(),
+        _ => unreachable!("sequential kinds rejected above"),
+    }
+}
+
+/// Pin index of the clocking pin for a sequential cell (`CLK`, or `EN` for
+/// latches).
+pub fn clock_pin(kind: CellKind) -> usize {
+    debug_assert!(kind.is_sequential());
+    0
+}
+
+/// Asynchronous override of a sequential cell's state, evaluated continuously
+/// (not just at clock edges). Returns `Some(state)` while an async control is
+/// active — e.g. `RSTN == 0` forces the state to `0`.
+pub fn async_override(kind: CellKind, inputs: &[Logic]) -> Option<Logic> {
+    match kind {
+        CellKind::Dffr | CellKind::Dffre => match inputs[2] {
+            Logic::Zero => Some(Logic::Zero),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Computes the state a sequential cell captures at a rising clock edge,
+/// given the settled input values and the current state.
+///
+/// For latches this is the transparent-phase value (`EN == 1` passes `D`).
+///
+/// # Panics
+///
+/// Panics if `kind` is combinational.
+pub fn next_state(kind: CellKind, inputs: &[Logic], state: Logic) -> Logic {
+    assert!(kind.is_sequential(), "next_state called on {kind}");
+    if let Some(forced) = async_override(kind, inputs) {
+        return forced;
+    }
+    match kind {
+        CellKind::Dff => inputs[1],
+        CellKind::Dffr => inputs[1],
+        CellKind::Dffe => match inputs[2] {
+            Logic::One => inputs[1],
+            Logic::Zero => state,
+            _ => Logic::X,
+        },
+        CellKind::Dffre => match inputs[3] {
+            Logic::One => inputs[1],
+            Logic::Zero => state,
+            _ => Logic::X,
+        },
+        CellKind::Latch => match inputs[0] {
+            Logic::One => inputs[1],
+            Logic::Zero => state,
+            _ => Logic::X,
+        },
+        CellKind::SramBit | CellKind::DramBit | CellKind::RadHardBit => match inputs[1] {
+            Logic::One => inputs[2],
+            Logic::Zero => state,
+            _ => Logic::X,
+        },
+        _ => unreachable!("combinational kinds rejected above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ALL_LOGIC;
+    use ssresf_netlist::cell::ALL_CELL_KINDS;
+
+    const L0: Logic = Logic::Zero;
+    const L1: Logic = Logic::One;
+    const LX: Logic = Logic::X;
+
+    #[test]
+    fn basic_gates() {
+        assert_eq!(eval_comb(CellKind::Tie0, &[]), L0);
+        assert_eq!(eval_comb(CellKind::Tie1, &[]), L1);
+        assert_eq!(eval_comb(CellKind::Buf, &[L1]), L1);
+        assert_eq!(eval_comb(CellKind::Buf, &[Logic::Z]), LX);
+        assert_eq!(eval_comb(CellKind::Inv, &[L0]), L1);
+        assert_eq!(eval_comb(CellKind::Nand2, &[L1, L1]), L0);
+        assert_eq!(eval_comb(CellKind::Nand2, &[L0, LX]), L1);
+        assert_eq!(eval_comb(CellKind::Nor2, &[L0, L0]), L1);
+        assert_eq!(eval_comb(CellKind::Xnor2, &[L1, L1]), L1);
+    }
+
+    #[test]
+    fn three_input_gates() {
+        assert_eq!(eval_comb(CellKind::And3, &[L1, L1, L1]), L1);
+        assert_eq!(eval_comb(CellKind::And3, &[L1, L0, LX]), L0);
+        assert_eq!(eval_comb(CellKind::Or3, &[L0, L0, L1]), L1);
+        assert_eq!(eval_comb(CellKind::Nand3, &[L1, L1, L1]), L0);
+        assert_eq!(eval_comb(CellKind::Nor3, &[L0, L0, L0]), L1);
+    }
+
+    #[test]
+    fn complex_gates() {
+        // AOI21: !((A&B)|C)
+        assert_eq!(eval_comb(CellKind::Aoi21, &[L1, L1, L0]), L0);
+        assert_eq!(eval_comb(CellKind::Aoi21, &[L0, L1, L0]), L1);
+        assert_eq!(eval_comb(CellKind::Aoi21, &[L0, L0, L1]), L0);
+        // OAI21: !((A|B)&C)
+        assert_eq!(eval_comb(CellKind::Oai21, &[L0, L0, L1]), L1);
+        assert_eq!(eval_comb(CellKind::Oai21, &[L1, L0, L1]), L0);
+        assert_eq!(eval_comb(CellKind::Oai21, &[L1, L1, L0]), L1);
+    }
+
+    #[test]
+    fn mux_gate() {
+        assert_eq!(eval_comb(CellKind::Mux2, &[L0, L1, L0]), L0);
+        assert_eq!(eval_comb(CellKind::Mux2, &[L0, L1, L1]), L1);
+        assert_eq!(eval_comb(CellKind::Mux2, &[L1, L1, LX]), L1);
+    }
+
+    #[test]
+    fn all_comb_kinds_total_over_logic_domain() {
+        // Every combinational cell must produce a value for every input
+        // combination without panicking.
+        for &kind in ALL_CELL_KINDS {
+            if !kind.is_combinational() {
+                continue;
+            }
+            let arity = kind.num_inputs();
+            let mut combos = vec![vec![]];
+            for _ in 0..arity {
+                combos = combos
+                    .into_iter()
+                    .flat_map(|c: Vec<Logic>| {
+                        ALL_LOGIC.iter().map(move |&v| {
+                            let mut c = c.clone();
+                            c.push(v);
+                            c
+                        })
+                    })
+                    .collect();
+            }
+            for combo in combos {
+                let _ = eval_comb(kind, &combo);
+            }
+        }
+    }
+
+    #[test]
+    fn dff_latches_d() {
+        assert_eq!(next_state(CellKind::Dff, &[L1, L1], L0), L1);
+        assert_eq!(next_state(CellKind::Dff, &[L1, L0], L1), L0);
+    }
+
+    #[test]
+    fn dffr_async_reset_dominates() {
+        assert_eq!(async_override(CellKind::Dffr, &[L0, L1, L0]), Some(L0));
+        assert_eq!(async_override(CellKind::Dffr, &[L0, L1, L1]), None);
+        assert_eq!(next_state(CellKind::Dffr, &[L1, L1, L0], L1), L0);
+        assert_eq!(next_state(CellKind::Dffr, &[L1, L1, L1], L0), L1);
+    }
+
+    #[test]
+    fn dffe_holds_when_disabled() {
+        assert_eq!(next_state(CellKind::Dffe, &[L1, L1, L0], L0), L0);
+        assert_eq!(next_state(CellKind::Dffe, &[L1, L1, L1], L0), L1);
+        assert_eq!(next_state(CellKind::Dffe, &[L1, L1, LX], L0), LX);
+    }
+
+    #[test]
+    fn dffre_combines_reset_and_enable() {
+        // RSTN low wins regardless of EN.
+        assert_eq!(next_state(CellKind::Dffre, &[L1, L1, L0, L1], L1), L0);
+        // Enabled capture.
+        assert_eq!(next_state(CellKind::Dffre, &[L1, L1, L1, L1], L0), L1);
+        // Disabled hold.
+        assert_eq!(next_state(CellKind::Dffre, &[L1, L1, L1, L0], L0), L0);
+    }
+
+    #[test]
+    fn latch_transparency() {
+        assert_eq!(next_state(CellKind::Latch, &[L1, L1], L0), L1);
+        assert_eq!(next_state(CellKind::Latch, &[L0, L1], L0), L0);
+    }
+
+    #[test]
+    fn memory_bits_respect_write_enable() {
+        for kind in [CellKind::SramBit, CellKind::DramBit, CellKind::RadHardBit] {
+            assert_eq!(next_state(kind, &[L1, L1, L1], L0), L1, "{kind}");
+            assert_eq!(next_state(kind, &[L1, L0, L1], L0), L0, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn eval_comb_rejects_sequential() {
+        let _ = eval_comb(CellKind::Dff, &[L0, L0]);
+    }
+}

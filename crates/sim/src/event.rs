@@ -1,0 +1,448 @@
+//! The event-driven simulation engine (the paper's Synopsys-VCS stand-in).
+//!
+//! Time advances in abstract units; every gate has a unit propagation delay
+//! and flip-flops a two-unit clock-to-Q delay. One clock cycle spans
+//! `period` units with the rising edge at the cycle start, so pulses injected
+//! mid-cycle propagate — or get masked — with realistic timing, which is what
+//! distinguishes SET simulation from cycle-accurate approximations.
+
+use crate::engine::Engine;
+use crate::eval::{async_override, eval_comb, next_state};
+use crate::inject::Fault;
+use crate::trace::{WaveSignal, WaveTrace};
+use crate::value::Logic;
+use crate::SimError;
+use ssresf_netlist::flat::Driver;
+use ssresf_netlist::{CellId, CellKind, FlatNetlist, NetId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Combinational gate propagation delay, in time units.
+const GATE_DELAY: u64 = 1;
+/// Flip-flop clock-to-Q delay, in time units.
+const CLK_Q_DELAY: u64 = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    SetNet(NetId, Logic),
+    Eval(CellId),
+    ForceInvert(NetId),
+    Release(NetId),
+    Flip(CellId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    action: Action,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven four-state gate-level simulator.
+///
+/// # Example
+///
+/// ```
+/// use ssresf_netlist::{CellKind, Design, ModuleBuilder, PortDir};
+/// use ssresf_sim::{Engine, EventDrivenEngine, Logic};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut design = Design::new();
+/// let mut mb = ModuleBuilder::new("counter1");
+/// let clk = mb.port("clk", PortDir::Input);
+/// let q = mb.port("q", PortDir::Output);
+/// let nq = mb.net("nq");
+/// mb.cell("u_inv", CellKind::Inv, &[q], &[nq])?;
+/// mb.cell("u_ff", CellKind::Dff, &[clk, nq], &[q])?;
+/// let id = design.add_module(mb.finish())?;
+/// design.set_top(id)?;
+/// let flat = design.flatten()?;
+///
+/// let clk_net = flat.primary_inputs()[0];
+/// let q_net = flat.primary_outputs()[0];
+/// let mut engine = EventDrivenEngine::new(&flat, clk_net)?;
+/// let ff = flat.cell_by_name("u_ff").unwrap();
+/// engine.set_cell_state(ff, Logic::Zero);
+/// engine.step_cycle();
+/// assert_eq!(engine.peek(q_net), Logic::One); // toggled at the posedge
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventDrivenEngine<'a> {
+    netlist: &'a FlatNetlist,
+    clock: NetId,
+    period: u64,
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    input_values: Vec<Option<Logic>>,
+    forced: Vec<Option<Logic>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time: u64,
+    cycle: u64,
+    activity: Vec<u64>,
+    faults: Vec<Fault>,
+    recorded: Vec<NetId>,
+    waves: Vec<Vec<(u64, Logic)>>,
+    /// Count of processed events, exposed for performance reporting.
+    events_processed: u64,
+}
+
+impl<'a> EventDrivenEngine<'a> {
+    /// Creates an engine for `netlist` clocked by the primary input `clock`.
+    ///
+    /// The clock period is derived from the netlist's maximum combinational
+    /// depth so every cycle fully settles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] when the netlist has combinational
+    /// loops, and [`SimError::NotAnInput`] when `clock` is not a primary
+    /// input.
+    pub fn new(netlist: &'a FlatNetlist, clock: NetId) -> Result<Self, SimError> {
+        let lv = netlist.levelize().map_err(SimError::Netlist)?;
+        if netlist.net(clock).driver != Some(Driver::PrimaryInput) {
+            return Err(SimError::NotAnInput(netlist.net(clock).name.clone()));
+        }
+        let period = 4 * (u64::from(lv.max_depth) + 8);
+        let mut engine = EventDrivenEngine {
+            netlist,
+            clock,
+            period,
+            values: vec![Logic::X; netlist.nets().len()],
+            state: vec![Logic::X; netlist.cells().len()],
+            input_values: vec![None; netlist.nets().len()],
+            forced: vec![None; netlist.nets().len()],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            time: 0,
+            cycle: 0,
+            activity: vec![0; netlist.nets().len()],
+            faults: Vec::new(),
+            recorded: Vec::new(),
+            waves: Vec::new(),
+            events_processed: 0,
+        };
+        // The clock idles low so the first rising edge is a clean posedge.
+        engine.values[clock.index()] = Logic::Zero;
+        // Seed initial evaluation of every combinational cell so constants
+        // (tie cells) and X values propagate, then let the netlist settle
+        // before the first cycle — matching the levelized engine, which
+        // fully propagates at construction.
+        for (id, cell) in netlist.iter_cells() {
+            if cell.kind.is_combinational() {
+                engine.push(0, Action::Eval(id));
+            }
+        }
+        engine.run_until(engine.period);
+        Ok(engine)
+    }
+
+    /// The derived clock period in time units.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Total events processed so far (a proxy for simulation work).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Starts recording full-resolution waveforms of `nets` (for VCD dumps).
+    pub fn record(&mut self, nets: &[NetId]) {
+        for &net in nets {
+            if !self.recorded.contains(&net) {
+                self.recorded.push(net);
+                self.waves.push(vec![(self.time, self.values[net.index()])]);
+            }
+        }
+    }
+
+    /// The recorded waveforms, named by net.
+    pub fn wave_trace(&self) -> WaveTrace {
+        let mut trace = WaveTrace::new();
+        for (i, &net) in self.recorded.iter().enumerate() {
+            trace.signals.push(WaveSignal {
+                name: self.netlist.net(net).name.clone(),
+                changes: self.waves[i].clone(),
+            });
+        }
+        trace
+    }
+
+    fn push(&mut self, time: u64, action: Action) {
+        let event = Event {
+            time,
+            seq: self.seq,
+            action,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(event));
+    }
+
+    fn apply_net(&mut self, net: NetId, value: Logic, respect_force: bool) {
+        if respect_force && self.forced[net.index()].is_some() {
+            return;
+        }
+        let old = self.values[net.index()];
+        if old == value {
+            return;
+        }
+        self.values[net.index()] = value;
+        self.activity[net.index()] += 1;
+        if let Some(pos) = self.recorded.iter().position(|&n| n == net) {
+            self.waves[pos].push((self.time, value));
+        }
+        // Collect load reactions first to appease the borrow checker.
+        let loads = self.netlist.net(net).loads.clone();
+        for (load, pin) in loads {
+            let kind = self.netlist.cell(load).kind;
+            if kind.is_combinational() {
+                self.push(self.time + GATE_DELAY, Action::Eval(load));
+            } else {
+                self.sequential_pin_change(load, kind, pin, old, value);
+            }
+        }
+    }
+
+    fn input_vals(&self, cell: CellId) -> Vec<Logic> {
+        self.netlist
+            .cell(cell)
+            .inputs
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+
+    fn sequential_pin_change(
+        &mut self,
+        cell: CellId,
+        kind: CellKind,
+        pin: u8,
+        old: Logic,
+        new: Logic,
+    ) {
+        let inputs = self.input_vals(cell);
+        match kind {
+            CellKind::Latch => {
+                let ns = next_state(kind, &inputs, self.state[cell.index()]);
+                self.update_state(cell, ns, GATE_DELAY);
+            }
+            CellKind::Dffr | CellKind::Dffre if pin == 2 => {
+                // Asynchronous reset pin.
+                if let Some(forced) = async_override(kind, &inputs) {
+                    self.update_state(cell, forced, CLK_Q_DELAY);
+                }
+            }
+            _ if pin == 0 && old == Logic::Zero && new == Logic::One => {
+                // Rising clock edge.
+                let ns = next_state(kind, &inputs, self.state[cell.index()]);
+                self.update_state(cell, ns, CLK_Q_DELAY);
+            }
+            _ => {}
+        }
+    }
+
+    fn update_state(&mut self, cell: CellId, new_state: Logic, delay: u64) {
+        if self.state[cell.index()] == new_state {
+            return;
+        }
+        self.state[cell.index()] = new_state;
+        let q = self.netlist.cell(cell).output;
+        self.push(self.time + delay, Action::SetNet(q, new_state));
+    }
+
+    fn execute(&mut self, action: Action) {
+        self.events_processed += 1;
+        match action {
+            Action::SetNet(net, value) => {
+                // FF output updates must reflect the *current* state: two
+                // queued updates can race and the later state must win.
+                let value = match self.netlist.net(net).driver {
+                    Some(Driver::Cell(cell))
+                        if self.netlist.cell(cell).kind.is_sequential() =>
+                    {
+                        self.state[cell.index()]
+                    }
+                    _ => value,
+                };
+                self.apply_net(net, value, true);
+            }
+            Action::Eval(cell) => {
+                let kind = self.netlist.cell(cell).kind;
+                let inputs = self.input_vals(cell);
+                let out = eval_comb(kind, &inputs);
+                let net = self.netlist.cell(cell).output;
+                self.apply_net(net, out, true);
+            }
+            Action::ForceInvert(net) => {
+                let disturbed = match self.values[net.index()] {
+                    Logic::Zero => Logic::One,
+                    Logic::One => Logic::Zero,
+                    // An undefined node is disturbed to a defined high.
+                    Logic::X | Logic::Z => Logic::One,
+                };
+                self.forced[net.index()] = Some(disturbed);
+                self.apply_net(net, disturbed, false);
+            }
+            Action::Release(net) => {
+                self.forced[net.index()] = None;
+                match self.netlist.net(net).driver {
+                    Some(Driver::Cell(cell)) => {
+                        if self.netlist.cell(cell).kind.is_sequential() {
+                            let v = self.state[cell.index()];
+                            self.apply_net(net, v, false);
+                        } else {
+                            self.push(self.time, Action::Eval(cell));
+                        }
+                    }
+                    Some(Driver::PrimaryInput) => {
+                        if let Some(v) = self.input_values[net.index()] {
+                            self.apply_net(net, v, false);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            Action::Flip(cell) => {
+                let flipped = match self.state[cell.index()] {
+                    Logic::Zero => Logic::One,
+                    Logic::One => Logic::Zero,
+                    // An upset deposits charge: undefined state becomes high.
+                    Logic::X | Logic::Z => Logic::One,
+                };
+                self.state[cell.index()] = flipped;
+                let q = self.netlist.cell(cell).output;
+                self.apply_net(q, flipped, true);
+            }
+        }
+    }
+
+    fn run_until(&mut self, limit: u64) {
+        while let Some(Reverse(event)) = self.queue.peek().copied() {
+            if event.time >= limit {
+                break;
+            }
+            self.queue.pop();
+            self.time = event.time;
+            self.execute(event.action);
+        }
+        self.time = limit;
+    }
+
+    fn sub_cycle_time(&self, t0: u64, frac: f64) -> u64 {
+        let offset = (frac * self.period as f64).round() as u64;
+        t0 + offset.min(self.period - 1)
+    }
+}
+
+impl Engine for EventDrivenEngine<'_> {
+    fn name(&self) -> &'static str {
+        "event-driven"
+    }
+
+    fn netlist(&self) -> &FlatNetlist {
+        self.netlist
+    }
+
+    fn poke(&mut self, net: NetId, value: Logic) {
+        assert_ne!(net, self.clock, "the clock is driven by the engine");
+        assert_eq!(
+            self.netlist.net(net).driver,
+            Some(Driver::PrimaryInput),
+            "poke target `{}` is not a primary input",
+            self.netlist.net(net).name
+        );
+        self.input_values[net.index()] = Some(value);
+        self.push(self.time, Action::SetNet(net, value));
+    }
+
+    fn peek(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    fn set_cell_state(&mut self, cell: CellId, value: Logic) {
+        assert!(
+            self.netlist.cell(cell).kind.is_sequential(),
+            "cell `{}` holds no state",
+            self.netlist.cell_full_name(cell)
+        );
+        self.state[cell.index()] = value;
+        let q = self.netlist.cell(cell).output;
+        self.push(self.time, Action::SetNet(q, value));
+        // Preloads happen between cycles; settle the combinational fan-out
+        // now so the next posedge captures consistent data (mirroring the
+        // levelized engine, which repropagates on preload). Time is restored
+        // so the cycle grid stays aligned.
+        let t0 = self.time;
+        self.run_until(t0 + self.period);
+        self.time = t0;
+    }
+
+    fn cell_state(&self, cell: CellId) -> Logic {
+        self.state[cell.index()]
+    }
+
+    fn schedule_fault(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    fn step_cycle(&mut self) {
+        let t0 = self.time;
+        // Materialize faults firing this cycle into concrete events.
+        let current = self.cycle;
+        let mut remaining = Vec::new();
+        let due: Vec<Fault> = {
+            let mut due = Vec::new();
+            for fault in self.faults.drain(..) {
+                if fault.cycle() == current {
+                    due.push(fault);
+                } else {
+                    remaining.push(fault);
+                }
+            }
+            due
+        };
+        self.faults = remaining;
+        for fault in due {
+            match fault {
+                Fault::Set(f) => {
+                    let on = self.sub_cycle_time(t0, f.offset);
+                    let width = ((f.width * self.period as f64).round() as u64).max(1);
+                    self.push(on, Action::ForceInvert(f.net));
+                    self.push(on + width, Action::Release(f.net));
+                }
+                Fault::Seu(f) => {
+                    let at = self.sub_cycle_time(t0, f.offset);
+                    self.push(at, Action::Flip(f.cell));
+                }
+            }
+        }
+
+        self.push(t0, Action::SetNet(self.clock, Logic::One));
+        self.push(t0 + self.period / 2, Action::SetNet(self.clock, Logic::Zero));
+        self.run_until(t0 + self.period);
+        self.cycle += 1;
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn activity(&self) -> &[u64] {
+        &self.activity
+    }
+}

@@ -1,0 +1,273 @@
+//! The levelized (oblivious, cycle-accurate) engine — the OSS-CVC stand-in.
+//!
+//! Every cycle the whole combinational netlist is re-evaluated once in
+//! topological order, the way compiled-code simulators schedule work. SET
+//! pulses are therefore widened to a full cycle (a standard cycle-accurate
+//! approximation); golden runs match the event-driven engine exactly.
+
+use crate::engine::Engine;
+use crate::eval::{async_override, eval_comb, next_state};
+use crate::inject::Fault;
+use crate::value::Logic;
+use crate::SimError;
+use ssresf_netlist::flat::Driver;
+use ssresf_netlist::{CellId, FlatNetlist, NetId};
+
+/// Iteration bound for the asynchronous-control fixpoint.
+const ASYNC_FIXPOINT_LIMIT: usize = 16;
+
+/// The value a single-event transient drives a node to: defined values
+/// invert; undefined nodes are disturbed to a defined high.
+fn disturb(v: Logic) -> Logic {
+    match v {
+        Logic::Zero => Logic::One,
+        Logic::One => Logic::Zero,
+        Logic::X | Logic::Z => Logic::One,
+    }
+}
+
+/// Cycle-accurate levelized gate-level simulator.
+///
+/// Shares the [`Engine`] interface with
+/// [`EventDrivenEngine`](crate::EventDrivenEngine); see that type for a
+/// usage example.
+#[derive(Debug)]
+pub struct LevelizedEngine<'a> {
+    netlist: &'a FlatNetlist,
+    clock: NetId,
+    order: Vec<CellId>,
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    /// Nets whose driven value is inverted during the current cycle (the
+    /// cycle-wide SET approximation).
+    inverted: Vec<bool>,
+    faults: Vec<Fault>,
+    cycle: u64,
+    activity: Vec<u64>,
+    /// Cells evaluated so far (a proxy for simulation work).
+    evals: u64,
+}
+
+impl<'a> LevelizedEngine<'a> {
+    /// Creates an engine for `netlist` clocked by the primary input `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] for combinational loops and
+    /// [`SimError::NotAnInput`] when `clock` is not a primary input.
+    pub fn new(netlist: &'a FlatNetlist, clock: NetId) -> Result<Self, SimError> {
+        let lv = netlist.levelize().map_err(SimError::Netlist)?;
+        if netlist.net(clock).driver != Some(Driver::PrimaryInput) {
+            return Err(SimError::NotAnInput(netlist.net(clock).name.clone()));
+        }
+        let mut order = lv.order;
+        // Kahn's algorithm yields an arbitrary valid order; sort by depth so
+        // evaluation is deterministic and cache-friendly.
+        let depth = lv.cell_depth;
+        order.sort_by_key(|c| (depth[c.index()], c.0));
+        let mut engine = LevelizedEngine {
+            netlist,
+            clock,
+            order,
+            values: vec![Logic::X; netlist.nets().len()],
+            state: vec![Logic::X; netlist.cells().len()],
+            inverted: vec![false; netlist.nets().len()],
+            faults: Vec::new(),
+            cycle: 0,
+            activity: vec![0; netlist.nets().len()],
+            evals: 0,
+        };
+        engine.values[clock.index()] = Logic::Zero;
+        engine.propagate();
+        Ok(engine)
+    }
+
+    /// Cells evaluated so far (a proxy for simulation work).
+    pub fn cells_evaluated(&self) -> u64 {
+        self.evals
+    }
+
+    fn set_value(&mut self, net: NetId, value: Logic) {
+        if self.values[net.index()] != value {
+            self.values[net.index()] = value;
+            self.activity[net.index()] += 1;
+        }
+    }
+
+    fn input_vals(&self, cell: CellId) -> Vec<Logic> {
+        self.netlist
+            .cell(cell)
+            .inputs
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+
+    /// One full evaluation sweep of the combinational netlist.
+    fn propagate(&mut self) {
+        for i in 0..self.order.len() {
+            let cell = self.order[i];
+            let kind = self.netlist.cell(cell).kind;
+            let inputs = self.input_vals(cell);
+            let mut out = eval_comb(kind, &inputs);
+            let net = self.netlist.cell(cell).output;
+            if self.inverted[net.index()] {
+                out = disturb(out);
+            }
+            self.set_value(net, out);
+            self.evals += 1;
+        }
+    }
+
+    /// Applies asynchronous controls (e.g. active-low reset) until stable.
+    fn async_fixpoint(&mut self) {
+        for _ in 0..ASYNC_FIXPOINT_LIMIT {
+            let mut changed = false;
+            for (id, cell) in self.netlist.iter_cells() {
+                if !cell.kind.is_sequential() {
+                    continue;
+                }
+                let inputs = self.input_vals(id);
+                if let Some(forced_state) = async_override(cell.kind, &inputs) {
+                    if self.state[id.index()] != forced_state {
+                        self.state[id.index()] = forced_state;
+                        self.set_value(cell.output, forced_state);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+            self.propagate();
+        }
+    }
+}
+
+impl Engine for LevelizedEngine<'_> {
+    fn name(&self) -> &'static str {
+        "levelized"
+    }
+
+    fn netlist(&self) -> &FlatNetlist {
+        self.netlist
+    }
+
+    fn poke(&mut self, net: NetId, value: Logic) {
+        assert_ne!(net, self.clock, "the clock is driven by the engine");
+        assert_eq!(
+            self.netlist.net(net).driver,
+            Some(Driver::PrimaryInput),
+            "poke target `{}` is not a primary input",
+            self.netlist.net(net).name
+        );
+        self.set_value(net, value);
+    }
+
+    fn peek(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    fn set_cell_state(&mut self, cell: CellId, value: Logic) {
+        assert!(
+            self.netlist.cell(cell).kind.is_sequential(),
+            "cell `{}` holds no state",
+            self.netlist.cell_full_name(cell)
+        );
+        self.state[cell.index()] = value;
+        let q = self.netlist.cell(cell).output;
+        self.set_value(q, value);
+        self.propagate();
+    }
+
+    fn cell_state(&self, cell: CellId) -> Logic {
+        self.state[cell.index()]
+    }
+
+    fn schedule_fault(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    fn step_cycle(&mut self) {
+        // 1. Rising edge: every sequential cell captures from the currently
+        //    settled values (which already include this cycle's pokes —
+        //    matching the event engine, where pokes land before the edge).
+        let mut captured: Vec<(CellId, Logic)> = Vec::new();
+        for (id, cell) in self.netlist.iter_cells() {
+            if cell.kind.is_sequential() {
+                let inputs = self.input_vals(id);
+                let ns = next_state(cell.kind, &inputs, self.state[id.index()]);
+                captured.push((id, ns));
+            }
+        }
+        for (id, ns) in captured {
+            self.state[id.index()] = ns;
+        }
+
+        // 2. Faults for this cycle: SEUs flip post-capture state; SETs force
+        //    their net for the remainder of the cycle.
+        let current = self.cycle;
+        let mut remaining = Vec::new();
+        for fault in std::mem::take(&mut self.faults) {
+            if fault.cycle() != current {
+                remaining.push(fault);
+                continue;
+            }
+            match fault {
+                Fault::Seu(f) => {
+                    let flipped = match self.state[f.cell.index()] {
+                        Logic::Zero => Logic::One,
+                        Logic::One => Logic::Zero,
+                        Logic::X | Logic::Z => Logic::One,
+                    };
+                    self.state[f.cell.index()] = flipped;
+                }
+                Fault::Set(f) => {
+                    self.inverted[f.net.index()] = true;
+                }
+            }
+        }
+        self.faults = remaining;
+
+        // 3. Drive Q outputs (a SET on a Q net disturbs the driven value
+        //    without corrupting the stored state) and settle the logic.
+        for (id, cell) in self.netlist.iter_cells() {
+            if cell.kind.is_sequential() {
+                let q = cell.output;
+                let mut v = self.state[id.index()];
+                if self.inverted[q.index()] {
+                    v = disturb(v);
+                }
+                self.set_value(q, v);
+            }
+        }
+        // SETs on input-driven nets (no combinational driver).
+        for (i, &inv) in self.inverted.clone().iter().enumerate() {
+            if inv {
+                let net = ssresf_netlist::NetId(i as u32);
+                if matches!(self.netlist.net(net).driver, Some(Driver::PrimaryInput)) {
+                    let v = disturb(self.values[i]);
+                    self.set_value(net, v);
+                }
+            }
+        }
+        self.propagate();
+        self.async_fixpoint();
+
+        // 4. Release this cycle's SET disturbances; the disturbed values
+        //    persist until the next cycle's sweep, so a pulse spans one full
+        //    cycle and is captured at the following edge.
+        for f in self.inverted.iter_mut() {
+            *f = false;
+        }
+        self.cycle += 1;
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn activity(&self) -> &[u64] {
+        &self.activity
+    }
+}

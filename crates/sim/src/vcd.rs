@@ -1,0 +1,213 @@
+//! VCD (Value Change Dump) writing and parsing.
+//!
+//! The paper's flow detects soft errors "by comparing the VCD files generated
+//! from the post-fault-injection simulation" against a golden run. This
+//! module serializes [`WaveTrace`]s to IEEE-1364 VCD and parses them back,
+//! enabling exactly that file-level comparison
+//! (see [`WaveTrace::diff_sampled`]).
+
+use crate::trace::{WaveSignal, WaveTrace};
+use crate::value::Logic;
+use crate::SimError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Encodes a signal index as a VCD short identifier (printable ASCII 33–126).
+fn id_code(mut index: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((33 + (index % 94)) as u8 as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    code
+}
+
+/// Serializes a waveform as a VCD document with 1 ns timescale.
+///
+/// Signal names containing `.` are emitted inside nested scopes so viewers
+/// show the original hierarchy.
+pub fn write_vcd(wave: &WaveTrace) -> String {
+    let mut out = String::new();
+    out.push_str("$date ssresf $end\n");
+    out.push_str("$version ssresf-sim $end\n");
+    out.push_str("$timescale 1ns $end\n");
+    out.push_str("$scope module top $end\n");
+    for (i, sig) in wave.signals.iter().enumerate() {
+        let short = sig.name.replace('.', "_");
+        let _ = writeln!(out, "$var wire 1 {} {short} $end", id_code(i));
+    }
+    out.push_str("$upscope $end\n");
+    out.push_str("$enddefinitions $end\n");
+
+    // Merge all change points into a single time-ordered stream.
+    let mut by_time: BTreeMap<u64, Vec<(usize, Logic)>> = BTreeMap::new();
+    for (i, sig) in wave.signals.iter().enumerate() {
+        for &(t, v) in &sig.changes {
+            by_time.entry(t).or_default().push((i, v));
+        }
+    }
+
+    out.push_str("$dumpvars\n");
+    let mut first = true;
+    for (t, changes) in by_time {
+        if !(first && t == 0) {
+            let _ = writeln!(out, "#{t}");
+        }
+        for (i, v) in changes {
+            let _ = writeln!(out, "{}{}", v.vcd_char(), id_code(i));
+        }
+        if first {
+            out.push_str("$end\n");
+            first = false;
+        }
+    }
+    if first {
+        out.push_str("$end\n");
+    }
+    out
+}
+
+/// Parses a VCD document produced by [`write_vcd`] (or any VCD restricted to
+/// scalar wires) back into a [`WaveTrace`].
+///
+/// # Errors
+///
+/// Returns [`SimError::VcdParse`] on malformed input. Vector variables are
+/// rejected.
+pub fn parse_vcd(text: &str) -> Result<WaveTrace, SimError> {
+    let mut signals: Vec<WaveSignal> = Vec::new();
+    let mut ids: BTreeMap<String, usize> = BTreeMap::new();
+    let mut time = 0u64;
+    let mut in_header = true;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |message: String| SimError::VcdParse {
+            line: lineno + 1,
+            message,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if in_header {
+            if line.starts_with("$var") {
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                // $var wire 1 <id> <name> $end
+                if fields.len() < 6 {
+                    return Err(err("malformed $var".into()));
+                }
+                if fields[2] != "1" {
+                    return Err(err(format!("unsupported vector width {}", fields[2])));
+                }
+                ids.insert(fields[3].to_owned(), signals.len());
+                signals.push(WaveSignal {
+                    name: fields[4].to_owned(),
+                    changes: Vec::new(),
+                });
+            } else if line.starts_with("$enddefinitions") {
+                in_header = false;
+            }
+            continue;
+        }
+        if let Some(stamp) = line.strip_prefix('#') {
+            time = stamp
+                .parse()
+                .map_err(|_| err(format!("bad timestamp `{stamp}`")))?;
+        } else if line.starts_with('$') {
+            // $dumpvars / $end — values inside apply at the current time.
+            continue;
+        } else {
+            let mut chars = line.chars();
+            let value_char = chars.next().ok_or_else(|| err("empty change".into()))?;
+            let value = Logic::from_vcd_char(value_char)
+                .ok_or_else(|| err(format!("bad value `{value_char}`")))?;
+            let id: String = chars.collect();
+            let &index = ids
+                .get(id.trim())
+                .ok_or_else(|| err(format!("unknown id `{id}`")))?;
+            signals[index].changes.push((time, value));
+        }
+    }
+    Ok(WaveTrace { signals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_wave() -> WaveTrace {
+        WaveTrace {
+            signals: vec![
+                WaveSignal {
+                    name: "clk".into(),
+                    changes: vec![(0, Logic::Zero), (5, Logic::One), (10, Logic::Zero)],
+                },
+                WaveSignal {
+                    name: "cpu.q".into(),
+                    changes: vec![(0, Logic::X), (7, Logic::One)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| (33..=126).contains(&(c as u32))));
+            assert!(seen.insert(code));
+        }
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let wave = sample_wave();
+        let text = write_vcd(&wave);
+        let parsed = parse_vcd(&text).unwrap();
+        assert_eq!(parsed.signals.len(), 2);
+        assert_eq!(parsed.signal("clk").unwrap().changes, wave.signals[0].changes);
+        // Hierarchical separators are flattened to underscores in VCD names.
+        assert_eq!(parsed.signal("cpu_q").unwrap().changes, wave.signals[1].changes);
+    }
+
+    #[test]
+    fn written_vcd_has_required_sections() {
+        let text = write_vcd(&sample_wave());
+        for section in ["$timescale", "$var wire 1", "$enddefinitions", "$dumpvars"] {
+            assert!(text.contains(section), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_vectors() {
+        let text = "$var wire 8 ! bus $end\n$enddefinitions $end\n";
+        assert!(matches!(
+            parse_vcd(text).unwrap_err(),
+            SimError::VcdParse { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_ids() {
+        let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1@\n";
+        assert!(parse_vcd(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_timestamps() {
+        let text = "$var wire 1 ! a $end\n$enddefinitions $end\n#xyz\n";
+        assert!(parse_vcd(text).is_err());
+    }
+
+    #[test]
+    fn empty_wave_round_trips() {
+        let text = write_vcd(&WaveTrace::new());
+        let parsed = parse_vcd(&text).unwrap();
+        assert!(parsed.signals.is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! Cross-engine integration tests: the event-driven and levelized engines
+//! must agree on golden runs, and faults must propagate sensibly in both.
+
+use ssresf_netlist::{CellKind, Design, FlatNetlist, ModuleBuilder, PortDir};
+use ssresf_sim::{
+    drive_random_inputs, Engine, EventDrivenEngine, Fault, Lfsr, LevelizedEngine, Logic, SetFault,
+    SeuFault, Testbench,
+};
+
+/// Builds an `n`-bit synchronous up-counter with async active-low reset.
+/// Outputs `q_0 .. q_{n-1}`.
+fn counter(n: usize) -> FlatNetlist {
+    let mut design = Design::new();
+    let mut mb = ModuleBuilder::new("counter");
+    let clk = mb.port("clk", PortDir::Input);
+    let rst_n = mb.port("rst_n", PortDir::Input);
+    let qs: Vec<_> = (0..n)
+        .map(|i| mb.port(format!("q_{i}"), PortDir::Output))
+        .collect();
+
+    // Ripple incrementer: d0 = !q0; carry chain c_i = q0 & .. & q_i.
+    let mut carry = qs[0];
+    for (i, &q) in qs.iter().enumerate() {
+        let d = mb.net(format!("d_{i}"));
+        if i == 0 {
+            mb.cell(format!("u_inc_{i}"), CellKind::Inv, &[q], &[d])
+                .unwrap();
+        } else {
+            mb.cell(format!("u_inc_{i}"), CellKind::Xor2, &[q, carry], &[d])
+                .unwrap();
+            if i + 1 < n {
+                let c = mb.net(format!("c_{i}"));
+                mb.cell(format!("u_carry_{i}"), CellKind::And2, &[q, carry], &[c])
+                    .unwrap();
+                carry = c;
+            }
+        }
+        mb.cell(format!("u_ff_{i}"), CellKind::Dffr, &[clk, d, rst_n], &[q])
+            .unwrap();
+    }
+
+    let id = design.add_module(mb.finish()).unwrap();
+    design.set_top(id).unwrap();
+    design.flatten().unwrap()
+}
+
+fn count_value(row: &[Logic]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, bit) in row.iter().enumerate() {
+        match bit.to_bool() {
+            Some(true) => v |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(v)
+}
+
+#[test]
+fn counter_counts_on_event_engine() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+    let mut tb = Testbench::new(engine);
+    let trace = tb.run(2, 10);
+    let values: Vec<u64> = trace.rows.iter().map(|r| count_value(r).unwrap()).collect();
+    assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+}
+
+#[test]
+fn counter_counts_on_levelized_engine() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let engine = LevelizedEngine::new(&flat, clk).unwrap();
+    let mut tb = Testbench::new(engine);
+    let trace = tb.run(2, 10);
+    let values: Vec<u64> = trace.rows.iter().map(|r| count_value(r).unwrap()).collect();
+    assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+}
+
+#[test]
+fn counter_wraps_around() {
+    let flat = counter(3);
+    let clk = flat.net_by_name("clk").unwrap();
+    let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+    let mut tb = Testbench::new(engine);
+    let trace = tb.run(2, 9);
+    let values: Vec<u64> = trace.rows.iter().map(|r| count_value(r).unwrap()).collect();
+    assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 0, 1]);
+}
+
+#[test]
+fn engines_agree_on_golden_run() {
+    let flat = counter(6);
+    let clk = flat.net_by_name("clk").unwrap();
+    let ev = EventDrivenEngine::new(&flat, clk).unwrap();
+    let lv = LevelizedEngine::new(&flat, clk).unwrap();
+    let golden_ev = Testbench::new(ev).run(3, 40);
+    let golden_lv = Testbench::new(lv).run(3, 40);
+    assert!(
+        golden_ev.matches(&golden_lv),
+        "divergences: {:?}",
+        golden_ev.diff(&golden_lv)
+    );
+}
+
+/// A random combinational cloud feeding a register bank — engines must agree
+/// under LFSR stimulus too.
+fn random_pipeline(seed: u32) -> FlatNetlist {
+    let mut design = Design::new();
+    let mut mb = ModuleBuilder::new("pipe");
+    let clk = mb.port("clk", PortDir::Input);
+    let rst_n = mb.port("rst_n", PortDir::Input);
+    let ins: Vec<_> = (0..4)
+        .map(|i| mb.port(format!("in_{i}"), PortDir::Input))
+        .collect();
+    let outs: Vec<_> = (0..4)
+        .map(|i| mb.port(format!("out_{i}"), PortDir::Output))
+        .collect();
+
+    let mut lfsr = Lfsr::new(seed);
+    let mut wires = ins.clone();
+    let kinds = [
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Aoi21,
+    ];
+    for i in 0..24 {
+        let kind = kinds[(lfsr.next_bits(3)) as usize % kinds.len()];
+        let picks: Vec<_> = (0..kind.num_inputs())
+            .map(|_| wires[lfsr.next_bits(8) as usize % wires.len()])
+            .collect();
+        let w = mb.net(format!("w_{i}"));
+        mb.cell(format!("u_g{i}"), kind, &picks, &[w]).unwrap();
+        wires.push(w);
+    }
+    for (i, &out) in outs.iter().enumerate() {
+        let d = wires[wires.len() - 1 - i];
+        mb.cell(format!("u_ff_{i}"), CellKind::Dffr, &[clk, d, rst_n], &[out])
+            .unwrap();
+    }
+    let id = design.add_module(mb.finish()).unwrap();
+    design.set_top(id).unwrap();
+    design.flatten().unwrap()
+}
+
+#[test]
+fn engines_agree_on_random_pipelines() {
+    for seed in [1u32, 7, 99] {
+        let flat = random_pipeline(seed);
+        let clk = flat.net_by_name("clk").unwrap();
+        let inputs: Vec<_> = (0..4)
+            .map(|i| flat.net_by_name(&format!("in_{i}")).unwrap())
+            .collect();
+
+        // Drive both engines with identical LFSR input streams.
+        let run = |flat: &FlatNetlist, which: u8| {
+            match which {
+                0 => {
+                    let engine = EventDrivenEngine::new(flat, clk).unwrap();
+                    let mut tb = Testbench::new(engine);
+                    let mut l = Lfsr::new(seed ^ 0xdead);
+                    tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
+                }
+                _ => {
+                    let engine = LevelizedEngine::new(flat, clk).unwrap();
+                    let mut tb = Testbench::new(engine);
+                    let mut l = Lfsr::new(seed ^ 0xdead);
+                    tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
+                }
+            }
+        };
+        let a = run(&flat, 0);
+        let b = run(&flat, 1);
+        assert!(a.matches(&b), "seed {seed}: {:?}", a.diff(&b));
+    }
+}
+
+#[test]
+fn seu_diverges_from_golden_then_counts_wrong() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+
+    let golden = {
+        let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        Testbench::new(engine).run(2, 10)
+    };
+
+    let faulty = {
+        let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        let mut tb = Testbench::new(engine);
+        // Flip bit 2 of the counter in (post-reset) cycle 4. Fault cycles
+        // count absolute engine cycles: 2 reset cycles + 4.
+        let ff = flat.cell_by_name("u_ff_2").unwrap();
+        tb.engine_mut().schedule_fault(Fault::Seu(SeuFault {
+            cell: ff,
+            cycle: 2 + 4,
+            offset: 0.3,
+        }));
+        tb.run(2, 10)
+    };
+
+    let diffs = golden.diff(&faulty);
+    assert!(!diffs.is_empty(), "SEU was masked entirely");
+    // The upset lands in cycle 4's samples: bit 2 flips from its golden value.
+    assert!(diffs.iter().any(|d| d.cycle == 4));
+    // Before the fault the traces agree.
+    assert!(diffs.iter().all(|d| d.cycle >= 4));
+}
+
+#[test]
+fn seu_in_levelized_engine_also_diverges() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let golden = {
+        let engine = LevelizedEngine::new(&flat, clk).unwrap();
+        Testbench::new(engine).run(2, 10)
+    };
+    let faulty = {
+        let engine = LevelizedEngine::new(&flat, clk).unwrap();
+        let mut tb = Testbench::new(engine);
+        let ff = flat.cell_by_name("u_ff_2").unwrap();
+        tb.engine_mut().schedule_fault(Fault::Seu(SeuFault {
+            cell: ff,
+            cycle: 2 + 4,
+            offset: 0.0,
+        }));
+        tb.run(2, 10)
+    };
+    let diffs = golden.diff(&faulty);
+    assert!(diffs.iter().any(|d| d.cycle == 4));
+    assert!(diffs.iter().all(|d| d.cycle >= 4));
+}
+
+#[test]
+fn short_set_pulse_far_from_edge_is_masked_in_event_engine() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let golden = {
+        let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        Testbench::new(engine).run(2, 10)
+    };
+    let faulty = {
+        let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        let mut tb = Testbench::new(engine);
+        // Narrow pulse just after the posedge on the d_1 net: it decays long
+        // before the next capture, so no soft error results.
+        let net = flat.net_by_name("d_1").unwrap();
+        tb.engine_mut().schedule_fault(Fault::Set(SetFault {
+            net,
+            cycle: 2 + 3,
+            offset: 0.25,
+            width: 0.05,
+        }));
+        tb.run(2, 10)
+    };
+    assert!(
+        golden.matches(&faulty),
+        "pulse should be temporally masked: {:?}",
+        golden.diff(&faulty)
+    );
+}
+
+#[test]
+fn set_pulse_spanning_the_edge_is_latched_in_event_engine() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let golden = {
+        let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        Testbench::new(engine).run(2, 10)
+    };
+    let faulty = {
+        let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        let mut tb = Testbench::new(engine);
+        // A pulse that is still active at the *next* rising edge gets
+        // captured into the flip-flop: d_0 is the INV output feeding ff_0.
+        let net = flat.net_by_name("d_0").unwrap();
+        tb.engine_mut().schedule_fault(Fault::Set(SetFault {
+            net,
+            cycle: 2 + 3,
+            offset: 0.9,
+            width: 0.2,
+        }));
+        tb.run(2, 10)
+    };
+    let diffs = golden.diff(&faulty);
+    assert!(!diffs.is_empty(), "edge-spanning pulse must be captured");
+    assert!(diffs.iter().all(|d| d.cycle >= 4));
+}
+
+#[test]
+fn set_in_levelized_engine_is_cycle_wide_and_latched() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let golden = {
+        let engine = LevelizedEngine::new(&flat, clk).unwrap();
+        Testbench::new(engine).run(2, 10)
+    };
+    let faulty = {
+        let engine = LevelizedEngine::new(&flat, clk).unwrap();
+        let mut tb = Testbench::new(engine);
+        let net = flat.net_by_name("d_0").unwrap();
+        tb.engine_mut().schedule_fault(Fault::Set(SetFault {
+            net,
+            cycle: 2 + 3,
+            offset: 0.5,
+            width: 0.1,
+        }));
+        tb.run(2, 10)
+    };
+    // The cycle-accurate engine widens the pulse across the whole cycle, so
+    // it is always observed (pessimistic, like compiled-code fault flows).
+    assert!(!golden.matches(&faulty));
+}
+
+#[test]
+fn activity_accumulates_on_toggling_nets() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let engine = EventDrivenEngine::new(&flat, clk).unwrap();
+    let mut tb = Testbench::new(engine);
+    tb.run(2, 16);
+    let activity = tb.engine().activity();
+    let q0 = flat.net_by_name("q_0").unwrap();
+    let q3 = flat.net_by_name("q_3").unwrap();
+    // Bit 0 toggles every cycle; bit 3 toggles every 8 cycles.
+    assert!(activity[q0.index()] > activity[q3.index()]);
+    let per_cycle = tb.engine().activity_per_cycle();
+    assert!(per_cycle[q0.index()] > 0.5);
+}
+
+#[test]
+fn event_engine_wave_recording_produces_vcd() {
+    let flat = counter(2);
+    let clk = flat.net_by_name("clk").unwrap();
+    let mut engine = EventDrivenEngine::new(&flat, clk).unwrap();
+    let q0 = flat.net_by_name("q_0").unwrap();
+    engine.record(&[clk, q0]);
+    let mut tb = Testbench::new(engine);
+    tb.run(2, 4);
+    let wave = tb.engine().wave_trace();
+    assert_eq!(wave.signals.len(), 2);
+    assert!(wave.signal("clk").unwrap().toggles() >= 8);
+
+    let text = ssresf_sim::vcd::write_vcd(&wave);
+    let parsed = ssresf_sim::vcd::parse_vcd(&text).unwrap();
+    assert_eq!(parsed.signals.len(), 2);
+}

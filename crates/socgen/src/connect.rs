@@ -1,0 +1,131 @@
+//! Named-connection instantiation helper.
+//!
+//! Positional instance connections are error-prone for modules with dozens
+//! of ports; [`connect`] resolves `(port-name, net)` pairs against the
+//! target module's declared port order.
+
+use ssresf_netlist::{Design, LocalNetId, ModuleBuilder, ModuleId, NetlistError};
+
+/// A named pin binding.
+pub fn pin(name: &str, net: LocalNetId) -> (String, LocalNetId) {
+    (name.to_owned(), net)
+}
+
+/// Named pin bindings for a bus `name_0 .. name_{n-1}`.
+pub fn pin_bus(name: &str, nets: &[LocalNetId]) -> Vec<(String, LocalNetId)> {
+    nets.iter()
+        .enumerate()
+        .map(|(i, &n)| (format!("{name}_{i}"), n))
+        .collect()
+}
+
+/// Instantiates `module` as `inst_name`, binding each module port by name.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] when a port is unbound or an extra pin is
+/// supplied, plus builder errors for duplicate instance names.
+pub fn connect(
+    mb: &mut ModuleBuilder,
+    design: &Design,
+    module: ModuleId,
+    inst_name: &str,
+    pins: &[(String, LocalNetId)],
+) -> Result<(), NetlistError> {
+    let target = design.module(module);
+    let mut conns = Vec::with_capacity(target.ports.len());
+    for port in &target.ports {
+        let net = pins
+            .iter()
+            .find(|(p, _)| *p == port.name)
+            .map(|(_, n)| *n)
+            .ok_or_else(|| NetlistError::Parse {
+                line: 0,
+                message: format!(
+                    "instance `{inst_name}`: port `{}` of `{}` is unbound",
+                    port.name, target.name
+                ),
+            })?;
+        conns.push(net);
+    }
+    if pins.len() != target.ports.len() {
+        let extra: Vec<&str> = pins
+            .iter()
+            .filter(|(p, _)| target.ports.iter().all(|q| q.name != *p))
+            .map(|(p, _)| p.as_str())
+            .collect();
+        return Err(NetlistError::Parse {
+            line: 0,
+            message: format!(
+                "instance `{inst_name}` of `{}`: unknown or duplicate pins {extra:?}",
+                target.name
+            ),
+        });
+    }
+    mb.instance(inst_name, module, &conns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssresf_netlist::{CellKind, PortDir};
+
+    fn leaf(design: &mut Design) -> ModuleId {
+        let mut mb = ModuleBuilder::new("leaf");
+        let a = mb.port("a", PortDir::Input);
+        let y = mb.port("y", PortDir::Output);
+        mb.cell("u0", CellKind::Inv, &[a], &[y]).unwrap();
+        design.add_module(mb.finish()).unwrap()
+    }
+
+    #[test]
+    fn connect_orders_pins_by_port_declaration() {
+        let mut design = Design::new();
+        let id = leaf(&mut design);
+        let mut mb = ModuleBuilder::new("top");
+        let x = mb.port("x", PortDir::Input);
+        let z = mb.port("z", PortDir::Output);
+        // Deliberately bind in reverse order.
+        connect(&mut mb, &design, id, "u0", &[pin("y", z), pin("a", x)]).unwrap();
+        let top = design.add_module(mb.finish()).unwrap();
+        design.set_top(top).unwrap();
+        assert!(design.flatten().is_ok());
+    }
+
+    #[test]
+    fn connect_rejects_missing_pin() {
+        let mut design = Design::new();
+        let id = leaf(&mut design);
+        let mut mb = ModuleBuilder::new("top");
+        let x = mb.port("x", PortDir::Input);
+        let err = connect(&mut mb, &design, id, "u0", &[pin("a", x)]).unwrap_err();
+        assert!(err.to_string().contains("unbound"));
+    }
+
+    #[test]
+    fn connect_rejects_extra_pin() {
+        let mut design = Design::new();
+        let id = leaf(&mut design);
+        let mut mb = ModuleBuilder::new("top");
+        let x = mb.port("x", PortDir::Input);
+        let z = mb.port("z", PortDir::Output);
+        let err = connect(
+            &mut mb,
+            &design,
+            id,
+            "u0",
+            &[pin("a", x), pin("y", z), pin("ghost", x)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn pin_bus_names_bits() {
+        let mut mb = ModuleBuilder::new("m");
+        let nets = vec![mb.net("n0"), mb.net("n1")];
+        let pins = pin_bus("data", &nets);
+        assert_eq!(pins[0].0, "data_0");
+        assert_eq!(pins[1].0, "data_1");
+    }
+}

@@ -1,0 +1,47 @@
+//! Parameterized gate-level SoC generation for SSRESF.
+//!
+//! The paper evaluates SSRESF on gate-level netlists of ten RISC-V PULP SoC
+//! configurations. Those netlists are proprietary, so this crate generates
+//! *synthetic but genuinely executing* equivalents: every SoC contains
+//!
+//! - one or two [`cpu`] cores — microcoded RISC-style accumulator machines
+//!   with a gate-level program ROM, register file, ALU and (depending on the
+//!   ISA string) multiplier / FPU-datapath / atomic-unit extensions — that
+//!   really run the embedded [`program`],
+//! - a [`bus`] fabric (APB-, AHB- or AXI-like, 8–4096 data lanes),
+//! - a [`memory`] macro (SRAM, DRAM or rad-hard SRAM bit cells) with real
+//!   decoders, write path and read mux; multi-megabyte capacities are
+//!   represented by a sub-array plus a statistical extrapolation factor
+//!   (see [`SocInfo::memory_scale_factor`]).
+//!
+//! The ten Table-I configurations are available as [`SocConfig::table1`].
+//!
+//! # Example
+//!
+//! ```
+//! use ssresf_socgen::{SocConfig, build_soc};
+//!
+//! # fn main() -> Result<(), ssresf_netlist::NetlistError> {
+//! let config = SocConfig::table1()[0].clone(); // PULP SoC_1
+//! let built = build_soc(&config)?;
+//! let flat = built.design.flatten()?;
+//! assert!(flat.cells().len() > 500);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alu;
+pub mod bus;
+pub mod connect;
+pub mod cpu;
+pub mod memory;
+pub mod multiplier;
+pub mod program;
+pub mod regfile;
+pub mod rom;
+pub mod soc;
+mod topbuild;
+pub mod words;
+
+pub use program::{assemble, default_program, Insn, Program};
+pub use soc::{build_soc, BuiltSoc, BusKind, Isa, MemoryKind, SocConfig, SocInfo};

@@ -1,0 +1,283 @@
+//! Gate-level memory macro generator.
+//!
+//! The macro instantiates a real sub-array of bit cells (16 words × the
+//! datapath width) with an address decoder, write-enable gating, a read mux
+//! tree and a parity tree over the first bit column (a scrubber stand-in
+//! that makes a representative slice of the array observable at the SoC
+//! outputs without short-circuiting the natural masking of unread rows —
+//! memory upsets mostly surface only when the CPU reads the struck word,
+//! which keeps the bus fabric the most SER-sensitive subsystem, as the
+//! paper's Table I reports). DRAM macros add
+//! a refresh counter in the periphery. Multi-megabyte nominal capacities
+//! are represented statistically — see
+//! [`SocInfo::memory_scale_factor`](crate::SocInfo::memory_scale_factor).
+
+use crate::soc::{MemoryKind, MEM_ADDR_BITS};
+use crate::words::{adder, const_word, decoder, input_bus, mux_tree, output_bus, register};
+use ssresf_netlist::{CellKind, Design, ModuleBuilder, ModuleId, NetlistError, PortDir};
+
+/// Builds the memory macro module `mem_{kind}_w{w}`.
+///
+/// Ports: `clk`, `rst_n`, `addr_*`, `wdata_*`, `we` → `rdata_*`, `parity`.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+pub fn build_memory(
+    design: &mut Design,
+    kind: MemoryKind,
+    w: usize,
+) -> Result<ModuleId, NetlistError> {
+    let rows = 1usize << MEM_ADDR_BITS;
+    let mut mb = ModuleBuilder::new(format!(
+        "mem_{}_w{w}",
+        match kind {
+            MemoryKind::Sram => "sram",
+            MemoryKind::Dram => "dram",
+            MemoryKind::RadHardSram => "rhsram",
+        }
+    ));
+    let clk = mb.port("clk", PortDir::Input);
+    let rst_n = mb.port("rst_n", PortDir::Input);
+    let addr = input_bus(&mut mb, "addr", MEM_ADDR_BITS);
+    let wdata = input_bus(&mut mb, "wdata", w);
+    let we = mb.port("we", PortDir::Input);
+    let rdata = output_bus(&mut mb, "rdata", w);
+    let parity = mb.port("parity", PortDir::Output);
+
+    let hot = decoder(&mut mb, "u_rowdec", &addr)?;
+    let bit_cell = kind.bit_cell();
+    let mut row_q = Vec::with_capacity(rows);
+    let mut column0 = Vec::with_capacity(rows);
+    for (r, &sel) in hot.iter().enumerate() {
+        let row_we = mb.net(format!("row_we_{r}"));
+        mb.cell(format!("u_rowwe_{r}"), CellKind::And2, &[we, sel], &[row_we])?;
+        let mut q = Vec::with_capacity(w);
+        for b in 0..w {
+            let out = mb.net(format!("q_{r}_{b}"));
+            mb.cell(
+                format!("u_bit_{r}_{b}"),
+                bit_cell,
+                &[clk, row_we, wdata[b]],
+                &[out],
+            )?;
+            q.push(out);
+            if b == 0 {
+                column0.push(out);
+            }
+        }
+        row_q.push(q);
+    }
+
+    let read = mux_tree(&mut mb, "u_rmux", &addr, &row_q)?;
+    for b in 0..w {
+        mb.cell(format!("u_rbuf_{b}"), CellKind::Buf, &[read[b]], &[rdata[b]])?;
+    }
+
+    // Scrubber parity over the first bit column.
+    let mut parity_bits = column0;
+    if kind == MemoryKind::Dram {
+        // Refresh counter in the periphery: a free-running row counter whose
+        // LSB is folded into the parity output so its logic is observable.
+        let cnt = crate::words::wire_bus(&mut mb, "ref_cnt", MEM_ADDR_BITS);
+        let one = const_word(&mut mb, "u_ref_one", 1, MEM_ADDR_BITS)?;
+        let (next, _) = adder(&mut mb, "u_ref_inc", &cnt, &one, None)?;
+        let q = register(&mut mb, "u_ref", clk, rst_n, None, &next)?;
+        for (i, (&qbit, &cbit)) in q.iter().zip(&cnt).enumerate() {
+            mb.cell(format!("u_ref_fb_{i}"), CellKind::Buf, &[qbit], &[cbit])?;
+        }
+        parity_bits.push(q[0]);
+    }
+    let par = crate::words::reduce_tree(&mut mb, "u_par", CellKind::Xor2, &parity_bits)?;
+    mb.cell("u_parbuf", CellKind::Buf, &[par], &[parity])?;
+
+    design.add_module(mb.finish())
+}
+
+/// Bits physically instantiated by [`build_memory`].
+pub fn modeled_bits(w: usize) -> u64 {
+    (1u64 << MEM_ADDR_BITS) * w as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connect::{connect, pin, pin_bus};
+    use ssresf_sim::{Engine, EventDrivenEngine, Logic};
+
+    fn mem_flat(kind: MemoryKind, w: usize) -> ssresf_netlist::FlatNetlist {
+        let mut design = Design::new();
+        let mem = build_memory(&mut design, kind, w).unwrap();
+        let mut mb = ModuleBuilder::new("top");
+        let clk = mb.port("clk", PortDir::Input);
+        let rst_n = mb.port("rst_n", PortDir::Input);
+        let addr = input_bus(&mut mb, "addr", MEM_ADDR_BITS);
+        let wdata = input_bus(&mut mb, "wdata", w);
+        let we = mb.port("we", PortDir::Input);
+        let rdata = output_bus(&mut mb, "rdata", w);
+        let parity = mb.port("parity", PortDir::Output);
+        let mut pins = vec![pin("clk", clk), pin("rst_n", rst_n), pin("we", we), pin("parity", parity)];
+        pins.extend(pin_bus("addr", &addr));
+        pins.extend(pin_bus("wdata", &wdata));
+        pins.extend(pin_bus("rdata", &rdata));
+        connect(&mut mb, &design, mem, "u_mem", &pins).unwrap();
+        let top = design.add_module(mb.finish()).unwrap();
+        design.set_top(top).unwrap();
+        design.flatten().unwrap()
+    }
+
+    /// Zeroes every bit cell (normal power-up initialization).
+    fn preload(e: &mut EventDrivenEngine<'_>, f: &ssresf_netlist::FlatNetlist) {
+        for (id, cell) in f.iter_cells() {
+            if cell.kind.is_memory_bit() {
+                e.set_cell_state(id, Logic::Zero);
+            }
+        }
+    }
+
+    fn poke_word(e: &mut EventDrivenEngine<'_>, f: &ssresf_netlist::FlatNetlist, n: &str, v: u64) {
+        let mut i = 0;
+        while let Some(net) = f.net_by_name(&format!("{n}_{i}")) {
+            e.poke(net, Logic::from_bool((v >> i) & 1 == 1));
+            i += 1;
+        }
+    }
+
+    fn read_word(e: &EventDrivenEngine<'_>, f: &ssresf_netlist::FlatNetlist, n: &str) -> u64 {
+        // Single nets are read directly; buses via their `_i` bit suffixes.
+        if let Some(net) = f.net_by_name(n) {
+            return u64::from(e.peek(net) == Logic::One);
+        }
+        let mut v = 0;
+        let mut i = 0;
+        while let Some(net) = f.net_by_name(&format!("{n}_{i}")) {
+            if e.peek(net) == Logic::One {
+                v |= 1 << i;
+            }
+            i += 1;
+        }
+        v
+    }
+
+    /// Drives all control inputs low, runs the reset sequence, then zeroes
+    /// every bit cell (power-on initialization happens after reset so the
+    /// first edges never see undefined write-enables).
+    fn init(e: &mut EventDrivenEngine<'_>, f: &ssresf_netlist::FlatNetlist) {
+        e.poke(f.net_by_name("we").unwrap(), Logic::Zero);
+        poke_word(e, f, "addr", 0);
+        poke_word(e, f, "wdata", 0);
+        let rst = f.net_by_name("rst_n").unwrap();
+        e.poke(rst, Logic::Zero);
+        e.step_cycle();
+        e.step_cycle();
+        e.poke(rst, Logic::One);
+        e.step_cycle();
+        preload(e, f);
+    }
+
+    /// Synchronous write honoring decode settle time: assert, wait a cycle
+    /// for the row enable to settle, capture, deassert, settle again.
+    fn write_row(e: &mut EventDrivenEngine<'_>, f: &ssresf_netlist::FlatNetlist, r: u64, v: u64) {
+        let we = f.net_by_name("we").unwrap();
+        poke_word(e, f, "addr", r);
+        poke_word(e, f, "wdata", v);
+        e.poke(we, Logic::One);
+        e.step_cycle(); // row enable settles
+        e.step_cycle(); // bit cells capture
+        e.poke(we, Logic::Zero);
+        e.step_cycle(); // row enable deasserts
+    }
+
+    #[test]
+    fn write_then_read_every_row() {
+        let f = mem_flat(MemoryKind::Sram, 4);
+        let clk = f.net_by_name("clk").unwrap();
+        let mut e = EventDrivenEngine::new(&f, clk).unwrap();
+        init(&mut e, &f);
+        for r in 0..16u64 {
+            write_row(&mut e, &f, r, (r + 1) & 0xf);
+        }
+        for r in 0..16u64 {
+            poke_word(&mut e, &f, "addr", r);
+            e.step_cycle();
+            assert_eq!(read_word(&e, &f, "rdata"), (r + 1) & 0xf, "row {r}");
+        }
+    }
+
+    #[test]
+    fn unwritten_rows_keep_preload() {
+        let f = mem_flat(MemoryKind::Sram, 4);
+        let clk = f.net_by_name("clk").unwrap();
+        let mut e = EventDrivenEngine::new(&f, clk).unwrap();
+        init(&mut e, &f);
+        write_row(&mut e, &f, 3, 0xF);
+        poke_word(&mut e, &f, "addr", 7);
+        e.step_cycle();
+        assert_eq!(read_word(&e, &f, "rdata"), 0);
+        poke_word(&mut e, &f, "addr", 3);
+        e.step_cycle();
+        assert_eq!(read_word(&e, &f, "rdata"), 0xF);
+    }
+
+    #[test]
+    fn parity_flips_on_odd_writes() {
+        let f = mem_flat(MemoryKind::Sram, 4);
+        let clk = f.net_by_name("clk").unwrap();
+        let mut e = EventDrivenEngine::new(&f, clk).unwrap();
+        init(&mut e, &f);
+        e.step_cycle();
+        assert_eq!(read_word(&e, &f, "parity"), 0);
+        write_row(&mut e, &f, 0, 0b0111); // three ones -> odd parity
+        assert_eq!(read_word(&e, &f, "parity"), 1);
+    }
+
+    #[test]
+    fn dram_macro_includes_refresh_counter() {
+        let sram = mem_flat(MemoryKind::Sram, 4);
+        let dram = mem_flat(MemoryKind::Dram, 4);
+        assert!(dram.cells().len() > sram.cells().len());
+        // The refresh counter LSB toggles the parity every cycle even with
+        // no writes.
+        let clk = dram.net_by_name("clk").unwrap();
+        let mut e = EventDrivenEngine::new(&dram, clk).unwrap();
+        e.poke(dram.net_by_name("we").unwrap(), Logic::Zero);
+        for i in 0..4 {
+            e.poke(dram.net_by_name(&format!("addr_{i}")).unwrap(), Logic::Zero);
+            e.poke(dram.net_by_name(&format!("wdata_{i}")).unwrap(), Logic::Zero);
+        }
+        let rst = dram.net_by_name("rst_n").unwrap();
+        e.poke(rst, Logic::Zero);
+        e.step_cycle();
+        e.step_cycle();
+        e.poke(rst, Logic::One);
+        for (id, cell) in dram.iter_cells() {
+            if cell.kind.is_memory_bit() {
+                e.set_cell_state(id, Logic::Zero);
+            }
+        }
+        let parity = dram.net_by_name("parity").unwrap();
+        e.step_cycle();
+        let p1 = e.peek(parity);
+        e.step_cycle();
+        let p2 = e.peek(parity);
+        assert_ne!(p1, p2, "refresh counter LSB should toggle parity");
+    }
+
+    #[test]
+    fn modeled_bits_matches_array() {
+        let f = mem_flat(MemoryKind::Sram, 8);
+        let bits = f
+            .iter_cells()
+            .filter(|(_, c)| c.kind.is_memory_bit())
+            .count() as u64;
+        assert_eq!(bits, modeled_bits(8));
+    }
+
+    #[test]
+    fn rad_hard_uses_hardened_cells() {
+        let f = mem_flat(MemoryKind::RadHardSram, 4);
+        assert!(f
+            .iter_cells()
+            .any(|(_, c)| c.kind == ssresf_netlist::CellKind::RadHardBit));
+    }
+}

@@ -1,0 +1,133 @@
+//! Gate-level array multiplier (low word).
+
+use crate::words::{adder, input_bus, output_bus};
+use ssresf_netlist::{CellKind, Design, ModuleBuilder, ModuleId, NetlistError};
+
+/// Builds a `width × width → width` (truncated low word) array multiplier
+/// named `mul_w{width}` with ports `a_*`, `b_*`, `y_*`.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+pub fn build_multiplier(design: &mut Design, width: usize) -> Result<ModuleId, NetlistError> {
+    let mut mb = ModuleBuilder::new(format!("mul_w{width}"));
+    let a = input_bus(&mut mb, "a", width);
+    let b = input_bus(&mut mb, "b", width);
+    let y = output_bus(&mut mb, "y", width);
+
+    let zero = mb.net("k0");
+    mb.cell("u_tie0", CellKind::Tie0, &[], &[zero])?;
+
+    // Accumulate shifted partial products row by row (truncating at width).
+    let mut acc: Vec<_> = (0..width)
+        .map(|j| {
+            let net = mb.net(format!("pp0_{j}"));
+            net
+        })
+        .collect();
+    for (j, &net) in acc.iter().enumerate() {
+        mb.cell(format!("u_pp0_{j}"), CellKind::And2, &[a[j], b[0]], &[net])?;
+    }
+    for i in 1..width {
+        let mut row = Vec::with_capacity(width);
+        for j in 0..width {
+            if j < i {
+                row.push(zero);
+            } else {
+                let net = mb.net(format!("pp{i}_{j}"));
+                mb.cell(format!("u_pp{i}_{j}"), CellKind::And2, &[a[j - i], b[i]], &[net])?;
+                row.push(net);
+            }
+        }
+        let (sum, _carry) = adder(&mut mb, &format!("u_row{i}"), &acc, &row, None)?;
+        acc = sum;
+    }
+    for i in 0..width {
+        mb.cell(format!("u_ybuf_{i}"), CellKind::Buf, &[acc[i]], &[y[i]])?;
+    }
+    design.add_module(mb.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssresf_netlist::{Design, PortDir};
+    use ssresf_sim::{Engine, EventDrivenEngine, Logic};
+
+    fn mul_flat(width: usize) -> ssresf_netlist::FlatNetlist {
+        let mut design = Design::new();
+        let mul = build_multiplier(&mut design, width).unwrap();
+        let mut mb = ModuleBuilder::new("top");
+        mb.port("clk", PortDir::Input);
+        let mut conns = Vec::new();
+        for i in 0..width {
+            conns.push(mb.port(format!("a_{i}"), PortDir::Input));
+        }
+        for i in 0..width {
+            conns.push(mb.port(format!("b_{i}"), PortDir::Input));
+        }
+        for i in 0..width {
+            conns.push(mb.port(format!("y_{i}"), PortDir::Output));
+        }
+        mb.instance("u_mul", mul, &conns).unwrap();
+        let top = design.add_module(mb.finish()).unwrap();
+        design.set_top(top).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn multiplies_exhaustively_4bit() {
+        let flat = mul_flat(4);
+        let clk = flat.net_by_name("clk").unwrap();
+        let mut engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for i in 0..4 {
+                    engine.poke(
+                        flat.net_by_name(&format!("a_{i}")).unwrap(),
+                        Logic::from_bool((a >> i) & 1 == 1),
+                    );
+                    engine.poke(
+                        flat.net_by_name(&format!("b_{i}")).unwrap(),
+                        Logic::from_bool((b >> i) & 1 == 1),
+                    );
+                }
+                engine.step_cycle();
+                let mut y = 0u64;
+                for i in 0..4 {
+                    if engine.peek(flat.net_by_name(&format!("y_{i}")).unwrap()) == Logic::One {
+                        y |= 1 << i;
+                    }
+                }
+                assert_eq!(y, (a * b) & 0xf, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplies_spot_checks_8bit() {
+        let flat = mul_flat(8);
+        let clk = flat.net_by_name("clk").unwrap();
+        let mut engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        for (a, b) in [(13u64, 11u64), (255, 255), (100, 3), (0, 77)] {
+            for i in 0..8 {
+                engine.poke(
+                    flat.net_by_name(&format!("a_{i}")).unwrap(),
+                    Logic::from_bool((a >> i) & 1 == 1),
+                );
+                engine.poke(
+                    flat.net_by_name(&format!("b_{i}")).unwrap(),
+                    Logic::from_bool((b >> i) & 1 == 1),
+                );
+            }
+            engine.step_cycle();
+            let mut y = 0u64;
+            for i in 0..8 {
+                if engine.peek(flat.net_by_name(&format!("y_{i}")).unwrap()) == Logic::One {
+                    y |= 1 << i;
+                }
+            }
+            assert_eq!(y, (a * b) & 0xff, "{a}*{b}");
+        }
+    }
+}

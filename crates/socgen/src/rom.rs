@@ -1,0 +1,95 @@
+//! Gate-level ROM generator (constant mux tree).
+
+use crate::words::{const_word, input_bus, mux_tree, output_bus};
+use ssresf_netlist::{CellKind, Design, ModuleBuilder, ModuleId, NetlistError};
+
+/// Builds a combinational ROM module named `name` holding `contents`
+/// zero-padded to `2^addr_bits` words of `data_bits` each. Ports: `addr_*`,
+/// `data_*`.
+///
+/// # Errors
+///
+/// Propagates netlist construction failures.
+///
+/// # Panics
+///
+/// Panics if `contents` does not fit in `2^addr_bits` words.
+pub fn build_rom(
+    design: &mut Design,
+    name: &str,
+    addr_bits: usize,
+    data_bits: usize,
+    contents: &[u64],
+) -> Result<ModuleId, NetlistError> {
+    let depth = 1usize << addr_bits;
+    assert!(contents.len() <= depth, "rom contents overflow");
+    let mut mb = ModuleBuilder::new(name);
+    let addr = input_bus(&mut mb, "addr", addr_bits);
+    let data = output_bus(&mut mb, "data", data_bits);
+
+    let words: Vec<_> = (0..depth)
+        .map(|i| {
+            let value = contents.get(i).copied().unwrap_or(0);
+            const_word(&mut mb, &format!("u_w{i}"), value, data_bits)
+        })
+        .collect::<Result<_, _>>()?;
+    let out = mux_tree(&mut mb, "u_sel", &addr, &words)?;
+    for i in 0..data_bits {
+        mb.cell(format!("u_dbuf_{i}"), CellKind::Buf, &[out[i]], &[data[i]])?;
+    }
+    design.add_module(mb.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssresf_netlist::PortDir;
+    use ssresf_sim::{Engine, EventDrivenEngine, Logic};
+
+    #[test]
+    fn rom_returns_programmed_words() {
+        let contents = [0x15u64, 0x70, 0x2A, 0xB4, 0x00, 0xFF];
+        let mut design = Design::new();
+        let rom = build_rom(&mut design, "prog_rom", 3, 8, &contents).unwrap();
+        let mut mb = ModuleBuilder::new("top");
+        mb.port("clk", PortDir::Input);
+        let mut conns = Vec::new();
+        for i in 0..3 {
+            conns.push(mb.port(format!("addr_{i}"), PortDir::Input));
+        }
+        for i in 0..8 {
+            conns.push(mb.port(format!("data_{i}"), PortDir::Output));
+        }
+        mb.instance("u_rom", rom, &conns).unwrap();
+        let top = design.add_module(mb.finish()).unwrap();
+        design.set_top(top).unwrap();
+        let flat = design.flatten().unwrap();
+
+        let clk = flat.net_by_name("clk").unwrap();
+        let mut engine = EventDrivenEngine::new(&flat, clk).unwrap();
+        for a in 0..8u64 {
+            for i in 0..3 {
+                engine.poke(
+                    flat.net_by_name(&format!("addr_{i}")).unwrap(),
+                    Logic::from_bool((a >> i) & 1 == 1),
+                );
+            }
+            engine.step_cycle();
+            let mut d = 0u64;
+            for i in 0..8 {
+                if engine.peek(flat.net_by_name(&format!("data_{i}")).unwrap()) == Logic::One {
+                    d |= 1 << i;
+                }
+            }
+            let expect = contents.get(a as usize).copied().unwrap_or(0);
+            assert_eq!(d, expect, "addr {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn rom_rejects_oversized_contents() {
+        let mut design = Design::new();
+        let _ = build_rom(&mut design, "r", 1, 8, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Top-level SoC assembly: cores + bus fabric + memory macro.
+
+use crate::bus::build_bus;
+use crate::connect::{connect, pin, pin_bus};
+use crate::cpu::build_cpu;
+use crate::memory::{build_memory, modeled_bits};
+use crate::soc::{BuiltSoc, SocConfig, SocInfo, MEM_ADDR_BITS};
+use crate::words::{output_bus, wire_bus};
+use ssresf_netlist::{Design, ModuleBuilder, NetlistError, PortDir};
+
+/// Sanitizes a benchmark name into a Verilog-safe module identifier.
+fn module_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_owned()
+}
+
+pub(crate) fn build(config: &SocConfig) -> Result<BuiltSoc, NetlistError> {
+    let w = config.isa.width();
+    let mut design = Design::new();
+    let cpu = build_cpu(&mut design, config.isa)?;
+    let bus = build_bus(
+        &mut design,
+        config.bus,
+        config.bus_width,
+        w,
+        config.cores,
+        MEM_ADDR_BITS,
+    )?;
+    let mem = build_memory(&mut design, config.memory, w)?;
+
+    let mut mb = ModuleBuilder::new(module_name(&config.name));
+    let clk = mb.port("clk", PortDir::Input);
+    let rst_n = mb.port("rst_n", PortDir::Input);
+
+    // Per-core observable outputs.
+    let mut core_out = Vec::new();
+    let mut core_alive = Vec::new();
+    let mut core_fflag = Vec::new();
+    let mut core_aflag = Vec::new();
+    for i in 0..config.cores {
+        core_out.push(output_bus(&mut mb, &format!("out{i}"), w));
+        core_alive.push(mb.port(format!("alive_{i}"), PortDir::Output));
+        core_fflag.push(mb.port(format!("fpu_flag_{i}"), PortDir::Output));
+        core_aflag.push(mb.port(format!("amo_flag_{i}"), PortDir::Output));
+    }
+    let bus_parity = mb.port("bus_parity", PortDir::Output);
+    let mem_parity = mb.port("mem_parity", PortDir::Output);
+
+    // Core ↔ bus wiring.
+    let m_rdata = wire_bus(&mut mb, "m_rdata", w);
+    let mut bus_pins = vec![pin("clk", clk), pin("rst_n", rst_n), pin("parity", bus_parity)];
+    for i in 0..config.cores {
+        let addr = wire_bus(&mut mb, &format!("c{i}_addr"), MEM_ADDR_BITS);
+        let wdata = wire_bus(&mut mb, &format!("c{i}_wdata"), w);
+        let we = mb.net(format!("c{i}_we"));
+        let grant = mb.net(format!("c{i}_grant"));
+        let mut cpu_pins = vec![
+            pin("clk", clk),
+            pin("rst_n", rst_n),
+            pin("grant", grant),
+            pin("mem_we", we),
+            pin("alive", core_alive[i]),
+            pin("fpu_flag", core_fflag[i]),
+            pin("amo_flag", core_aflag[i]),
+        ];
+        cpu_pins.extend(pin_bus("mem_rdata", &m_rdata));
+        cpu_pins.extend(pin_bus("mem_addr", &addr));
+        cpu_pins.extend(pin_bus("mem_wdata", &wdata));
+        cpu_pins.extend(pin_bus("out", &core_out[i]));
+        connect(&mut mb, &design, cpu, &format!("u_cpu{i}"), &cpu_pins)?;
+
+        bus_pins.extend(pin_bus(&format!("m{i}_addr"), &addr));
+        bus_pins.extend(pin_bus(&format!("m{i}_wdata"), &wdata));
+        bus_pins.push(pin(&format!("m{i}_we"), we));
+        bus_pins.push(pin(&format!("grant_{i}"), grant));
+    }
+
+    // Bus ↔ memory wiring.
+    let s_addr = wire_bus(&mut mb, "s_addr", MEM_ADDR_BITS);
+    let s_wdata = wire_bus(&mut mb, "s_wdata", w);
+    let s_we = mb.net("s_we");
+    let s_rdata = wire_bus(&mut mb, "s_rdata", w);
+    bus_pins.extend(pin_bus("s_addr", &s_addr));
+    bus_pins.extend(pin_bus("s_wdata", &s_wdata));
+    bus_pins.push(pin("s_we", s_we));
+    bus_pins.extend(pin_bus("s_rdata", &s_rdata));
+    bus_pins.extend(pin_bus("m_rdata", &m_rdata));
+    connect(&mut mb, &design, bus, "u_bus", &bus_pins)?;
+
+    let mut mem_pins = vec![
+        pin("clk", clk),
+        pin("rst_n", rst_n),
+        pin("we", s_we),
+        pin("parity", mem_parity),
+    ];
+    mem_pins.extend(pin_bus("addr", &s_addr));
+    mem_pins.extend(pin_bus("wdata", &s_wdata));
+    mem_pins.extend(pin_bus("rdata", &s_rdata));
+    connect(&mut mb, &design, mem, "u_mem", &mem_pins)?;
+
+    let top = design.add_module(mb.finish())?;
+    design.set_top(top)?;
+
+    let bits_modeled = modeled_bits(w);
+    let capacity_bits = config.memory_bytes * 8;
+    Ok(BuiltSoc {
+        design,
+        info: SocInfo {
+            config: config.clone(),
+            memory_bits_modeled: bits_modeled,
+            memory_scale_factor: capacity_bits as f64 / bits_modeled as f64,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_name_sanitizes() {
+        assert_eq!(module_name("PULP SoC_1"), "pulp_soc_1");
+        assert_eq!(module_name("a--b"), "a_b");
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: analyze one generated PULP-like SoC end-to-end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ssresf::{Ssresf, SsresfConfig};
+use ssresf_netlist::NetlistStats;
+use ssresf_socgen::{build_soc, SocConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate the smallest Table-I benchmark (PULP SoC_1) and flatten
+    //    its gate-level netlist.
+    let config = SocConfig::table1()[0].clone();
+    let soc = build_soc(&config)?;
+    let netlist = soc.design.flatten()?;
+    let stats = NetlistStats::compute(&netlist);
+    println!("== {} ==", config.name);
+    println!(
+        "{} cells ({} sequential, {} memory bits), {} nets",
+        stats.cells, stats.sequential, stats.memory_bits, stats.nets
+    );
+
+    // 2. Run the full SSRESF pipeline: clustering, sampling, fault
+    //    injection, SER evaluation, SVM training and whole-chip prediction.
+    let framework = Ssresf::new(
+        SsresfConfig::default().with_memory_scale(soc.info.memory_scale_factor),
+    );
+    let analysis = framework.analyze(&netlist)?;
+
+    // 3. Report what the paper reports.
+    println!("\n-- clustering --");
+    println!(
+        "{} clusters, sizes {:?}",
+        analysis.clustering.clusters,
+        analysis.clustering.sizes()
+    );
+
+    println!("\n-- soft-error analysis --");
+    println!(
+        "{} injections over {} sampled cells, {} soft errors",
+        analysis.campaign.records.len(),
+        analysis.sample.len(),
+        analysis.campaign.soft_errors()
+    );
+    for (class, ser) in &analysis.ser.per_module_class {
+        println!("  {class:<8} SER = {:.2}%", ser * 100.0);
+    }
+    println!("  chip SER (Eq. 2) = {:.2}%", analysis.ser.chip_ser * 100.0);
+    let (seu, set) = analysis.chip_xsect;
+    println!("  SEU xsect = {seu:.2e} cm², SET xsect = {set:.2e} cm²");
+
+    println!("\n-- sensitive-node classification --");
+    let m = &analysis.sensitivity_report.metrics;
+    println!(
+        "  TNR {:.2}%  TPR {:.2}%  precision {:.2}%  accuracy {:.2}%  F1 {:.2}",
+        m.tnr() * 100.0,
+        m.tpr() * 100.0,
+        m.precision() * 100.0,
+        m.accuracy() * 100.0,
+        m.f1()
+    );
+    println!("  ROC AUC = {:.3}", analysis.sensitivity_report.roc.auc);
+    for (class, &(high, total)) in &analysis.class_counts {
+        println!("  {class:<8} {high}/{total} nodes predicted highly sensitive");
+    }
+
+    println!("\n-- runtime --");
+    println!(
+        "  simulation {:.2?}, training {:.2?}, prediction {:.2?} (speed-up {:.0}x)",
+        analysis.timing.simulation,
+        analysis.timing.training,
+        analysis.timing.prediction,
+        analysis.timing.speedup()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Sensitivity scan across several Table-I SoC configurations: per-module
+//! SER, cluster counts and chip cross-sections (the Table-I experiment on a
+//! reduced budget).
+//!
+//! ```sh
+//! cargo run --release --example soc_sensitivity_scan
+//! ```
+
+use ssresf::{Ssresf, SsresfConfig, Workload};
+use ssresf_socgen::{build_soc, SocConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The first four benchmarks keep this example snappy; the bench crate's
+    // `table1` binary covers all ten.
+    let configs: Vec<SocConfig> = SocConfig::table1().into_iter().take(4).collect();
+
+    println!(
+        "{:<12} {:>14} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "Benchmark", "Memory", "Mem SER", "Bus SER", "CPU SER", "Clusters", "SET Xsect", "SEU Xsect"
+    );
+    for config in configs {
+        let soc = build_soc(&config)?;
+        let netlist = soc.design.flatten()?;
+
+        let mut fw_config =
+            SsresfConfig::default().with_memory_scale(soc.info.memory_scale_factor);
+        fw_config.clustering.clusters = 4 + config.bus_width.ilog2() as usize / 2;
+        fw_config.sampling.fraction = 0.1;
+        fw_config.campaign.workload = Workload {
+            reset_cycles: 3,
+            run_cycles: 80,
+        };
+        let analysis = Ssresf::new(fw_config).analyze(&netlist)?;
+
+        let ser_of = |class: &str| {
+            analysis
+                .ser
+                .per_module_class
+                .get(class)
+                .copied()
+                .unwrap_or(0.0)
+                * 100.0
+        };
+        let (seu, set) = analysis.chip_xsect;
+        println!(
+            "{:<12} {:>14} {:>8.2}% {:>8.2}% {:>8.2}% {:>9} {:>10.2e} {:>10.2e}",
+            config.name,
+            format!("{} {}", config.memory.name(), config.memory_bytes / 1024),
+            ser_of("memory"),
+            ser_of("bus"),
+            ser_of("cpu"),
+            analysis.clustering.clusters,
+            set,
+            seu,
+        );
+    }
+    println!("\n(SER percentages are per-injection rates on the sampled workload;");
+    println!(" Xsect columns are chip cross-sections in cm² at LET 37.)");
+    Ok(())
+}

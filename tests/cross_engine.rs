@@ -1,0 +1,126 @@
+//! Cross-engine validation on full SoCs: the event-driven (VCS stand-in)
+//! and levelized (CVC stand-in) engines must agree on golden workloads and
+//! on SEU verdicts, mirroring the paper's dual-simulator methodology.
+
+use ssresf::{run_campaign, CampaignConfig, Dut, EngineKind, Workload};
+use ssresf_netlist::CellId;
+use ssresf_socgen::{build_soc, SocConfig};
+
+fn workload() -> Workload {
+    Workload {
+        reset_cycles: 3,
+        run_cycles: 50,
+    }
+}
+
+#[test]
+fn engines_agree_on_soc_golden_runs() {
+    for index in [0usize, 2] {
+        let config = SocConfig::table1()[index].clone();
+        let soc = build_soc(&config).unwrap();
+        let netlist = soc.design.flatten().unwrap();
+        let dut = Dut::from_conventions(&netlist).unwrap();
+        let ev = dut.run(EngineKind::EventDriven, &workload(), &[]).unwrap();
+        let lv = dut.run(EngineKind::Levelized, &workload(), &[]).unwrap();
+        assert!(
+            ev.trace.matches(&lv.trace),
+            "{}: engines diverge: {:?}",
+            config.name,
+            ev.trace.diff(&lv.trace).into_iter().take(3).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_seu_campaign_verdicts() {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let netlist = soc.design.flatten().unwrap();
+    let dut = Dut::from_conventions(&netlist).unwrap();
+
+    // SEU semantics are cycle-exact in both engines, so verdicts match.
+    let ffs: Vec<CellId> = netlist
+        .iter_cells()
+        .filter(|(_, c)| c.kind.is_sequential())
+        .map(|(id, _)| id)
+        .step_by(7)
+        .take(24)
+        .collect();
+
+    let base = CampaignConfig {
+        workload: workload(),
+        ..CampaignConfig::default()
+    };
+    let ev = run_campaign(
+        &dut,
+        &ffs,
+        &CampaignConfig {
+            engine: EngineKind::EventDriven,
+            ..base
+        },
+    )
+    .unwrap();
+    let lv = run_campaign(
+        &dut,
+        &ffs,
+        &CampaignConfig {
+            engine: EngineKind::Levelized,
+            ..base
+        },
+    )
+    .unwrap();
+    for (a, b) in ev.records.iter().zip(&lv.records) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(
+            a.soft_error,
+            b.soft_error,
+            "verdict differs for {}",
+            netlist.cell_full_name(a.cell)
+        );
+    }
+}
+
+#[test]
+fn levelized_set_verdicts_are_pessimistic_relative_to_event_driven() {
+    // The levelized engine widens SET pulses to a full cycle, so any SET the
+    // event-driven engine catches must also be caught by the levelized one
+    // when the pulse spans the capturing edge. We check the aggregate: the
+    // levelized engine never reports *fewer* SET-induced soft errors.
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let netlist = soc.design.flatten().unwrap();
+    let dut = Dut::from_conventions(&netlist).unwrap();
+    let combs: Vec<CellId> = netlist
+        .iter_cells()
+        .filter(|(_, c)| c.kind.is_combinational())
+        .map(|(id, _)| id)
+        .step_by(11)
+        .take(30)
+        .collect();
+    let base = CampaignConfig {
+        workload: workload(),
+        ..CampaignConfig::default()
+    };
+    let ev = run_campaign(
+        &dut,
+        &combs,
+        &CampaignConfig {
+            engine: EngineKind::EventDriven,
+            ..base
+        },
+    )
+    .unwrap();
+    let lv = run_campaign(
+        &dut,
+        &combs,
+        &CampaignConfig {
+            engine: EngineKind::Levelized,
+            ..base
+        },
+    )
+    .unwrap();
+    assert!(
+        lv.soft_errors() >= ev.soft_errors(),
+        "levelized {} < event {}",
+        lv.soft_errors(),
+        ev.soft_errors()
+    );
+}

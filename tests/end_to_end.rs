@@ -1,0 +1,131 @@
+//! Workspace-level end-to-end test: the full SSRESF pipeline on a generated
+//! PULP-like SoC, asserting the paper's qualitative findings.
+
+use ssresf::{Ssresf, SsresfConfig, Workload};
+use ssresf_socgen::{build_soc, SocConfig};
+
+/// A reduced-budget configuration so the pipeline runs quickly in debug
+/// test builds while still exercising every stage.
+fn quick_config(memory_scale: f64) -> SsresfConfig {
+    let mut config = SsresfConfig::default().with_memory_scale(memory_scale);
+    config.sampling.fraction = 0.08;
+    config.sampling.min_per_cluster = 3;
+    config.campaign.workload = Workload {
+        reset_cycles: 3,
+        run_cycles: 60,
+    };
+    config.campaign.injections_per_cell = 1;
+    config
+}
+
+#[test]
+fn full_pipeline_on_soc1_reproduces_paper_shapes() {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let netlist = soc.design.flatten().unwrap();
+    let framework = Ssresf::new(quick_config(soc.info.memory_scale_factor));
+    let analysis = framework.analyze(&netlist).unwrap();
+
+    // Every sampled cell was injected at least once.
+    assert_eq!(
+        analysis.campaign.records.len(),
+        analysis.sample.len() * framework.config().campaign.injections_per_cell
+    );
+
+    // Some injections are masked, some propagate — both outcomes occur.
+    let errors = analysis.campaign.soft_errors();
+    assert!(errors > 0, "no soft errors observed");
+    assert!(
+        errors < analysis.campaign.records.len(),
+        "every injection propagated — masking is missing"
+    );
+
+    // Chip SER (Eq. 2) is a weighted mean of cluster SERs.
+    let max_cluster = analysis
+        .ser
+        .per_cluster
+        .iter()
+        .map(|c| c.ser())
+        .fold(0.0f64, f64::max);
+    assert!(analysis.ser.chip_ser > 0.0);
+    assert!(analysis.ser.chip_ser <= max_cluster + 1e-12);
+
+    // Paper Table I: bus is the most SER-sensitive subsystem.
+    let bus = analysis.ser.per_module_class.get("bus").copied().unwrap_or(0.0);
+    let cpu = analysis.ser.per_module_class.get("cpu").copied().unwrap_or(0.0);
+    assert!(
+        bus > cpu,
+        "bus SER ({bus:.3}) should exceed CPU logic SER ({cpu:.3})"
+    );
+
+    // The classifier is usable and fast.
+    let metrics = &analysis.sensitivity_report.metrics;
+    assert!(
+        metrics.accuracy() > 0.7,
+        "SVM accuracy {:.3} too low",
+        metrics.accuracy()
+    );
+    assert!(analysis.sensitivity_report.roc.auc > 0.6);
+    assert_eq!(analysis.predictions.len(), netlist.cells().len());
+
+    // Prediction replaces simulation at a large speed advantage.
+    assert!(
+        analysis.timing.speedup() > 10.0,
+        "speed-up only {:.1}x",
+        analysis.timing.speedup()
+    );
+
+    // Cross-sections: SEU dominated by the extrapolated memory array.
+    let (seu, set) = analysis.chip_xsect;
+    assert!(seu > 0.0 && set > 0.0);
+    assert!(seu > set, "memory extrapolation should dominate SEU xsect");
+}
+
+#[test]
+fn rad_hard_memory_reduces_seu_cross_section() {
+    // SoC_9 (SRAM) vs SoC_10 (rad-hard SRAM) — same 4 MB capacity.
+    let configs = SocConfig::table1();
+    let sram = build_soc(&configs[8]).unwrap();
+    let hard = build_soc(&configs[9]).unwrap();
+    let sram_flat = sram.design.flatten().unwrap();
+    let hard_flat = hard.design.flatten().unwrap();
+    let let37 = ssresf_radiation::Let::new(37.0);
+    let (sram_seu, _) =
+        ssresf::scaled_chip_xsect(&sram_flat, let37, sram.info.memory_scale_factor);
+    let (hard_seu, _) =
+        ssresf::scaled_chip_xsect(&hard_flat, let37, hard.info.memory_scale_factor);
+    assert!(
+        hard_seu < sram_seu / 2.0,
+        "rad-hard {hard_seu:.3e} vs SRAM {sram_seu:.3e}"
+    );
+}
+
+#[test]
+fn clustering_tracks_soc_hierarchy() {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let netlist = soc.design.flatten().unwrap();
+    let clustering = ssresf::cluster_cells(
+        &netlist,
+        &ssresf::ClusteringConfig {
+            clusters: 3,
+            layer_depth: 1,
+            seed: 5,
+            max_iters: 32,
+        },
+    )
+    .unwrap();
+    // With LN = 1 the distance only sees the top-level instance, so cells
+    // of u_cpu0 / u_bus / u_mem must separate cleanly.
+    let cluster_of_prefix = |prefix: &str| {
+        let mut clusters: Vec<usize> = netlist
+            .iter_cells()
+            .filter(|(id, _)| netlist.cell_full_name(*id).starts_with(prefix))
+            .map(|(id, _)| clustering.cluster_of(id))
+            .collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        clusters
+    };
+    assert_eq!(cluster_of_prefix("u_cpu0.").len(), 1);
+    assert_eq!(cluster_of_prefix("u_bus.").len(), 1);
+    assert_eq!(cluster_of_prefix("u_mem.").len(), 1);
+}

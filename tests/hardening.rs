@@ -1,0 +1,130 @@
+//! Workspace-level hardening tests: TMR preserves golden behavior and masks
+//! upsets in hardened flip-flops; SVM-guided selective hardening reduces
+//! the measured SER.
+
+use ssresf::{
+    run_campaign, selective_harden, CampaignConfig, Dut, EngineKind, HardeningStrategy, Ssresf,
+    SsresfConfig, Workload,
+};
+use ssresf_netlist::harden::sequential_only;
+use ssresf_netlist::CellId;
+use ssresf_sim::{Fault, SeuFault};
+use ssresf_socgen::{build_soc, SocConfig};
+
+fn workload() -> Workload {
+    Workload {
+        reset_cycles: 3,
+        run_cycles: 50,
+    }
+}
+
+#[test]
+fn tmr_preserves_golden_behavior_on_the_soc() {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let original = soc.design.flatten().unwrap();
+    let mut hardened = original.clone();
+    let all: Vec<CellId> = hardened.iter_cells().map(|(id, _)| id).collect();
+    let ffs = sequential_only(&hardened, &all);
+    hardened.tmr_harden(&ffs).unwrap();
+
+    let golden_orig = Dut::from_conventions(&original)
+        .unwrap()
+        .run(EngineKind::EventDriven, &workload(), &[])
+        .unwrap();
+    let golden_hard = Dut::from_conventions(&hardened)
+        .unwrap()
+        .run(EngineKind::EventDriven, &workload(), &[])
+        .unwrap();
+    assert!(
+        golden_orig.trace.matches(&golden_hard.trace),
+        "TMR changed functional behavior: {:?}",
+        golden_orig
+            .trace
+            .diff(&golden_hard.trace)
+            .into_iter()
+            .take(3)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn seu_in_hardened_ff_is_masked_by_the_voter() {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let mut netlist = soc.design.flatten().unwrap();
+    // Harden one observable counter-like flip-flop in the CPU.
+    let target = netlist
+        .iter_cells()
+        .find(|(_, c)| c.kind.is_sequential())
+        .map(|(id, _)| id)
+        .unwrap();
+    netlist.tmr_harden(&[target]).unwrap();
+    let dut = Dut::from_conventions(&netlist).unwrap();
+
+    let golden = dut.run(EngineKind::EventDriven, &workload(), &[]).unwrap();
+    // Flip the (hardened) original replica: the voter must mask it.
+    let faulty = dut
+        .run(
+            EngineKind::EventDriven,
+            &workload(),
+            &[Fault::Seu(SeuFault {
+                cell: target,
+                cycle: 10,
+                offset: 0.25,
+            })],
+        )
+        .unwrap();
+    assert!(
+        golden.trace.matches(&faulty.trace),
+        "voter failed to mask the SEU"
+    );
+
+    // Control: the same flip on the un-hardened netlist is observable.
+    let plain = soc.design.flatten().unwrap();
+    let dut_plain = Dut::from_conventions(&plain).unwrap();
+    let golden_plain = dut_plain
+        .run(EngineKind::EventDriven, &workload(), &[])
+        .unwrap();
+    let faulty_plain = dut_plain
+        .run(
+            EngineKind::EventDriven,
+            &workload(),
+            &[Fault::Seu(SeuFault {
+                cell: target,
+                cycle: 10,
+                offset: 0.25,
+            })],
+        )
+        .unwrap();
+    assert!(
+        !golden_plain.trace.matches(&faulty_plain.trace),
+        "control flip should be observable on the plain netlist"
+    );
+}
+
+#[test]
+fn guided_hardening_reduces_measured_ser() {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let netlist = soc.design.flatten().unwrap();
+    let mut config = SsresfConfig::default();
+    config.sampling.fraction = 0.1;
+    config.campaign.workload = workload();
+    let framework = Ssresf::new(config);
+    let analysis = framework.analyze(&netlist).unwrap();
+    let baseline_errors = analysis.campaign.soft_errors();
+    assert!(baseline_errors > 0, "need observable errors for this test");
+
+    let result =
+        selective_harden(&netlist, &analysis, 0.5, HardeningStrategy::SvmGuided).unwrap();
+    let dut = Dut::from_conventions(&result.netlist).unwrap();
+    let campaign = CampaignConfig {
+        workload: workload(),
+        ..framework.config().campaign
+    };
+    let outcome = run_campaign(&dut, &analysis.sample.all_cells(), &campaign).unwrap();
+    assert!(
+        outcome.soft_errors() < baseline_errors,
+        "hardening did not reduce soft errors: {} -> {}",
+        baseline_errors,
+        outcome.soft_errors()
+    );
+}
