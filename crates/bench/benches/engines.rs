@@ -16,9 +16,13 @@ fn bench_golden_runs(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("golden_run_soc1");
     for kind in [EngineKind::EventDriven, EngineKind::Levelized] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| dut.run(kind, &workload, &[]).expect("run succeeds"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| dut.run(kind, &workload, &[]).expect("run succeeds"));
+            },
+        );
     }
     group.finish();
 }
@@ -44,9 +48,13 @@ fn bench_injection_run(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("seu_injection_soc1");
     for kind in [EngineKind::EventDriven, EngineKind::Levelized] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| dut.run(kind, &workload, &[fault]).expect("run succeeds"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| dut.run(kind, &workload, &[fault]).expect("run succeeds"));
+            },
+        );
     }
     group.finish();
 }

@@ -16,7 +16,9 @@ use ssresf_netlist::FeatureExtractor;
 fn main() {
     let (built, flat) = soc(0);
     let config = analysis_config(&built, flat.cells().len());
-    let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+    let analysis = Ssresf::new(config)
+        .analyze(&flat)
+        .expect("analysis succeeds");
 
     // Rebuild the labeled dataset the pipeline trained on.
     let extractor = FeatureExtractor::new(&flat).expect("levelizable");
@@ -27,10 +29,17 @@ fn main() {
     let mut labels = Vec::new();
     for &cell in &sampled {
         rows.push(features[cell.index()].values.clone());
-        let prob = analysis.campaign.cell_error_probability(cell).unwrap_or(0.0);
+        let prob = analysis
+            .campaign
+            .cell_error_probability(cell)
+            .unwrap_or(0.0);
         let cluster = analysis.clustering.cluster_of(cell);
         let cluster_ser = analysis.ser.per_cluster[cluster].ser();
-        labels.push(if (prob + cluster_ser) / 2.0 >= chip { 1i8 } else { -1 });
+        labels.push(if (prob + cluster_ser) / 2.0 >= chip {
+            1i8
+        } else {
+            -1
+        });
     }
     let scaler = StandardScaler::fit(&rows).expect("fit succeeds");
     let data = Dataset::new(scaler.transform(&rows), labels).expect("valid dataset");
@@ -79,22 +88,34 @@ fn main() {
             },
         )
         .expect("training succeeds");
-        test_idx.iter().map(|&i| model.predict(data.row(i))).collect()
+        test_idx
+            .iter()
+            .map(|&i| model.predict(data.row(i)))
+            .collect()
     });
 
     evaluate("logistic regression", &|data, train_idx, test_idx| {
         let train = data.subset(train_idx);
         let model =
             LogisticRegression::train(&train, &LogisticParams::default()).expect("training");
-        test_idx.iter().map(|&i| model.predict(data.row(i))).collect()
+        test_idx
+            .iter()
+            .map(|&i| model.predict(data.row(i)))
+            .collect()
     });
 
     for k in [1usize, 5] {
-        evaluate(&format!("knn (k={k})"), &move |data, train_idx, test_idx| {
-            let train = data.subset(train_idx);
-            let model = KnnClassifier::fit(&train, k).expect("fit succeeds");
-            test_idx.iter().map(|&i| model.predict(data.row(i))).collect()
-        });
+        evaluate(
+            &format!("knn (k={k})"),
+            &move |data, train_idx, test_idx| {
+                let train = data.subset(train_idx);
+                let model = KnnClassifier::fit(&train, k).expect("fit succeeds");
+                test_idx
+                    .iter()
+                    .map(|&i| model.predict(data.row(i)))
+                    .collect()
+            },
+        );
     }
     println!("\n(The weighted RBF SVM should match or beat the baselines on F1/TPR.)");
 }

@@ -5,9 +5,7 @@
 //! cargo run --release -p ssresf-bench --bin ablation_hardening
 //! ```
 
-use ssresf::{
-    run_campaign, selective_harden, Dut, HardeningStrategy, Ssresf, Workload,
-};
+use ssresf::{run_campaign, selective_harden, Dut, HardeningStrategy, Ssresf, Workload};
 use ssresf_bench::{analysis_config, quick, soc};
 
 fn main() {
@@ -41,11 +39,11 @@ fn main() {
             HardeningStrategy::SvmGuided,
             HardeningStrategy::Random { seed: 17 },
         ] {
-            let result = selective_harden(&flat, &analysis, budget, strategy)
-                .expect("hardening succeeds");
+            let result =
+                selective_harden(&flat, &analysis, budget, strategy).expect("hardening succeeds");
             let dut = Dut::from_conventions(&result.netlist).expect("conventions");
-            let outcome = run_campaign(&dut, &sampled, &framework.config().campaign)
-                .expect("campaign runs");
+            let outcome =
+                run_campaign(&dut, &sampled, &framework.config().campaign).expect("campaign runs");
             let ser = outcome.soft_errors() as f64 / outcome.records.len().max(1) as f64;
             let name = match strategy {
                 HardeningStrategy::SvmGuided => "svm-guided",

@@ -53,7 +53,9 @@ fn main() {
             ..config.sensitivity
         };
         let started = Instant::now();
-        let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+        let analysis = Ssresf::new(config)
+            .analyze(&flat)
+            .expect("analysis succeeds");
         let train = analysis.timing.training.as_secs_f64();
         let m = &analysis.sensitivity_report.metrics;
         println!(

@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use ssresf::{
-    cluster_cells, evaluate_ser, run_campaign, sample_clusters, CampaignConfig, ClusterSample,
-    Dut, SamplingConfig, Workload,
+    cluster_cells, evaluate_ser, run_campaign, sample_clusters, CampaignConfig, ClusterSample, Dut,
+    SamplingConfig, Workload,
 };
 use ssresf_bench::{quick, soc};
 use ssresf_netlist::CellId;
@@ -43,8 +43,8 @@ fn main() {
         },
     )
     .expect("sampling succeeds");
-    let reference = run_campaign(&dut, &reference_sample.all_cells(), &campaign_config)
-        .expect("campaign runs");
+    let reference =
+        run_campaign(&dut, &reference_sample.all_cells(), &campaign_config).expect("campaign runs");
     let reference_ser = evaluate_ser(&flat, &clustering, &reference_sample, &reference)
         .expect("ser evaluates")
         .chip_ser;

@@ -6,7 +6,7 @@
 //! cargo run --release -p ssresf-bench --bin fig5
 //! ```
 
-use ssresf::{Ssresf, SensitivityConfig};
+use ssresf::{SensitivityConfig, Ssresf};
 use ssresf_bench::{analysis_config, soc};
 use ssresf_netlist::STRUCTURAL_FEATURE_NAMES;
 
@@ -18,14 +18,19 @@ fn main() {
         max_features: STRUCTURAL_FEATURE_NAMES.len(),
         ..config.sensitivity
     };
-    let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+    let analysis = Ssresf::new(config)
+        .analyze(&flat)
+        .expect("analysis succeeds");
     let curve = analysis
         .sensitivity_report
         .selection
         .expect("selection enabled");
 
     println!("FIG. 5: Mean 10-fold CV score vs number of selected features\n");
-    println!("{:>9} {:>10}  {:<14} {}", "features", "cv score", "added", "bar");
+    println!(
+        "{:>9} {:>10}  {:<14} {}",
+        "features", "cv score", "added", "bar"
+    );
     for (i, &score) in curve.scores.iter().enumerate() {
         let bar = "#".repeat((score * 50.0).round() as usize);
         println!(

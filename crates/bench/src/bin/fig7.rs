@@ -13,10 +13,7 @@ use ssresf_radiation::RadiationEnvironment;
 fn main() {
     let (built, flat) = soc(0);
     println!("FIG. 7: Proportion of high-sensitivity circuit nodes (PULP SoC_1)\n");
-    println!(
-        "{:>6} {:>10} {:>10} {:>10}",
-        "Flux", "bus", "memory", "cpu"
-    );
+    println!("{:>6} {:>10} {:>10} {:>10}", "Flux", "bus", "memory", "cpu");
 
     let mut per_class_sums = [0.0f64; 3];
     let sweep = RadiationEnvironment::flux_sweep();
@@ -34,7 +31,9 @@ fn main() {
             reset_cycles: 3,
             run_cycles: if quick() { 60 } else { 100 },
         };
-        let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+        let analysis = Ssresf::new(config)
+            .analyze(&flat)
+            .expect("analysis succeeds");
         let fractions = [
             analysis.class_sensitive_fraction("bus"),
             analysis.class_sensitive_fraction("memory"),

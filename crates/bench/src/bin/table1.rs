@@ -72,7 +72,11 @@ fn main() {
         rows.len()
     );
     let bus_ge_mem = rows.iter().filter(|r| r.1 >= r.0).count();
-    println!("  bus SER >= memory SER in {}/{} SoCs", bus_ge_mem, rows.len());
+    println!(
+        "  bus SER >= memory SER in {}/{} SoCs",
+        bus_ge_mem,
+        rows.len()
+    );
     println!(
         "  clusters grow with complexity: first {} -> last {}",
         rows.first().map(|r| r.3).unwrap_or(0),

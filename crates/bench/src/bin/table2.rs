@@ -45,5 +45,7 @@ fn main() {
         sums[3] / count as f64 * 100.0,
         sums[4] / count as f64
     );
-    println!("\n(Paper averages: TNR 90.91%, TPR 83.56%, precision 87.77%, accuracy 87.69%, F1 0.86.)");
+    println!(
+        "\n(Paper averages: TNR 90.91%, TPR 83.56%, precision 87.77%, accuracy 87.69%, F1 0.86.)"
+    );
 }

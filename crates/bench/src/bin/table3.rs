@@ -25,7 +25,9 @@ fn main() {
     // Train the classifier once from the standard pipeline.
     let mut config = analysis_config(&built, flat.cells().len());
     config.campaign.workload = workload;
-    let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+    let analysis = Ssresf::new(config)
+        .analyze(&flat)
+        .expect("analysis succeeds");
 
     let sampled = analysis.sample.all_cells();
     let unknown: Vec<CellId> = flat
@@ -87,8 +89,7 @@ fn main() {
                 high += 1;
             }
         }
-        let model_time =
-            t2.elapsed().as_secs_f64() + analysis.timing.prediction.as_secs_f64();
+        let model_time = t2.elapsed().as_secs_f64() + analysis.timing.prediction.as_secs_f64();
         let _ = high;
 
         // Accuracy per the paper's §IV-C methodology: consistency of the
@@ -128,15 +129,22 @@ fn main() {
             spd_lv,
             agree * 100.0
         );
-        for (a, v) in avgs.iter_mut().zip([
-            event_time, level_time, model_time, spd_ev, spd_lv, agree,
-        ]) {
+        for (a, v) in avgs
+            .iter_mut()
+            .zip([event_time, level_time, model_time, spd_ev, spd_lv, agree])
+        {
             *a += v / sweep.len() as f64;
         }
     }
     println!(
         "{:>6} {:>12.2} {:>12.2} {:>12.4} {:>11.1}x {:>11.1}x {:>9.1}%",
-        "Avg.", avgs[0], avgs[1], avgs[2], avgs[3], avgs[4], avgs[5] * 100.0
+        "Avg.",
+        avgs[0],
+        avgs[1],
+        avgs[2],
+        avgs[3],
+        avgs[4],
+        avgs[5] * 100.0
     );
     println!("\n(Paper averages: VCS 272.3 s, CVC 304.3 s, model 23.9 s, 11.44x / 12.78x, accuracy 94.58%.)");
     println!("(Simulation columns are scaled from a probed subset to the full unknown-node set.)");

@@ -11,7 +11,9 @@ use ssresf_socgen::{build_soc, BuiltSoc, SocConfig};
 
 /// Whether reduced budgets were requested via `SSRESF_QUICK=1`.
 pub fn quick() -> bool {
-    std::env::var("SSRESF_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SSRESF_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Builds one Table-I benchmark and flattens it.
@@ -54,7 +56,9 @@ pub fn analysis_config(built: &BuiltSoc, cells: usize) -> SsresfConfig {
 pub fn analyze(index: usize) -> (BuiltSoc, ssresf::Analysis) {
     let (built, flat) = soc(index);
     let config = analysis_config(&built, flat.cells().len());
-    let analysis = Ssresf::new(config).analyze(&flat).expect("analysis succeeds");
+    let analysis = Ssresf::new(config)
+        .analyze(&flat)
+        .expect("analysis succeeds");
     (built, analysis)
 }
 

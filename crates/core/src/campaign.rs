@@ -7,6 +7,14 @@
 //! trace diverges from the golden run — the paper's VCD-comparison loop.
 //! Injections run in parallel across threads; results are deterministic
 //! under the configured seed regardless of thread count.
+//!
+//! The golden run records engine-state checkpoints every
+//! [`CampaignConfig::checkpoint_interval`] cycles; each injection then
+//! restores the nearest checkpoint at or before its fault cycle instead of
+//! re-simulating from reset, and — with [`CampaignConfig::early_stop`] —
+//! terminates once its verdict is decided and its state has re-converged
+//! with the golden run. Both fast paths are bit-identical to from-scratch
+//! simulation by construction.
 
 use crate::error::SsresfError;
 use crate::workload::{Dut, EngineKind, Workload};
@@ -16,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use ssresf_netlist::CellId;
 use ssresf_radiation::{PulseWidthModel, RadiationEnvironment};
 use ssresf_sim::{CycleTrace, Fault, SetFault, SeuFault};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Campaign configuration.
@@ -35,6 +44,21 @@ pub struct CampaignConfig {
     pub engine: EngineKind,
     /// Worker threads (0 = all available cores).
     pub threads: usize,
+    /// Cycles between golden-run checkpoints that injection runs
+    /// fast-forward from (0 disables checkpointing; every run then replays
+    /// the workload from reset).
+    #[serde(default = "default_checkpoint_interval")]
+    pub checkpoint_interval: u64,
+    /// Terminate a faulty run early once its verdict is decided and its
+    /// engine state has re-converged with the golden run at a checkpoint
+    /// boundary; the skipped tail is filled from the golden trace, so
+    /// records are bit-identical either way.
+    #[serde(default)]
+    pub early_stop: bool,
+}
+
+fn default_checkpoint_interval() -> u64 {
+    10
 }
 
 impl Default for CampaignConfig {
@@ -47,6 +71,8 @@ impl Default for CampaignConfig {
             seed: 3,
             engine: EngineKind::EventDriven,
             threads: 0,
+            checkpoint_interval: default_checkpoint_interval(),
+            early_stop: false,
         }
     }
 }
@@ -120,12 +146,10 @@ impl CampaignOutcome {
 }
 
 /// Generates the faults for one cell (deterministic per cell and seed).
-pub fn faults_for_cell(
-    dut: &Dut<'_>,
-    cell: CellId,
-    config: &CampaignConfig,
-) -> Vec<Fault> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(cell.0) + 1)));
+pub fn faults_for_cell(dut: &Dut<'_>, cell: CellId, config: &CampaignConfig) -> Vec<Fault> {
+    let mut rng = StdRng::seed_from_u64(
+        config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(cell.0) + 1)),
+    );
     let info = dut.netlist().cell(cell);
     (0..config.injections_per_cell)
         .map(|_| {
@@ -165,7 +189,12 @@ pub fn run_campaign(
         return Err(SsresfError::Config("injections_per_cell is 0".into()));
     }
     let started = Instant::now();
-    let golden = dut.run(config.engine, &config.workload, &[])?;
+    // The golden run doubles as the checkpoint source workers fork from.
+    let golden = dut.run_golden_with_checkpoints(
+        config.engine,
+        &config.workload,
+        config.checkpoint_interval,
+    )?;
 
     // Pre-generate every fault so worker threads only simulate.
     let jobs: Vec<(CellId, Fault)> = cells
@@ -186,21 +215,37 @@ pub fn run_campaign(
     };
     let threads = threads.min(jobs.len().max(1));
 
-    let golden_trace = &golden.trace;
+    let golden_run = &golden;
+    let golden_trace = &golden.outcome.trace;
     let mut results: Vec<Option<(InjectionRecord, u64)>> = vec![None; jobs.len()];
     let error: std::sync::Mutex<Option<SsresfError>> = std::sync::Mutex::new(None);
+    // Raised on the first failure so sibling workers stop simulating
+    // chunks whose results will be discarded anyway.
+    let cancel = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         let mut remaining: &mut [Option<(InjectionRecord, u64)>] = &mut results;
         let chunk = jobs.len().div_ceil(threads).max(1);
-        for (t, job_chunk) in jobs.chunks(chunk).enumerate() {
+        for job_chunk in jobs.chunks(chunk) {
             let (mine, rest) = remaining.split_at_mut(job_chunk.len().min(remaining.len()));
             remaining = rest;
             let error = &error;
-            let _ = t;
+            let cancel = &cancel;
             scope.spawn(move || {
                 for ((cell, fault), slot) in job_chunk.iter().zip(mine.iter_mut()) {
-                    match dut.run(config.engine, &config.workload, &[*fault]) {
+                    if cancel.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // `resume` falls back to a from-scratch run when
+                    // checkpointing is disabled.
+                    let run = dut.resume(
+                        config.engine,
+                        &config.workload,
+                        std::slice::from_ref(fault),
+                        golden_run,
+                        config.early_stop,
+                    );
+                    match run {
                         Ok(outcome) => {
                             let diffs = golden_trace.diff(&outcome.trace);
                             *slot = Some((
@@ -214,6 +259,7 @@ pub fn run_campaign(
                             ));
                         }
                         Err(e) => {
+                            cancel.store(true, Ordering::Relaxed);
                             let mut guard = error.lock().expect("mutex poisoned");
                             if guard.is_none() {
                                 *guard = Some(e);
@@ -230,7 +276,7 @@ pub fn run_campaign(
         return Err(e);
     }
     let mut records = Vec::with_capacity(jobs.len());
-    let mut total_work = golden.work;
+    let mut total_work = golden.outcome.work;
     for slot in results {
         let (record, work) = slot.expect("worker completed without error");
         records.push(record);
@@ -238,8 +284,8 @@ pub fn run_campaign(
     }
 
     Ok(CampaignOutcome {
-        golden: golden.trace,
-        golden_activity: golden.activity_per_cycle,
+        golden: golden.outcome.trace,
+        golden_activity: golden.outcome.activity_per_cycle,
         records,
         simulation_time: started.elapsed(),
         total_work,
@@ -276,8 +322,13 @@ mod tests {
                     carry = c;
                 }
             }
-            mb.cell(format!("u_ff_{i}"), CellKind::Dffr, &[clk, d, rst_n], &[qs[i]])
-                .unwrap();
+            mb.cell(
+                format!("u_ff_{i}"),
+                CellKind::Dffr,
+                &[clk, d, rst_n],
+                &[qs[i]],
+            )
+            .unwrap();
         }
         let id = design.add_module(mb.finish()).unwrap();
         design.set_top(id).unwrap();
@@ -324,24 +375,8 @@ mod tests {
             },
             ..CampaignConfig::default()
         };
-        let one = run_campaign(
-            &dut,
-            &cells,
-            &CampaignConfig {
-                threads: 1,
-                ..base
-            },
-        )
-        .unwrap();
-        let four = run_campaign(
-            &dut,
-            &cells,
-            &CampaignConfig {
-                threads: 4,
-                ..base
-            },
-        )
-        .unwrap();
+        let one = run_campaign(&dut, &cells, &CampaignConfig { threads: 1, ..base }).unwrap();
+        let four = run_campaign(&dut, &cells, &CampaignConfig { threads: 4, ..base }).unwrap();
         assert_eq!(one.records, four.records);
     }
 
@@ -380,10 +415,110 @@ mod tests {
         )
         .unwrap();
         // SEU semantics are cycle-exact in both engines.
-        let verdicts = |o: &CampaignOutcome| -> Vec<bool> {
-            o.records.iter().map(|r| r.soft_error).collect()
-        };
+        let verdicts =
+            |o: &CampaignOutcome| -> Vec<bool> { o.records.iter().map(|r| r.soft_error).collect() };
         assert_eq!(verdicts(&ev), verdicts(&lv));
+    }
+
+    /// A counter whose low bit feeds a 3-stage shift register; upsets in
+    /// the shift stages flush out within 3 cycles, so faulty runs
+    /// re-converge with the golden run (exercising early stop).
+    fn shift_netlist() -> FlatNetlist {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("shifter");
+        let clk = mb.port("clk", PortDir::Input);
+        let rst_n = mb.port("rst_n", PortDir::Input);
+        let q0 = mb.port("q0", PortDir::Output);
+        let tap = mb.port("tap", PortDir::Output);
+        let nq = mb.net("nq");
+        mb.cell("u_inv", CellKind::Inv, &[q0], &[nq]).unwrap();
+        mb.cell("u_ff", CellKind::Dffr, &[clk, nq, rst_n], &[q0])
+            .unwrap();
+        let s1 = mb.net("s1");
+        let s2 = mb.net("s2");
+        mb.cell("u_sh_0", CellKind::Dffr, &[clk, q0, rst_n], &[s1])
+            .unwrap();
+        mb.cell("u_sh_1", CellKind::Dffr, &[clk, s1, rst_n], &[s2])
+            .unwrap();
+        mb.cell("u_sh_2", CellKind::Dffr, &[clk, s2, rst_n], &[tap])
+            .unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn checkpointed_records_match_from_scratch_and_reduce_work() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let base = CampaignConfig {
+            injections_per_cell: 2,
+            ..CampaignConfig::default()
+        };
+        let scratch = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                checkpoint_interval: 0,
+                ..base
+            },
+        )
+        .unwrap();
+        let checkpointed = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                checkpoint_interval: 10,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(scratch.records, checkpointed.records);
+        assert_eq!(scratch.golden, checkpointed.golden);
+        // Fault cycles are uniform over the workload, so fast-forwarding
+        // skips roughly half of every injection's cycles.
+        assert!(
+            checkpointed.total_work * 3 < scratch.total_work * 2,
+            "checkpointing saved too little: {} vs {}",
+            checkpointed.total_work,
+            scratch.total_work
+        );
+    }
+
+    #[test]
+    fn early_stop_records_match_and_reduce_work_further() {
+        let flat = shift_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 60,
+            },
+            injections_per_cell: 3,
+            checkpoint_interval: 5,
+            ..CampaignConfig::default()
+        };
+        let plain = run_campaign(&dut, &cells, &base).unwrap();
+        let stopped = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                early_stop: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.records, stopped.records);
+        // Shift-register upsets flush within 3 cycles, so early stop
+        // truncates their tails at the next checkpoint boundary.
+        assert!(
+            stopped.total_work < plain.total_work,
+            "early stop saved nothing: {} vs {}",
+            stopped.total_work,
+            plain.total_work
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ pub fn cluster_cells(
     }
     let mut path_ids: Vec<PathId> = groups.keys().copied().collect();
     path_ids.sort();
-    let paths: Vec<&HierPath> = path_ids.iter().map(|&p| netlist.paths().resolve(p)).collect();
+    let paths: Vec<&HierPath> = path_ids
+        .iter()
+        .map(|&p| netlist.paths().resolve(p))
+        .collect();
     let weights: Vec<u64> = path_ids.iter().map(|p| groups[p].len() as u64).collect();
     let n = paths.len();
     let kn = config.clusters.min(n);

@@ -209,9 +209,8 @@ impl Ssresf {
         let mut class_counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
         for (&(cell, high), feature) in predictions.iter().zip(&features) {
             debug_assert_eq!(cell, feature.cell);
-            let class = ModuleClass::infer(
-                netlist.paths().resolve(netlist.cell(cell).path).segments(),
-            );
+            let class =
+                ModuleClass::infer(netlist.paths().resolve(netlist.cell(cell).path).segments());
             let entry = class_counts.entry(class.name().to_owned()).or_default();
             entry.1 += 1;
             if high {

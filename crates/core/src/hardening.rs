@@ -72,9 +72,7 @@ pub fn selective_harden(
             let mut ranked: Vec<(CellId, f64)> = analysis
                 .predictions
                 .iter()
-                .filter(|&&(cell, sensitive)| {
-                    sensitive && netlist.cell(cell).kind.is_sequential()
-                })
+                .filter(|&&(cell, sensitive)| sensitive && netlist.cell(cell).kind.is_sequential())
                 .map(|&(cell, _)| {
                     let features =
                         extractor.extract_cell(cell, Some(&analysis.campaign.golden_activity));
@@ -82,13 +80,10 @@ pub fn selective_harden(
                 })
                 .collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            sequential_only(
-                netlist,
-                &ranked.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
-            )
-            .into_iter()
-            .take(budget)
-            .collect()
+            sequential_only(netlist, &ranked.iter().map(|&(c, _)| c).collect::<Vec<_>>())
+                .into_iter()
+                .take(budget)
+                .collect()
         }
         HardeningStrategy::Random { seed } => {
             let mut pool = sequential.clone();

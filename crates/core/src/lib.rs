@@ -9,7 +9,8 @@
 //!    hierarchical-path distance;
 //! 2. [`sampling`] — equal-proportion random sampling within clusters;
 //! 3. [`campaign`] — SET/SEU fault injection into a live logic simulation,
-//!    with soft errors detected by golden-vs-faulty output-trace comparison;
+//!    with soft errors detected by golden-vs-faulty output-trace comparison
+//!    and each injection fast-forwarded from golden-run checkpoints;
 //! 4. [`ser`] — per-cluster and whole-chip soft-error rate (Eq. 2);
 //! 5. [`sensitivity`] — SVM training on structural features and fast
 //!    classification of every remaining node.
@@ -62,4 +63,4 @@ pub use sensitivity::{
     train_sensitivity, SensitivityConfig, SensitivityReport, TrainedSensitivity,
 };
 pub use ser::{evaluate_ser, ClusterSer, SerEvaluation};
-pub use workload::{Dut, EngineKind, RunOutcome, Workload};
+pub use workload::{Checkpoint, Dut, EngineKind, GoldenRun, RunOutcome, Workload};

@@ -102,8 +102,12 @@ pub fn evaluate_ser(
         if record.soft_error {
             per_cluster[cluster].errors += 1;
         }
-        let class =
-            ModuleClass::infer(netlist.paths().resolve(netlist.cell(record.cell).path).segments());
+        let class = ModuleClass::infer(
+            netlist
+                .paths()
+                .resolve(netlist.cell(record.cell).path)
+                .segments(),
+        );
         let entry = class_counts.entry(class.name().to_owned()).or_default();
         entry.0 += 1;
         if record.soft_error {
@@ -128,7 +132,11 @@ pub fn evaluate_ser(
         .map(|(class, (inj, err))| {
             (
                 class,
-                if inj == 0 { 0.0 } else { err as f64 / inj as f64 },
+                if inj == 0 {
+                    0.0
+                } else {
+                    err as f64 / inj as f64
+                },
             )
         })
         .collect();

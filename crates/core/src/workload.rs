@@ -10,7 +10,8 @@ use crate::error::SsresfError;
 use serde::{Deserialize, Serialize};
 use ssresf_netlist::{FlatNetlist, NetId};
 use ssresf_sim::{
-    CycleTrace, Engine, EventDrivenEngine, Fault, LevelizedEngine, Logic, SetFault, SeuFault,
+    CycleTrace, Engine, EngineState, EventDrivenEngine, Fault, LevelizedEngine, Logic, SetFault,
+    SeuFault,
 };
 
 /// Which simulation engine to use.
@@ -59,6 +60,51 @@ pub struct RunOutcome {
     pub activity_per_cycle: Vec<f64>,
     /// Engine work proxy (events processed / cells evaluated).
     pub work: u64,
+}
+
+/// A golden-run engine snapshot taken at a post-reset cycle boundary.
+///
+/// Restoring it fast-forwards a faulty run past the cycles the golden run
+/// already simulated; see [`Dut::resume`].
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Post-reset cycles completed when the snapshot was taken (0 = right
+    /// after reset and memory-image load, before the first workload cycle).
+    pub cycle: u64,
+    state: EngineState,
+}
+
+impl Checkpoint {
+    /// The captured engine state.
+    pub fn state(&self) -> &EngineState {
+        &self.state
+    }
+}
+
+/// A golden (fault-free) run plus the checkpoints recorded along it.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// The golden run's trace, activity and work.
+    pub outcome: RunOutcome,
+    /// Snapshots in strictly increasing cycle order; empty when
+    /// checkpointing was disabled.
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+impl GoldenRun {
+    /// The latest checkpoint at or before `cycle`.
+    pub fn nearest_checkpoint(&self, cycle: u64) -> Option<&Checkpoint> {
+        let idx = self.checkpoints.partition_point(|c| c.cycle <= cycle);
+        idx.checked_sub(1).map(|i| &self.checkpoints[i])
+    }
+
+    /// The checkpoint taken exactly at `cycle`, if any.
+    pub fn checkpoint_at(&self, cycle: u64) -> Option<&Checkpoint> {
+        self.checkpoints
+            .binary_search_by_key(&cycle, |c| c.cycle)
+            .ok()
+            .map(|i| &self.checkpoints[i])
+    }
 }
 
 /// A device-under-test: netlist plus its clock/reset conventions.
@@ -122,14 +168,85 @@ impl<'a> Dut<'a> {
         }
     }
 
-    fn drive<E: Engine>(
+    /// Runs the fault-free workload, snapshotting engine state every
+    /// `interval` post-reset cycles — plus once right after reset and
+    /// memory-image load, before the first workload cycle. An `interval`
+    /// of 0 disables checkpointing (the returned run has no checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    pub fn run_golden_with_checkpoints(
         &self,
-        mut engine: E,
+        kind: EngineKind,
+        workload: &Workload,
+        interval: u64,
+    ) -> Result<GoldenRun, SsresfError> {
+        match kind {
+            EngineKind::EventDriven => {
+                let engine = EventDrivenEngine::new(self.netlist, self.clock)?;
+                self.drive_golden(engine, workload, interval, |e| e.events_processed())
+            }
+            EngineKind::Levelized => {
+                let engine = LevelizedEngine::new(self.netlist, self.clock)?;
+                self.drive_golden(engine, workload, interval, |e| e.cells_evaluated())
+            }
+        }
+    }
+
+    /// Re-runs the workload with `faults`, fast-forwarding over the golden
+    /// prefix: the engine restores the latest golden checkpoint at or
+    /// before the earliest fault cycle and simulates only the remaining
+    /// cycles, with the skipped trace prefix copied from the golden run
+    /// (bit-identical by determinism — the fault has not fired yet).
+    ///
+    /// With `early_stop`, the run also terminates at the first golden
+    /// checkpoint boundary past the last fault cycle where the engine
+    /// state has re-converged with the golden run; the remaining rows are
+    /// filled from the golden trace, which the convergence check proves
+    /// identical. Either way the returned trace is bit-identical to a
+    /// from-scratch [`run`](Dut::run) with the same faults.
+    /// [`RunOutcome::work`] counts only the work of the resumed portion,
+    /// and [`RunOutcome::activity_per_cycle`] covers the golden prefix
+    /// plus the simulated suffix.
+    ///
+    /// Falls back to a from-scratch [`run`](Dut::run) when `golden` holds
+    /// no checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    pub fn resume(
+        &self,
+        kind: EngineKind,
         workload: &Workload,
         faults: &[Fault],
-        work: impl Fn(&E) -> u64,
+        golden: &GoldenRun,
+        early_stop: bool,
     ) -> Result<RunOutcome, SsresfError> {
-        // Reset sequence.
+        let first_fault = faults.iter().map(Fault::cycle).min().unwrap_or(0);
+        let Some(start) = golden.nearest_checkpoint(first_fault) else {
+            return self.run(kind, workload, faults);
+        };
+        match kind {
+            EngineKind::EventDriven => {
+                let engine = EventDrivenEngine::new(self.netlist, self.clock)?;
+                self.drive_resumed(engine, workload, faults, golden, start, early_stop, |e| {
+                    e.events_processed()
+                })
+            }
+            EngineKind::Levelized => {
+                let engine = LevelizedEngine::new(self.netlist, self.clock)?;
+                self.drive_resumed(engine, workload, faults, golden, start, early_stop, |e| {
+                    e.cells_evaluated()
+                })
+            }
+        }
+    }
+
+    /// Reset sequence plus post-reset memory-image load — the state every
+    /// run starts from, and the state a cycle-0 checkpoint captures.
+    fn setup<E: Engine>(&self, engine: &mut E, workload: &Workload) {
         if let Some(rst) = self.reset {
             engine.poke(rst, Logic::Zero);
             for _ in 0..workload.reset_cycles {
@@ -148,8 +265,11 @@ impl<'a> Dut<'a> {
         for id in memory_cells {
             engine.set_cell_state(id, Logic::Zero);
         }
+    }
 
-        // Schedule faults, shifted into absolute engine cycles.
+    /// Schedules `faults` with their workload-relative cycles shifted into
+    /// absolute engine cycles.
+    fn schedule_shifted<E: Engine>(&self, engine: &mut E, workload: &Workload, faults: &[Fault]) {
         let offset = if self.reset.is_some() {
             workload.reset_cycles
         } else {
@@ -168,14 +288,28 @@ impl<'a> Dut<'a> {
             };
             engine.schedule_fault(shifted);
         }
+    }
 
-        // Observe all primary outputs.
+    /// All primary outputs plus an empty trace named after them.
+    fn observed_outputs(&self) -> (Vec<NetId>, CycleTrace) {
         let outputs: Vec<NetId> = self.netlist.primary_outputs().to_vec();
         let names = outputs
             .iter()
             .map(|&n| self.netlist.net(n).name.clone())
             .collect();
-        let mut trace = CycleTrace::new(names);
+        (outputs, CycleTrace::new(names))
+    }
+
+    fn drive<E: Engine>(
+        &self,
+        mut engine: E,
+        workload: &Workload,
+        faults: &[Fault],
+        work: impl Fn(&E) -> u64,
+    ) -> Result<RunOutcome, SsresfError> {
+        self.setup(&mut engine, workload);
+        self.schedule_shifted(&mut engine, workload, faults);
+        let (outputs, mut trace) = self.observed_outputs();
         for _ in 0..workload.run_cycles {
             engine.step_cycle();
             trace.push_row(engine.sample(&outputs));
@@ -184,6 +318,85 @@ impl<'a> Dut<'a> {
             trace,
             activity_per_cycle: engine.activity_per_cycle(),
             work: work(&engine),
+        })
+    }
+
+    fn drive_golden<E: Engine>(
+        &self,
+        mut engine: E,
+        workload: &Workload,
+        interval: u64,
+        work: impl Fn(&E) -> u64,
+    ) -> Result<GoldenRun, SsresfError> {
+        self.setup(&mut engine, workload);
+        let (outputs, mut trace) = self.observed_outputs();
+        let mut checkpoints = Vec::new();
+        if interval > 0 {
+            checkpoints.push(Checkpoint {
+                cycle: 0,
+                state: engine.snapshot(),
+            });
+        }
+        for done in 1..=workload.run_cycles {
+            engine.step_cycle();
+            trace.push_row(engine.sample(&outputs));
+            if interval > 0 && done % interval == 0 && done < workload.run_cycles {
+                checkpoints.push(Checkpoint {
+                    cycle: done,
+                    state: engine.snapshot(),
+                });
+            }
+        }
+        Ok(GoldenRun {
+            outcome: RunOutcome {
+                trace,
+                activity_per_cycle: engine.activity_per_cycle(),
+                work: work(&engine),
+            },
+            checkpoints,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drive_resumed<E: Engine>(
+        &self,
+        mut engine: E,
+        workload: &Workload,
+        faults: &[Fault],
+        golden: &GoldenRun,
+        start: &Checkpoint,
+        early_stop: bool,
+        work: impl Fn(&E) -> u64,
+    ) -> Result<RunOutcome, SsresfError> {
+        engine.restore(&start.state);
+        let resumed_at = work(&engine);
+        self.schedule_shifted(&mut engine, workload, faults);
+        let (outputs, mut trace) = self.observed_outputs();
+        for row in &golden.outcome.trace.rows[..start.cycle as usize] {
+            trace.push_row(row.clone());
+        }
+        let last_fault = faults.iter().map(Fault::cycle).max().unwrap_or(0);
+        for done in (start.cycle + 1)..=workload.run_cycles {
+            engine.step_cycle();
+            trace.push_row(engine.sample(&outputs));
+            if early_stop && done > last_fault {
+                let converged = golden
+                    .checkpoint_at(done)
+                    .is_some_and(|reference| engine.snapshot().converged_with(&reference.state));
+                if converged {
+                    // The faulty run's state is bit-identical to golden, so
+                    // every remaining row is too: fill and stop simulating.
+                    for row in &golden.outcome.trace.rows[done as usize..] {
+                        trace.push_row(row.clone());
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(RunOutcome {
+            trace,
+            activity_per_cycle: engine.activity_per_cycle(),
+            work: work(&engine) - resumed_at,
         })
     }
 }
@@ -271,6 +484,62 @@ mod tests {
         assert!(!diffs.is_empty());
         // The first divergence appears exactly at workload cycle 5.
         assert_eq!(diffs.iter().map(|d| d.cycle).min(), Some(5));
+    }
+
+    #[test]
+    fn golden_checkpoints_are_spaced_by_interval() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let wl = Workload {
+            reset_cycles: 2,
+            run_cycles: 25,
+        };
+        let golden = dut
+            .run_golden_with_checkpoints(EngineKind::EventDriven, &wl, 10)
+            .unwrap();
+        let cycles: Vec<u64> = golden.checkpoints.iter().map(|c| c.cycle).collect();
+        assert_eq!(cycles, vec![0, 10, 20]);
+        assert_eq!(golden.nearest_checkpoint(9).unwrap().cycle, 0);
+        assert_eq!(golden.nearest_checkpoint(10).unwrap().cycle, 10);
+        assert_eq!(golden.nearest_checkpoint(24).unwrap().cycle, 20);
+        assert!(golden.checkpoint_at(15).is_none());
+        assert_eq!(golden.checkpoint_at(20).unwrap().state().cycle(), 22);
+
+        let none = dut
+            .run_golden_with_checkpoints(EngineKind::EventDriven, &wl, 0)
+            .unwrap();
+        assert!(none.checkpoints.is_empty());
+        assert!(none.outcome.trace.matches(&golden.outcome.trace));
+    }
+
+    #[test]
+    fn resume_matches_from_scratch_for_both_engines() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let wl = Workload {
+            reset_cycles: 3,
+            run_cycles: 30,
+        };
+        let ff = flat.cell_by_name("u_ff").unwrap();
+        for kind in [EngineKind::EventDriven, EngineKind::Levelized] {
+            let golden = dut.run_golden_with_checkpoints(kind, &wl, 8).unwrap();
+            // Mid-interval, exactly on a checkpoint boundary, and cycle 0.
+            for cycle in [13, 16, 0] {
+                let fault = Fault::Seu(SeuFault {
+                    cell: ff,
+                    cycle,
+                    offset: 0.2,
+                });
+                let scratch = dut.run(kind, &wl, &[fault]).unwrap();
+                let resumed = dut.resume(kind, &wl, &[fault], &golden, false).unwrap();
+                assert!(
+                    scratch.trace.matches(&resumed.trace),
+                    "{} fault at {cycle} diverges",
+                    kind.name()
+                );
+                assert!(resumed.work <= scratch.work);
+            }
+        }
     }
 
     #[test]

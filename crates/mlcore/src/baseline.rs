@@ -71,12 +71,7 @@ impl LogisticRegression {
             let mut grad_w = vec![0.0f64; width];
             let mut grad_b = 0.0f64;
             for (row, &t) in data.features().iter().zip(&targets) {
-                let z = bias
-                    + row
-                        .iter()
-                        .zip(&weights)
-                        .map(|(x, w)| x * w)
-                        .sum::<f64>();
+                let z = bias + row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>();
                 let err = sigmoid(z) - t;
                 for (g, x) in grad_w.iter_mut().zip(row) {
                     *g += err * x;
@@ -93,11 +88,7 @@ impl LogisticRegression {
 
     /// Signed decision value (positive ⇒ class +1).
     pub fn decision(&self, x: &[f64]) -> f64 {
-        self.bias
-            + x.iter()
-                .zip(&self.weights)
-                .map(|(v, w)| v * w)
-                .sum::<f64>()
+        self.bias + x.iter().zip(&self.weights).map(|(v, w)| v * w).sum::<f64>()
     }
 
     /// Predicted class (+1 / −1).
@@ -157,8 +148,7 @@ impl KnnClassifier {
                 (d2, label)
             })
             .collect();
-        distances
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let votes: i32 = distances[..self.k].iter().map(|&(_, l)| i32::from(l)).sum();
         if votes >= 0 {
             1
@@ -203,7 +193,10 @@ mod tests {
         assert!(correct as f64 / data.len() as f64 > 0.95, "{correct}");
         // Decision sign matches prediction.
         for row in data.features() {
-            assert_eq!(model.predict(row), if model.decision(row) >= 0.0 { 1 } else { -1 });
+            assert_eq!(
+                model.predict(row),
+                if model.decision(row) >= 0.0 { 1 } else { -1 }
+            );
         }
     }
 

@@ -79,11 +79,7 @@ impl KFold {
 /// # Errors
 ///
 /// Propagates splitter and training errors.
-pub fn cross_val_score(
-    data: &Dataset,
-    params: &SvmParams,
-    folds: &KFold,
-) -> Result<f64, MlError> {
+pub fn cross_val_score(data: &Dataset, params: &SvmParams, folds: &KFold) -> Result<f64, MlError> {
     let splits = folds.split(data)?;
     let mut total = 0.0;
     let mut counted = 0usize;
@@ -174,12 +170,8 @@ mod tests {
     #[test]
     fn cv_score_is_high_on_separable_data() {
         let data = blob(30, 4);
-        let score = cross_val_score(
-            &data,
-            &SvmParams::default(),
-            &KFold::new(5, 0).unwrap(),
-        )
-        .unwrap();
+        let score =
+            cross_val_score(&data, &SvmParams::default(), &KFold::new(5, 0).unwrap()).unwrap();
         assert!(score > 0.95, "score = {score}");
     }
 
@@ -187,14 +179,12 @@ mod tests {
     fn cv_score_is_poor_on_random_labels() {
         let mut rng = StdRng::seed_from_u64(8);
         let x: Vec<Vec<f64>> = (0..60).map(|_| vec![rng.gen(), rng.gen()]).collect();
-        let y: Vec<i8> = (0..60).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+        let y: Vec<i8> = (0..60)
+            .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+            .collect();
         let data = Dataset::new(x, y).unwrap();
-        let score = cross_val_score(
-            &data,
-            &SvmParams::default(),
-            &KFold::new(5, 0).unwrap(),
-        )
-        .unwrap();
+        let score =
+            cross_val_score(&data, &SvmParams::default(), &KFold::new(5, 0).unwrap()).unwrap();
         assert!(score < 0.75, "score = {score}");
     }
 }

@@ -36,7 +36,9 @@ impl Dataset {
                     )));
                 }
                 if let Some(bad) = row.iter().find(|v| !v.is_finite()) {
-                    return Err(MlError::Param(format!("non-finite feature {bad} in row {i}")));
+                    return Err(MlError::Param(format!(
+                        "non-finite feature {bad} in row {i}"
+                    )));
                 }
             }
         }

@@ -120,8 +120,7 @@ mod tests {
     fn informative_features_are_selected_first() {
         let data = noisy_dataset();
         let folds = KFold::new(4, 0).unwrap();
-        let curve =
-            forward_selection(&data, &SvmParams::default(), &folds, 5).unwrap();
+        let curve = forward_selection(&data, &SvmParams::default(), &folds, 5).unwrap();
         assert_eq!(curve.scores.len(), 5);
         assert_eq!(curve.order.len(), 5);
         // The first pick is an informative column (0 or 2); once one is in,
@@ -148,8 +147,7 @@ mod tests {
     fn max_features_is_clamped_to_width() {
         let data = noisy_dataset();
         let folds = KFold::new(3, 0).unwrap();
-        let curve =
-            forward_selection(&data, &SvmParams::default(), &folds, 99).unwrap();
+        let curve = forward_selection(&data, &SvmParams::default(), &folds, 99).unwrap();
         assert_eq!(curve.scores.len(), data.width());
     }
 

@@ -106,7 +106,11 @@ pub fn roc_curve(truth: &[i8], scores: &[f64]) -> RocCurve {
     let positives = truth.iter().filter(|&&t| t > 0).count();
     let negatives = truth.len() - positives;
     let mut order: Vec<usize> = (0..truth.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut points = vec![(0.0, 0.0)];
     let (mut tp, mut fp) = (0usize, 0usize);

@@ -53,7 +53,10 @@ impl SvmParams {
             return Err(MlError::Param(format!("C = {} must be positive", self.c)));
         }
         if !(self.tol > 0.0 && self.tol.is_finite()) {
-            return Err(MlError::Param(format!("tol = {} must be positive", self.tol)));
+            return Err(MlError::Param(format!(
+                "tol = {} must be positive",
+                self.tol
+            )));
         }
         if self.max_passes == 0 || self.max_iters == 0 {
             return Err(MlError::Param("iteration budgets must be nonzero".into()));
@@ -91,7 +94,9 @@ impl SvmModel {
             return Err(MlError::Degenerate("empty training set".into()));
         }
         if !data.has_both_classes() {
-            return Err(MlError::Degenerate("training set has a single class".into()));
+            return Err(MlError::Degenerate(
+                "training set has a single class".into(),
+            ));
         }
 
         // Precompute the kernel matrix (training sets in SSRESF are the
@@ -123,7 +128,6 @@ impl SvmModel {
             })
             .collect();
         let tol = params.tol;
-
 
         let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
             let mut sum = b;
@@ -180,10 +184,12 @@ impl SvmModel {
                 alpha[i] = a_i;
                 alpha[j] = a_j;
 
-                let b1 = b - e_i
+                let b1 = b
+                    - e_i
                     - y[i] * (a_i - a_i_old) * kij(i, i)
                     - y[j] * (a_j - a_j_old) * kij(i, j);
-                let b2 = b - e_j
+                let b2 = b
+                    - e_j
                     - y[i] * (a_i - a_i_old) * kij(i, j)
                     - y[j] * (a_j - a_j_old) * kij(j, j);
                 b = if a_i > 0.0 && a_i < c_of[i] {
@@ -290,10 +296,16 @@ mod tests {
         let mut y = Vec::new();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
-            for (cx, cy, label) in
-                [(0.0, 0.0, -1i8), (1.0, 1.0, -1), (0.0, 1.0, 1), (1.0, 0.0, 1)]
-            {
-                x.push(vec![cx + rng.gen::<f64>() * 0.2, cy + rng.gen::<f64>() * 0.2]);
+            for (cx, cy, label) in [
+                (0.0, 0.0, -1i8),
+                (1.0, 1.0, -1),
+                (0.0, 1.0, 1),
+                (1.0, 0.0, 1),
+            ] {
+                x.push(vec![
+                    cx + rng.gen::<f64>() * 0.2,
+                    cy + rng.gen::<f64>() * 0.2,
+                ]);
                 y.push(label);
             }
         }
@@ -391,7 +403,10 @@ mod tests {
             y.push(-1);
         }
         for _ in 0..5 {
-            x.push(vec![1.0 + rng.gen::<f64>() * 0.6, 1.0 + rng.gen::<f64>() * 0.6]);
+            x.push(vec![
+                1.0 + rng.gen::<f64>() * 0.6,
+                1.0 + rng.gen::<f64>() * 0.6,
+            ]);
             y.push(1);
         }
         let data = Dataset::new(x, y).unwrap();

@@ -295,8 +295,14 @@ mod tests {
 
     #[test]
     fn memory_bits_have_memory_radiation_classes() {
-        assert_eq!(CellKind::SramBit.radiation_class(), RadiationClass::SramCell);
-        assert_eq!(CellKind::DramBit.radiation_class(), RadiationClass::DramCell);
+        assert_eq!(
+            CellKind::SramBit.radiation_class(),
+            RadiationClass::SramCell
+        );
+        assert_eq!(
+            CellKind::DramBit.radiation_class(),
+            RadiationClass::DramCell
+        );
         assert_eq!(
             CellKind::RadHardBit.radiation_class(),
             RadiationClass::RadHardCell

@@ -194,9 +194,7 @@ impl<'a> FeatureExtractor<'a> {
             ModuleClass::Other => (0.0, 0.0, 0.0),
         };
         let neighborhood = neighborhood_size(netlist, id) as f64;
-        let act = activity
-            .map(|a| a[cell.output.index()])
-            .unwrap_or(0.0);
+        let act = activity.map(|a| a[cell.output.index()]).unwrap_or(0.0);
 
         CellFeatures {
             cell: id,
@@ -303,7 +301,8 @@ mod tests {
         let anded = mb.net("anded");
         let q = mb.net("q");
         mb.cell("u_inv", CellKind::Inv, &[a], &[na]).unwrap();
-        mb.cell("u_and", CellKind::And2, &[na, b], &[anded]).unwrap();
+        mb.cell("u_and", CellKind::And2, &[na, b], &[anded])
+            .unwrap();
         mb.cell("u_ff", CellKind::Dff, &[clk, anded], &[q]).unwrap();
         mb.cell("u_buf", CellKind::Buf, &[q], &[y]).unwrap();
         let id = design.add_module(mb.finish()).unwrap();

@@ -187,12 +187,7 @@ impl FlatNetlist {
             .cells
             .iter()
             .enumerate()
-            .map(|(i, c)| {
-                (
-                    self.paths.resolve(c.path).join(&c.name),
-                    CellId(i as u32),
-                )
-            })
+            .map(|(i, c)| (self.paths.resolve(c.path).join(&c.name), CellId(i as u32)))
             .collect();
         self.net_by_name = self
             .nets
@@ -324,7 +319,15 @@ impl Design {
             }
         }
 
-        expand(self, top, root, HierPath::root(), &net_map, &mut flat, &mut stack)?;
+        expand(
+            self,
+            top,
+            root,
+            HierPath::root(),
+            &net_map,
+            &mut flat,
+            &mut stack,
+        )?;
 
         // Connectivity check: every net with loads (or marked as primary
         // output) must have exactly one driver.
@@ -410,7 +413,15 @@ fn expand(
             resolved.push(id);
         }
 
-        expand(design, inst.module, child_path_id, child_path, &resolved, flat, stack)?;
+        expand(
+            design,
+            inst.module,
+            child_path_id,
+            child_path,
+            &resolved,
+            flat,
+            stack,
+        )?;
     }
 
     stack.pop();
@@ -446,7 +457,8 @@ mod tests {
         let c1 = top.net("c1");
         top.instance("u_ha0", ha_id, &[x, y, s0, c0]).unwrap();
         top.instance("u_ha1", ha_id, &[s0, z, sum, c1]).unwrap();
-        top.cell("u_or", CellKind::Or2, &[c0, c1], &[carry]).unwrap();
+        top.cell("u_or", CellKind::Or2, &[c0, c1], &[carry])
+            .unwrap();
         let top_id = design.add_module(top.finish()).unwrap();
         design.set_top(top_id).unwrap();
         design

@@ -157,9 +157,27 @@ impl FlatNetlist {
             let ab = self.add_net(format!("{base}_tmr_ab"));
             let bc = self.add_net(format!("{base}_tmr_bc"));
             let ca = self.add_net(format!("{base}_tmr_ca"));
-            self.add_cell(format!("{base}_tmr_and_ab"), path, CellKind::And2, &[qa, qb], ab)?;
-            self.add_cell(format!("{base}_tmr_and_bc"), path, CellKind::And2, &[qb, qc], bc)?;
-            self.add_cell(format!("{base}_tmr_and_ca"), path, CellKind::And2, &[qc, qa], ca)?;
+            self.add_cell(
+                format!("{base}_tmr_and_ab"),
+                path,
+                CellKind::And2,
+                &[qa, qb],
+                ab,
+            )?;
+            self.add_cell(
+                format!("{base}_tmr_and_bc"),
+                path,
+                CellKind::And2,
+                &[qb, qc],
+                bc,
+            )?;
+            self.add_cell(
+                format!("{base}_tmr_and_ca"),
+                path,
+                CellKind::And2,
+                &[qc, qa],
+                ca,
+            )?;
             self.add_cell(
                 format!("{base}_tmr_vote"),
                 path,
@@ -231,7 +249,8 @@ mod tests {
         let q = mb.port("q", PortDir::Output);
         let nq = mb.net("nq");
         mb.cell("u_inv", CellKind::Inv, &[q], &[nq]).unwrap();
-        mb.cell("u_ff", CellKind::Dffr, &[clk, nq, rst_n], &[q]).unwrap();
+        mb.cell("u_ff", CellKind::Dffr, &[clk, nq, rst_n], &[q])
+            .unwrap();
         let id = design.add_module(mb.finish()).unwrap();
         design.set_top(id).unwrap();
         design.flatten().unwrap()

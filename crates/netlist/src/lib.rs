@@ -52,21 +52,12 @@ pub use error::NetlistError;
 pub use features::{CellFeatures, FeatureExtractor, ModuleClass, STRUCTURAL_FEATURE_NAMES};
 pub use flat::{CellId, FlatCell, FlatNet, FlatNetlist, NetId};
 pub use harden::HardeningReport;
-pub use path::{HierPath, PathInterner, PathId};
+pub use path::{HierPath, PathId, PathInterner};
 pub use stats::NetlistStats;
 
 /// Identifier of a module within a [`Design`].
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct ModuleId(pub(crate) u32);
 
@@ -79,16 +70,7 @@ impl ModuleId {
 
 /// Identifier of a net local to a [`Module`].
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct LocalNetId(pub(crate) u32);
 

@@ -45,10 +45,7 @@ pub(crate) fn lex(source: &str) -> Result<(Vec<Token>, Directives), NetlistError
             }
             c if c.is_whitespace() => i += 1,
             '/' if bytes.get(i + 1) == Some(&b'/') => {
-                let end = source[i..]
-                    .find('\n')
-                    .map(|o| i + o)
-                    .unwrap_or(bytes.len());
+                let end = source[i..].find('\n').map(|o| i + o).unwrap_or(bytes.len());
                 let comment = &source[i + 2..end];
                 if let Some(rest) = comment.trim().strip_prefix("top:") {
                     directives.top = Some(rest.trim().to_owned());
@@ -64,23 +61,38 @@ pub(crate) fn lex(source: &str) -> Result<(Vec<Token>, Directives), NetlistError
                 i += close + 4;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, line });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
                 i += 1;
             }
             c if is_ident_start(c) => {

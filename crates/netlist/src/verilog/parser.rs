@@ -18,7 +18,10 @@ use crate::error::NetlistError;
 /// construction errors (duplicate names, arity mismatches, unknown modules).
 pub fn parse_verilog(source: &str) -> Result<Design, NetlistError> {
     let (tokens, directives) = lex(source)?;
-    let mut parser = Parser { tokens: &tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens: &tokens,
+        pos: 0,
+    };
     let mut design = Design::new();
 
     while !parser.at_end() {
@@ -31,11 +34,11 @@ pub fn parse_verilog(source: &str) -> Result<Design, NetlistError> {
                 .module_by_name(name)
                 .ok_or_else(|| NetlistError::UnknownModule(name.clone()))?,
         ),
-        None => design
-            .modules()
-            .len()
-            .checked_sub(1)
-            .map(|i| design.module_by_name(&design.modules()[i].name).expect("just added")),
+        None => design.modules().len().checked_sub(1).map(|i| {
+            design
+                .module_by_name(&design.modules()[i].name)
+                .expect("just added")
+        }),
     };
     if let Some(top) = top {
         design.set_top(top)?;

@@ -33,10 +33,7 @@ fn write_module(out: &mut String, design: &Design, module: &Module) {
     }
     for (i, net) in module.nets.iter().enumerate() {
         // Port nets are implicitly declared by their direction statement.
-        let is_port = module
-            .ports
-            .iter()
-            .any(|p| p.net.index() == i);
+        let is_port = module.ports.iter().any(|p| p.net.index() == i);
         if !is_port {
             let _ = writeln!(out, "  wire {net};");
         }
@@ -67,7 +64,13 @@ fn write_module(out: &mut String, design: &Design, module: &Module) {
             .zip(&inst.connections)
             .map(|(port, net)| format!(".{}({})", port.name, module.nets[net.index()]))
             .collect();
-        let _ = writeln!(out, "  {} {} ({});", target.name, inst.name, conns.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            target.name,
+            inst.name,
+            conns.join(", ")
+        );
     }
     out.push_str("endmodule\n");
 }

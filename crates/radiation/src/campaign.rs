@@ -142,7 +142,9 @@ impl<'a> FluxCampaign<'a> {
         let mut faults = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let pick = rng.gen::<f64>() * total;
-            let idx = cumulative.partition_point(|&c| c < pick).min(rates.len() - 1);
+            let idx = cumulative
+                .partition_point(|&c| c < pick)
+                .min(rates.len() - 1);
             let cell_id = CellId(idx as u32);
             let cell = netlist.cell(cell_id);
             let cycle = rng.gen_range(0..self.config.exposure_cycles);

@@ -264,8 +264,6 @@ mod tests {
         let db = SoftErrorDatabase::standard();
         let l = Let::new(37.0);
         // DFFRE (28 transistors) vs DFF (20 transistors), same class.
-        assert!(
-            db.seu_cross_section(CellKind::Dffre, l) > db.seu_cross_section(CellKind::Dff, l)
-        );
+        assert!(db.seu_cross_section(CellKind::Dffre, l) > db.seu_cross_section(CellKind::Dff, l));
     }
 }

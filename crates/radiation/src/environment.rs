@@ -65,6 +65,8 @@ mod tests {
         assert_eq!(sweep.len(), 5);
         assert_eq!(sweep[0].flux.value(), 4e8);
         assert_eq!(sweep[4].flux.value(), 8e8);
-        assert!(sweep.windows(2).all(|w| w[0].flux.value() < w[1].flux.value()));
+        assert!(sweep
+            .windows(2)
+            .all(|w| w[0].flux.value() < w[1].flux.value()));
     }
 }

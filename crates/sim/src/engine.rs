@@ -1,8 +1,52 @@
 //! The common interface of the simulation engines.
 
+use crate::event::EventDrivenState;
 use crate::inject::Fault;
+use crate::levelized::LevelizedState;
 use crate::value::Logic;
+use serde::{Deserialize, Serialize};
 use ssresf_netlist::{CellId, FlatNetlist, NetId};
+
+/// A complete snapshot of an engine's dynamic state.
+///
+/// Produced by [`Engine::snapshot`] and consumed by [`Engine::restore`];
+/// the variant must match the engine kind that produced it. Snapshots are
+/// serializable so campaign checkpoints can be persisted or shipped to
+/// remote workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineState {
+    /// State of an [`EventDrivenEngine`](crate::EventDrivenEngine).
+    EventDriven(EventDrivenState),
+    /// State of a [`LevelizedEngine`](crate::LevelizedEngine).
+    Levelized(LevelizedState),
+}
+
+impl EngineState {
+    /// Completed cycles at the time of the snapshot.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            EngineState::EventDriven(s) => s.cycle(),
+            EngineState::Levelized(s) => s.cycle(),
+        }
+    }
+
+    /// Whether two same-kind snapshots would evolve identically from here
+    /// on.
+    ///
+    /// Compares only evolution-relevant state — net values, sequential
+    /// state, forces, pending events and scheduled faults. Bookkeeping
+    /// counters (toggle activity, the work proxy) are ignored, so a faulty
+    /// run whose state has re-converged with the golden run compares equal
+    /// even though it took a different path to get there. Snapshots of
+    /// different engine kinds never compare equal.
+    pub fn converged_with(&self, other: &EngineState) -> bool {
+        match (self, other) {
+            (EngineState::EventDriven(a), EngineState::EventDriven(b)) => a.converged_with(b),
+            (EngineState::Levelized(a), EngineState::Levelized(b)) => a.converged_with(b),
+            _ => false,
+        }
+    }
+}
 
 /// A gate-level logic simulation engine.
 ///
@@ -46,6 +90,23 @@ pub trait Engine {
 
     /// Schedules a fault; it fires when simulation reaches its cycle.
     fn schedule_fault(&mut self, fault: Fault);
+
+    /// Captures the engine's complete dynamic state.
+    ///
+    /// Restoring the snapshot into a fresh engine over the same netlist
+    /// and continuing the run produces traces bit-identical to a run that
+    /// never snapshotted — the contract fault-injection fast-forward
+    /// relies on.
+    fn snapshot(&self) -> EngineState;
+
+    /// Restores state previously captured by [`snapshot`](Engine::snapshot)
+    /// on an engine over the same netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` was captured by a different engine kind or on a
+    /// netlist of a different shape.
+    fn restore(&mut self, state: &EngineState);
 
     /// Advances one full clock cycle.
     fn step_cycle(&mut self);

@@ -6,12 +6,13 @@
 //! mid-cycle propagate — or get masked — with realistic timing, which is what
 //! distinguishes SET simulation from cycle-accurate approximations.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineState};
 use crate::eval::{async_override, eval_comb, next_state};
 use crate::inject::Fault;
 use crate::trace::{WaveSignal, WaveTrace};
 use crate::value::Logic;
 use crate::SimError;
+use serde::{Deserialize, Serialize};
 use ssresf_netlist::flat::Driver;
 use ssresf_netlist::{CellId, CellKind, FlatNetlist, NetId};
 use std::cmp::Reverse;
@@ -22,7 +23,7 @@ const GATE_DELAY: u64 = 1;
 /// Flip-flop clock-to-Q delay, in time units.
 const CLK_Q_DELAY: u64 = 2;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Action {
     SetNet(NetId, Logic),
     Eval(CellId),
@@ -31,7 +32,7 @@ enum Action {
     Flip(CellId),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct Event {
     time: u64,
     seq: u64,
@@ -47,6 +48,54 @@ impl Ord for Event {
 impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Snapshot of an [`EventDrivenEngine`]'s dynamic state: net values,
+/// sequential cell state, poked inputs, active forces, the pending event
+/// wheel, time/cycle counters, per-net toggle activity, scheduled faults
+/// and the work counter.
+///
+/// Waveform recording ([`EventDrivenEngine::record`]) is deliberately not
+/// part of the snapshot; restoring into an engine that is recording is
+/// unsupported.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventDrivenState {
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    input_values: Vec<Option<Logic>>,
+    forced: Vec<Option<Logic>>,
+    /// Pending events sorted by `(time, seq)` — same-time ordering is part
+    /// of the determinism contract.
+    queue: Vec<Event>,
+    seq: u64,
+    time: u64,
+    cycle: u64,
+    activity: Vec<u64>,
+    faults: Vec<Fault>,
+    events_processed: u64,
+}
+
+impl EventDrivenState {
+    pub(crate) fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Evolution-relevant equality: ignores the activity and work counters
+    /// and event sequence numbers (only the relative order of pending
+    /// events matters), so a faulty run that drifted and came back
+    /// compares equal to the golden run it re-converged with.
+    pub(crate) fn converged_with(&self, other: &Self) -> bool {
+        let pending =
+            |q: &[Event]| -> Vec<(u64, Action)> { q.iter().map(|e| (e.time, e.action)).collect() };
+        self.time == other.time
+            && self.cycle == other.cycle
+            && self.values == other.values
+            && self.state == other.state
+            && self.input_values == other.input_values
+            && self.forced == other.forced
+            && self.faults == other.faults
+            && pending(&self.queue) == pending(&other.queue)
     }
 }
 
@@ -272,9 +321,7 @@ impl<'a> EventDrivenEngine<'a> {
                 // FF output updates must reflect the *current* state: two
                 // queued updates can race and the later state must win.
                 let value = match self.netlist.net(net).driver {
-                    Some(Driver::Cell(cell))
-                        if self.netlist.cell(cell).kind.is_sequential() =>
-                    {
+                    Some(Driver::Cell(cell)) if self.netlist.cell(cell).kind.is_sequential() => {
                         self.state[cell.index()]
                     }
                     _ => value,
@@ -400,6 +447,46 @@ impl Engine for EventDrivenEngine<'_> {
         self.faults.push(fault);
     }
 
+    fn snapshot(&self) -> EngineState {
+        let mut queue: Vec<Event> = self.queue.iter().map(|r| r.0).collect();
+        queue.sort_unstable();
+        EngineState::EventDriven(EventDrivenState {
+            values: self.values.clone(),
+            state: self.state.clone(),
+            input_values: self.input_values.clone(),
+            forced: self.forced.clone(),
+            queue,
+            seq: self.seq,
+            time: self.time,
+            cycle: self.cycle,
+            activity: self.activity.clone(),
+            faults: self.faults.clone(),
+            events_processed: self.events_processed,
+        })
+    }
+
+    fn restore(&mut self, state: &EngineState) {
+        let EngineState::EventDriven(s) = state else {
+            panic!("event-driven engine cannot restore a levelized snapshot");
+        };
+        assert_eq!(
+            s.values.len(),
+            self.netlist.nets().len(),
+            "snapshot was taken on a different netlist"
+        );
+        self.values.clone_from(&s.values);
+        self.state.clone_from(&s.state);
+        self.input_values.clone_from(&s.input_values);
+        self.forced.clone_from(&s.forced);
+        self.queue = s.queue.iter().map(|&e| Reverse(e)).collect();
+        self.seq = s.seq;
+        self.time = s.time;
+        self.cycle = s.cycle;
+        self.activity.clone_from(&s.activity);
+        self.faults.clone_from(&s.faults);
+        self.events_processed = s.events_processed;
+    }
+
     fn step_cycle(&mut self) {
         let t0 = self.time;
         // Materialize faults firing this cycle into concrete events.
@@ -433,7 +520,10 @@ impl Engine for EventDrivenEngine<'_> {
         }
 
         self.push(t0, Action::SetNet(self.clock, Logic::One));
-        self.push(t0 + self.period / 2, Action::SetNet(self.clock, Logic::Zero));
+        self.push(
+            t0 + self.period / 2,
+            Action::SetNet(self.clock, Logic::Zero),
+        );
         self.run_until(t0 + self.period);
         self.cycle += 1;
     }

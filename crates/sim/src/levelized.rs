@@ -5,11 +5,12 @@
 //! pulses are therefore widened to a full cycle (a standard cycle-accurate
 //! approximation); golden runs match the event-driven engine exactly.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineState};
 use crate::eval::{async_override, eval_comb, next_state};
 use crate::inject::Fault;
 use crate::value::Logic;
 use crate::SimError;
+use serde::{Deserialize, Serialize};
 use ssresf_netlist::flat::Driver;
 use ssresf_netlist::{CellId, FlatNetlist, NetId};
 
@@ -23,6 +24,35 @@ fn disturb(v: Logic) -> Logic {
         Logic::Zero => Logic::One,
         Logic::One => Logic::Zero,
         Logic::X | Logic::Z => Logic::One,
+    }
+}
+
+/// Snapshot of a [`LevelizedEngine`]'s dynamic state. The levelized engine
+/// is memoryless between cycles apart from net values, sequential state and
+/// scheduled faults, so its snapshot is correspondingly small.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelizedState {
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    inverted: Vec<bool>,
+    faults: Vec<Fault>,
+    cycle: u64,
+    activity: Vec<u64>,
+    evals: u64,
+}
+
+impl LevelizedState {
+    pub(crate) fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Evolution-relevant equality: ignores the activity and eval counters.
+    pub(crate) fn converged_with(&self, other: &Self) -> bool {
+        self.cycle == other.cycle
+            && self.values == other.values
+            && self.state == other.state
+            && self.inverted == other.inverted
+            && self.faults == other.faults
     }
 }
 
@@ -186,6 +216,36 @@ impl Engine for LevelizedEngine<'_> {
 
     fn schedule_fault(&mut self, fault: Fault) {
         self.faults.push(fault);
+    }
+
+    fn snapshot(&self) -> EngineState {
+        EngineState::Levelized(LevelizedState {
+            values: self.values.clone(),
+            state: self.state.clone(),
+            inverted: self.inverted.clone(),
+            faults: self.faults.clone(),
+            cycle: self.cycle,
+            activity: self.activity.clone(),
+            evals: self.evals,
+        })
+    }
+
+    fn restore(&mut self, state: &EngineState) {
+        let EngineState::Levelized(s) = state else {
+            panic!("levelized engine cannot restore an event-driven snapshot");
+        };
+        assert_eq!(
+            s.values.len(),
+            self.netlist.nets().len(),
+            "snapshot was taken on a different netlist"
+        );
+        self.values.clone_from(&s.values);
+        self.state.clone_from(&s.state);
+        self.inverted.clone_from(&s.inverted);
+        self.faults.clone_from(&s.faults);
+        self.cycle = s.cycle;
+        self.activity.clone_from(&s.activity);
+        self.evals = s.evals;
     }
 
     fn step_cycle(&mut self) {

@@ -59,11 +59,11 @@ pub mod trace;
 pub mod value;
 pub mod vcd;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineState};
 pub use error::SimError;
-pub use event::EventDrivenEngine;
+pub use event::{EventDrivenEngine, EventDrivenState};
 pub use inject::{Fault, Force, SetFault, SeuFault};
-pub use levelized::LevelizedEngine;
+pub use levelized::{LevelizedEngine, LevelizedState};
 pub use testbench::{drive_random_inputs, Lfsr, Testbench};
 pub use trace::{CycleTrace, Divergence, WaveSignal, WaveTrace};
 pub use value::Logic;

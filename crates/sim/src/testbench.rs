@@ -82,11 +82,9 @@ impl<E: Engine> Testbench<E> {
             .iter()
             .map(|&n| netlist.net(n).name.clone())
             .collect();
-        let reset = netlist.net_by_name("rst_n").filter(|n| {
-            netlist
-                .primary_inputs()
-                .contains(n)
-        });
+        let reset = netlist
+            .net_by_name("rst_n")
+            .filter(|n| netlist.primary_inputs().contains(n));
         Testbench {
             engine,
             reset,

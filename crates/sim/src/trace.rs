@@ -177,7 +177,11 @@ impl WaveTrace {
 
     /// Compares two waveforms sampled at the given times, on signals common
     /// to both; returns `(time, name, a, b)` mismatches.
-    pub fn diff_sampled(&self, other: &WaveTrace, times: &[u64]) -> Vec<(u64, String, Logic, Logic)> {
+    pub fn diff_sampled(
+        &self,
+        other: &WaveTrace,
+        times: &[u64],
+    ) -> Vec<(u64, String, Logic, Logic)> {
         let mut out = Vec::new();
         for sig in &self.signals {
             if let Some(oth) = other.signal(&sig.name) {

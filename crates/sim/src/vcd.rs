@@ -170,9 +170,15 @@ mod tests {
         let text = write_vcd(&wave);
         let parsed = parse_vcd(&text).unwrap();
         assert_eq!(parsed.signals.len(), 2);
-        assert_eq!(parsed.signal("clk").unwrap().changes, wave.signals[0].changes);
+        assert_eq!(
+            parsed.signal("clk").unwrap().changes,
+            wave.signals[0].changes
+        );
         // Hierarchical separators are flattened to underscores in VCD names.
-        assert_eq!(parsed.signal("cpu_q").unwrap().changes, wave.signals[1].changes);
+        assert_eq!(
+            parsed.signal("cpu_q").unwrap().changes,
+            wave.signals[1].changes
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use ssresf_netlist::{CellKind, Design, FlatNetlist, ModuleBuilder, PortDir};
 use ssresf_sim::{
-    drive_random_inputs, Engine, EventDrivenEngine, Fault, Lfsr, LevelizedEngine, Logic, SetFault,
+    drive_random_inputs, Engine, EventDrivenEngine, Fault, LevelizedEngine, Lfsr, Logic, SetFault,
     SeuFault, Testbench,
 };
 
@@ -141,8 +141,13 @@ fn random_pipeline(seed: u32) -> FlatNetlist {
     }
     for (i, &out) in outs.iter().enumerate() {
         let d = wires[wires.len() - 1 - i];
-        mb.cell(format!("u_ff_{i}"), CellKind::Dffr, &[clk, d, rst_n], &[out])
-            .unwrap();
+        mb.cell(
+            format!("u_ff_{i}"),
+            CellKind::Dffr,
+            &[clk, d, rst_n],
+            &[out],
+        )
+        .unwrap();
     }
     let id = design.add_module(mb.finish()).unwrap();
     design.set_top(id).unwrap();
@@ -159,20 +164,18 @@ fn engines_agree_on_random_pipelines() {
             .collect();
 
         // Drive both engines with identical LFSR input streams.
-        let run = |flat: &FlatNetlist, which: u8| {
-            match which {
-                0 => {
-                    let engine = EventDrivenEngine::new(flat, clk).unwrap();
-                    let mut tb = Testbench::new(engine);
-                    let mut l = Lfsr::new(seed ^ 0xdead);
-                    tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
-                }
-                _ => {
-                    let engine = LevelizedEngine::new(flat, clk).unwrap();
-                    let mut tb = Testbench::new(engine);
-                    let mut l = Lfsr::new(seed ^ 0xdead);
-                    tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
-                }
+        let run = |flat: &FlatNetlist, which: u8| match which {
+            0 => {
+                let engine = EventDrivenEngine::new(flat, clk).unwrap();
+                let mut tb = Testbench::new(engine);
+                let mut l = Lfsr::new(seed ^ 0xdead);
+                tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
+            }
+            _ => {
+                let engine = LevelizedEngine::new(flat, clk).unwrap();
+                let mut tb = Testbench::new(engine);
+                let mut l = Lfsr::new(seed ^ 0xdead);
+                tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
             }
         };
         let a = run(&flat, 0);
@@ -350,4 +353,129 @@ fn event_engine_wave_recording_produces_vcd() {
     let text = ssresf_sim::vcd::write_vcd(&wave);
     let parsed = ssresf_sim::vcd::parse_vcd(&text).unwrap();
     assert_eq!(parsed.signals.len(), 2);
+}
+
+/// Resets the engine, runs `total` cycles sampling `outputs`, and snapshots
+/// after `snap_at` post-reset cycles.
+fn run_and_snapshot<E: Engine>(
+    engine: &mut E,
+    rst: ssresf_netlist::NetId,
+    outputs: &[ssresf_netlist::NetId],
+    snap_at: usize,
+    total: usize,
+) -> (Vec<Vec<Logic>>, ssresf_sim::EngineState) {
+    engine.poke(rst, Logic::Zero);
+    engine.step_cycle();
+    engine.step_cycle();
+    engine.poke(rst, Logic::One);
+    let mut rows = Vec::new();
+    let mut snap = None;
+    for c in 0..total {
+        engine.step_cycle();
+        rows.push(engine.sample(outputs));
+        if c + 1 == snap_at {
+            snap = Some(engine.snapshot());
+        }
+    }
+    (rows, snap.expect("snapshot taken"))
+}
+
+#[test]
+fn snapshot_restore_resumes_bit_identically_on_both_engines() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let rst = flat.net_by_name("rst_n").unwrap();
+    let outputs = flat.primary_outputs().to_vec();
+
+    let mut ev = EventDrivenEngine::new(&flat, clk).unwrap();
+    let (ev_rows, ev_snap) = run_and_snapshot(&mut ev, rst, &outputs, 8, 20);
+    let mut ev_resumed = EventDrivenEngine::new(&flat, clk).unwrap();
+    ev_resumed.restore(&ev_snap);
+    assert_eq!(ev_resumed.cycle(), ev_snap.cycle());
+    for row in ev_rows.iter().skip(8) {
+        ev_resumed.step_cycle();
+        assert_eq!(&ev_resumed.sample(&outputs), row);
+    }
+
+    let mut lv = LevelizedEngine::new(&flat, clk).unwrap();
+    let (lv_rows, lv_snap) = run_and_snapshot(&mut lv, rst, &outputs, 8, 20);
+    let mut lv_resumed = LevelizedEngine::new(&flat, clk).unwrap();
+    lv_resumed.restore(&lv_snap);
+    for row in lv_rows.iter().skip(8) {
+        lv_resumed.step_cycle();
+        assert_eq!(&lv_resumed.sample(&outputs), row);
+    }
+}
+
+#[test]
+fn restored_engine_honors_later_faults_identically() {
+    let flat = counter(4);
+    let clk = flat.net_by_name("clk").unwrap();
+    let rst = flat.net_by_name("rst_n").unwrap();
+    let outputs = flat.primary_outputs().to_vec();
+    let ff = flat.cell_by_name("u_ff_1").unwrap();
+    // Fires at absolute cycle 14 (2 reset + 12), after the cycle-10 snapshot.
+    let fault = Fault::Seu(SeuFault {
+        cell: ff,
+        cycle: 14,
+        offset: 0.4,
+    });
+
+    // Golden reference provides the snapshot; the from-scratch faulty run
+    // is identical to golden until the fault fires.
+    let mut golden = EventDrivenEngine::new(&flat, clk).unwrap();
+    let (_, snap) = run_and_snapshot(&mut golden, rst, &outputs, 8, 8);
+
+    let mut scratch = EventDrivenEngine::new(&flat, clk).unwrap();
+    scratch.poke(rst, Logic::Zero);
+    scratch.step_cycle();
+    scratch.step_cycle();
+    scratch.poke(rst, Logic::One);
+    scratch.schedule_fault(fault);
+    let mut scratch_rows = Vec::new();
+    for _ in 0..20 {
+        scratch.step_cycle();
+        scratch_rows.push(scratch.sample(&outputs));
+    }
+
+    let mut resumed = EventDrivenEngine::new(&flat, clk).unwrap();
+    resumed.restore(&snap);
+    resumed.schedule_fault(fault);
+    for row in scratch_rows.iter().skip(8) {
+        resumed.step_cycle();
+        assert_eq!(&resumed.sample(&outputs), row);
+    }
+}
+
+#[test]
+#[should_panic(expected = "cannot restore")]
+fn restoring_a_mismatched_snapshot_kind_panics() {
+    let flat = counter(2);
+    let clk = flat.net_by_name("clk").unwrap();
+    let ev = EventDrivenEngine::new(&flat, clk).unwrap();
+    let mut lv = LevelizedEngine::new(&flat, clk).unwrap();
+    lv.restore(&ev.snapshot());
+}
+
+#[test]
+fn snapshots_converge_ignoring_activity_counters() {
+    let flat = counter(3);
+    let clk = flat.net_by_name("clk").unwrap();
+    let rst = flat.net_by_name("rst_n").unwrap();
+    let outputs = flat.primary_outputs().to_vec();
+
+    // Two runs reaching the same cycle the same way converge...
+    let mut a = EventDrivenEngine::new(&flat, clk).unwrap();
+    let mut b = EventDrivenEngine::new(&flat, clk).unwrap();
+    let (_, snap_a) = run_and_snapshot(&mut a, rst, &outputs, 6, 6);
+    let (_, snap_b) = run_and_snapshot(&mut b, rst, &outputs, 6, 6);
+    assert!(snap_a.converged_with(&snap_b));
+
+    // ...but not with a different cycle count or engine kind.
+    let mut c = EventDrivenEngine::new(&flat, clk).unwrap();
+    let (_, snap_c) = run_and_snapshot(&mut c, rst, &outputs, 7, 7);
+    assert!(!snap_a.converged_with(&snap_c));
+    let mut l = LevelizedEngine::new(&flat, clk).unwrap();
+    let (_, snap_l) = run_and_snapshot(&mut l, rst, &outputs, 6, 6);
+    assert!(!snap_a.converged_with(&snap_l));
 }

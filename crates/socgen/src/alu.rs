@@ -41,16 +41,7 @@ pub fn build_alu(design: &mut Design, width: usize) -> Result<ModuleId, NetlistE
     // PassB needs its own nets so the mux tree has a uniform shape.
     let passb = b.clone();
 
-    let words = vec![
-        add,
-        sub,
-        and,
-        or,
-        xor,
-        passb.clone(),
-        passb.clone(),
-        passb,
-    ];
+    let words = vec![add, sub, and, or, xor, passb.clone(), passb.clone(), passb];
     let result = mux_tree(&mut mb, "u_sel", &op, &words)?;
     for i in 0..width {
         mb.cell(format!("u_ybuf_{i}"), CellKind::Buf, &[result[i]], &[y[i]])?;

@@ -15,7 +15,9 @@
 
 use crate::soc::BusKind;
 use crate::words::{input_bus, mux_word, output_bus, reduce_tree, register};
-use ssresf_netlist::{CellKind, Design, LocalNetId, ModuleBuilder, ModuleId, NetlistError, PortDir};
+use ssresf_netlist::{
+    CellKind, Design, LocalNetId, ModuleBuilder, ModuleId, NetlistError, PortDir,
+};
 
 /// Builds the bus fabric module `bus_{kind}_{width}x{masters}`.
 ///
@@ -106,11 +108,21 @@ pub fn build_bus(
         we_p = register(&mut mb, &format!("u_we_s{s}"), clk, rst_n, None, &[we_p])?[0];
     }
     for i in 0..addr_bits {
-        mb.cell(format!("u_sabuf_{i}"), CellKind::Buf, &[addr_p[i]], &[s_addr[i]])?;
+        mb.cell(
+            format!("u_sabuf_{i}"),
+            CellKind::Buf,
+            &[addr_p[i]],
+            &[s_addr[i]],
+        )?;
     }
     mb.cell("u_swebuf", CellKind::Buf, &[we_p], &[s_we])?;
     for b in 0..w {
-        mb.cell(format!("u_sdbuf_{b}"), CellKind::Buf, &[lanes[b]], &[s_wdata[b]])?;
+        mb.cell(
+            format!("u_sdbuf_{b}"),
+            CellKind::Buf,
+            &[lanes[b]],
+            &[s_wdata[b]],
+        )?;
     }
 
     // Read-data return path, registered through the same stage count.
@@ -119,7 +131,12 @@ pub fn build_bus(
         rpath = register(&mut mb, &format!("u_rd_s{s}"), clk, rst_n, None, &rpath)?;
     }
     for b in 0..w {
-        mb.cell(format!("u_mrbuf_{b}"), CellKind::Buf, &[rpath[b]], &[m_rdata[b]])?;
+        mb.cell(
+            format!("u_mrbuf_{b}"),
+            CellKind::Buf,
+            &[rpath[b]],
+            &[m_rdata[b]],
+        )?;
     }
 
     // Parity over the final write-lane stage (plus the AXI read-channel
@@ -270,7 +287,10 @@ mod tests {
             e.step_cycle();
             let now = (e.peek(g0), e.peek(g1));
             // Exactly one master granted, and the grant alternates.
-            assert!(matches!(now, (Logic::One, Logic::Zero) | (Logic::Zero, Logic::One)));
+            assert!(matches!(
+                now,
+                (Logic::One, Logic::Zero) | (Logic::Zero, Logic::One)
+            ));
             if now.0 == Logic::One {
                 seen0 += 1;
             } else {

@@ -16,7 +16,9 @@ use crate::words::{
     adder, bitwise, const_word, decoder, input_bus, mux_word, output_bus, reduce_tree, register,
     wire_bus,
 };
-use ssresf_netlist::{CellKind, Design, LocalNetId, ModuleBuilder, ModuleId, NetlistError, PortDir};
+use ssresf_netlist::{
+    CellKind, Design, LocalNetId, ModuleBuilder, ModuleId, NetlistError, PortDir,
+};
 
 /// Program-counter width (4-bit jump targets).
 const PC_BITS: usize = 4;
@@ -156,11 +158,7 @@ pub fn build_cpu(design: &mut Design, isa: Isa) -> Result<ModuleId, NetlistError
     let rf_wen = mb.net("rf_wen");
     mb.cell("u_rfwen", CellKind::And2, &[grant, is_mov], &[rf_wen])?;
     let raddr: Vec<LocalNetId> = arg[0..rbits].to_vec();
-    let mut rf_pins = vec![
-        pin("clk", clk),
-        pin("rst_n", rst_n),
-        pin("wen", rf_wen),
-    ];
+    let mut rf_pins = vec![pin("clk", clk), pin("rst_n", rst_n), pin("wen", rf_wen)];
     rf_pins.extend(pin_bus("waddr", &raddr));
     rf_pins.extend(pin_bus("wdata", &acc));
     rf_pins.extend(pin_bus("raddr", &raddr));
@@ -278,10 +276,20 @@ pub fn build_cpu(design: &mut Design, isa: Isa) -> Result<ModuleId, NetlistError
 
     // Memory interface.
     for i in 0..MEM_ADDR_BITS {
-        mb.cell(format!("u_mabuf_{i}"), CellKind::Buf, &[arg[i]], &[mem_addr[i]])?;
+        mb.cell(
+            format!("u_mabuf_{i}"),
+            CellKind::Buf,
+            &[arg[i]],
+            &[mem_addr[i]],
+        )?;
     }
     for i in 0..w {
-        mb.cell(format!("u_mdbuf_{i}"), CellKind::Buf, &[acc[i]], &[mem_wdata[i]])?;
+        mb.cell(
+            format!("u_mdbuf_{i}"),
+            CellKind::Buf,
+            &[acc[i]],
+            &[mem_wdata[i]],
+        )?;
     }
     let we = mb.net("we_int");
     mb.cell("u_we", CellKind::And2, &[grant, is_st], &[we])?;
@@ -292,7 +300,12 @@ pub fn build_cpu(design: &mut Design, isa: Isa) -> Result<ModuleId, NetlistError
     mb.cell("u_outen", CellKind::And2, &[grant, is_out], &[out_en])?;
     let out_q = register(&mut mb, "u_out", clk, rst_n, Some(out_en), &acc)?;
     for i in 0..w {
-        mb.cell(format!("u_outbuf_{i}"), CellKind::Buf, &[out_q[i]], &[out[i]])?;
+        mb.cell(
+            format!("u_outbuf_{i}"),
+            CellKind::Buf,
+            &[out_q[i]],
+            &[out[i]],
+        )?;
     }
     let alive_int = reduce_tree(&mut mb, "u_alive", CellKind::Xor2, &pc)?;
     mb.cell("u_alivebuf", CellKind::Buf, &[alive_int], &[alive])?;

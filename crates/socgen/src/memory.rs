@@ -51,7 +51,12 @@ pub fn build_memory(
     let mut column0 = Vec::with_capacity(rows);
     for (r, &sel) in hot.iter().enumerate() {
         let row_we = mb.net(format!("row_we_{r}"));
-        mb.cell(format!("u_rowwe_{r}"), CellKind::And2, &[we, sel], &[row_we])?;
+        mb.cell(
+            format!("u_rowwe_{r}"),
+            CellKind::And2,
+            &[we, sel],
+            &[row_we],
+        )?;
         let mut q = Vec::with_capacity(w);
         for b in 0..w {
             let out = mb.net(format!("q_{r}_{b}"));
@@ -71,7 +76,12 @@ pub fn build_memory(
 
     let read = mux_tree(&mut mb, "u_rmux", &addr, &row_q)?;
     for b in 0..w {
-        mb.cell(format!("u_rbuf_{b}"), CellKind::Buf, &[read[b]], &[rdata[b]])?;
+        mb.cell(
+            format!("u_rbuf_{b}"),
+            CellKind::Buf,
+            &[read[b]],
+            &[rdata[b]],
+        )?;
     }
 
     // Scrubber parity over the first bit column.
@@ -116,7 +126,12 @@ mod tests {
         let we = mb.port("we", PortDir::Input);
         let rdata = output_bus(&mut mb, "rdata", w);
         let parity = mb.port("parity", PortDir::Output);
-        let mut pins = vec![pin("clk", clk), pin("rst_n", rst_n), pin("we", we), pin("parity", parity)];
+        let mut pins = vec![
+            pin("clk", clk),
+            pin("rst_n", rst_n),
+            pin("we", we),
+            pin("parity", parity),
+        ];
         pins.extend(pin_bus("addr", &addr));
         pins.extend(pin_bus("wdata", &wdata));
         pins.extend(pin_bus("rdata", &rdata));
@@ -243,7 +258,10 @@ mod tests {
         e.poke(dram.net_by_name("we").unwrap(), Logic::Zero);
         for i in 0..4 {
             e.poke(dram.net_by_name(&format!("addr_{i}")).unwrap(), Logic::Zero);
-            e.poke(dram.net_by_name(&format!("wdata_{i}")).unwrap(), Logic::Zero);
+            e.poke(
+                dram.net_by_name(&format!("wdata_{i}")).unwrap(),
+                Logic::Zero,
+            );
         }
         let rst = dram.net_by_name("rst_n").unwrap();
         e.poke(rst, Logic::Zero);

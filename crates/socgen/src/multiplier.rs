@@ -35,7 +35,12 @@ pub fn build_multiplier(design: &mut Design, width: usize) -> Result<ModuleId, N
                 row.push(zero);
             } else {
                 let net = mb.net(format!("pp{i}_{j}"));
-                mb.cell(format!("u_pp{i}_{j}"), CellKind::And2, &[a[j - i], b[i]], &[net])?;
+                mb.cell(
+                    format!("u_pp{i}_{j}"),
+                    CellKind::And2,
+                    &[a[j - i], b[i]],
+                    &[net],
+                )?;
                 row.push(net);
             }
         }

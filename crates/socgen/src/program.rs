@@ -136,18 +136,18 @@ pub fn assemble(insns: &[Insn]) -> Program {
 /// self-looping mix of ALU, register, memory and extension operations.
 pub fn default_program(has_mul: bool, has_fpu: bool, has_atomic: bool) -> Program {
     let mut insns = vec![
-        Insn::Ldi(1),  // 0: acc = 1
-        Insn::Mov(0),  // 1: r0 = 1
-        Insn::Ldi(3),  // 2: acc = 3
-        Insn::Mov(1),  // 3: r1 = 3
+        Insn::Ldi(1), // 0: acc = 1
+        Insn::Mov(0), // 1: r0 = 1
+        Insn::Ldi(3), // 2: acc = 3
+        Insn::Mov(1), // 3: r1 = 3
         // loop:
-        Insn::Add(0),  // 4: acc += r0
-        Insn::Xor(1),  // 5: acc ^= r1
-        Insn::St(2),   // 6: mem[2] = acc
-        Insn::Out,     // 7: out = acc
-        Insn::Ld(2),   // 8: acc = mem[2] (bus latency applies)
-        Insn::Sub(1),  // 9: acc -= r1
-        Insn::Mov(1),  // 10: r1 = acc
+        Insn::Add(0), // 4: acc += r0
+        Insn::Xor(1), // 5: acc ^= r1
+        Insn::St(2),  // 6: mem[2] = acc
+        Insn::Out,    // 7: out = acc
+        Insn::Ld(2),  // 8: acc = mem[2] (bus latency applies)
+        Insn::Sub(1), // 9: acc -= r1
+        Insn::Mov(1), // 10: r1 = acc
     ];
     if has_mul {
         insns.push(Insn::Mul(0)); // acc = acc * r0
@@ -221,15 +221,24 @@ mod tests {
             assert_eq!(prog.bytes.len(), prog.insns.len());
             // Extensions strictly grow the program.
             assert_eq!(
-                prog.insns.iter().filter(|i| matches!(i, Insn::Mul(_))).count(),
+                prog.insns
+                    .iter()
+                    .filter(|i| matches!(i, Insn::Mul(_)))
+                    .count(),
                 usize::from(m)
             );
             assert_eq!(
-                prog.insns.iter().filter(|i| matches!(i, Insn::Fadd(_))).count(),
+                prog.insns
+                    .iter()
+                    .filter(|i| matches!(i, Insn::Fadd(_)))
+                    .count(),
                 usize::from(f)
             );
             assert_eq!(
-                prog.insns.iter().filter(|i| matches!(i, Insn::Amo(_))).count(),
+                prog.insns
+                    .iter()
+                    .filter(|i| matches!(i, Insn::Amo(_)))
+                    .count(),
                 usize::from(a)
             );
         }

@@ -35,7 +35,12 @@ pub fn build_regfile(
     }
     let read = mux_tree(&mut mb, "u_rmux", &raddr, &regs)?;
     for i in 0..width {
-        mb.cell(format!("u_rbuf_{i}"), CellKind::Buf, &[read[i]], &[rdata[i]])?;
+        mb.cell(
+            format!("u_rbuf_{i}"),
+            CellKind::Buf,
+            &[read[i]],
+            &[rdata[i]],
+        )?;
     }
     design.add_module(mb.finish())
 }

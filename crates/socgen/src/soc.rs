@@ -157,27 +157,109 @@ impl SocConfig {
         let kb = 1024u64;
         let mb = 1024 * kb;
         let spec: [(&str, MemoryKind, u64, BusKind, usize, Isa, usize); 10] = [
-            ("PULP SoC_1", MemoryKind::Sram, 64 * kb, BusKind::Apb, 8, Isa::Rv32i, 1),
-            ("PULP SoC_2", MemoryKind::Dram, 64 * kb, BusKind::Apb, 16, Isa::Rv32i, 2),
-            ("PULP SoC_3", MemoryKind::Sram, 256 * kb, BusKind::Ahb, 32, Isa::Rv32im, 1),
-            ("PULP SoC_4", MemoryKind::Dram, 256 * kb, BusKind::Ahb, 64, Isa::Rv32im, 2),
-            ("PULP SoC_5", MemoryKind::Sram, mb, BusKind::Axi, 128, Isa::Rv32imf, 1),
-            ("PULP SoC_6", MemoryKind::Dram, mb, BusKind::Axi, 256, Isa::Rv32imf, 2),
-            ("PULP SoC_7", MemoryKind::Sram, 2 * mb, BusKind::Apb, 512, Isa::Rv32imafd, 1),
-            ("PULP SoC_8", MemoryKind::Dram, 2 * mb, BusKind::Apb, 1024, Isa::Rv32imafd, 2),
-            ("PULP SoC_9", MemoryKind::Sram, 4 * mb, BusKind::Ahb, 2048, Isa::Rv64i, 1),
-            ("PULP SoC_10", MemoryKind::RadHardSram, 4 * mb, BusKind::Ahb, 4096, Isa::Rv64i, 2),
+            (
+                "PULP SoC_1",
+                MemoryKind::Sram,
+                64 * kb,
+                BusKind::Apb,
+                8,
+                Isa::Rv32i,
+                1,
+            ),
+            (
+                "PULP SoC_2",
+                MemoryKind::Dram,
+                64 * kb,
+                BusKind::Apb,
+                16,
+                Isa::Rv32i,
+                2,
+            ),
+            (
+                "PULP SoC_3",
+                MemoryKind::Sram,
+                256 * kb,
+                BusKind::Ahb,
+                32,
+                Isa::Rv32im,
+                1,
+            ),
+            (
+                "PULP SoC_4",
+                MemoryKind::Dram,
+                256 * kb,
+                BusKind::Ahb,
+                64,
+                Isa::Rv32im,
+                2,
+            ),
+            (
+                "PULP SoC_5",
+                MemoryKind::Sram,
+                mb,
+                BusKind::Axi,
+                128,
+                Isa::Rv32imf,
+                1,
+            ),
+            (
+                "PULP SoC_6",
+                MemoryKind::Dram,
+                mb,
+                BusKind::Axi,
+                256,
+                Isa::Rv32imf,
+                2,
+            ),
+            (
+                "PULP SoC_7",
+                MemoryKind::Sram,
+                2 * mb,
+                BusKind::Apb,
+                512,
+                Isa::Rv32imafd,
+                1,
+            ),
+            (
+                "PULP SoC_8",
+                MemoryKind::Dram,
+                2 * mb,
+                BusKind::Apb,
+                1024,
+                Isa::Rv32imafd,
+                2,
+            ),
+            (
+                "PULP SoC_9",
+                MemoryKind::Sram,
+                4 * mb,
+                BusKind::Ahb,
+                2048,
+                Isa::Rv64i,
+                1,
+            ),
+            (
+                "PULP SoC_10",
+                MemoryKind::RadHardSram,
+                4 * mb,
+                BusKind::Ahb,
+                4096,
+                Isa::Rv64i,
+                2,
+            ),
         ];
         spec.into_iter()
-            .map(|(name, memory, memory_bytes, bus, bus_width, isa, cores)| SocConfig {
-                name: name.to_owned(),
-                memory,
-                memory_bytes,
-                bus,
-                bus_width,
-                isa,
-                cores,
-            })
+            .map(
+                |(name, memory, memory_bytes, bus, bus_width, isa, cores)| SocConfig {
+                    name: name.to_owned(),
+                    memory,
+                    memory_bytes,
+                    bus,
+                    bus_width,
+                    isa,
+                    cores,
+                },
+            )
             .collect()
     }
 

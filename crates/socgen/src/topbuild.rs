@@ -55,7 +55,11 @@ pub(crate) fn build(config: &SocConfig) -> Result<BuiltSoc, NetlistError> {
 
     // Core ↔ bus wiring.
     let m_rdata = wire_bus(&mut mb, "m_rdata", w);
-    let mut bus_pins = vec![pin("clk", clk), pin("rst_n", rst_n), pin("parity", bus_parity)];
+    let mut bus_pins = vec![
+        pin("clk", clk),
+        pin("rst_n", rst_n),
+        pin("parity", bus_parity),
+    ];
     for i in 0..config.cores {
         let addr = wire_bus(&mut mb, &format!("c{i}_addr"), MEM_ADDR_BITS);
         let wdata = wire_bus(&mut mb, &format!("c{i}_wdata"), w);

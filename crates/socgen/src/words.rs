@@ -136,13 +136,33 @@ pub fn adder(
     for i in 0..a.len() {
         // Full adder from two XORs and an AOI-style majority.
         let axb = mb.net(format!("{prefix}_axb_{i}"));
-        mb.cell(format!("{prefix}_fa{i}_x1"), CellKind::Xor2, &[a[i], b[i]], &[axb])?;
+        mb.cell(
+            format!("{prefix}_fa{i}_x1"),
+            CellKind::Xor2,
+            &[a[i], b[i]],
+            &[axb],
+        )?;
         let s = mb.net(format!("{prefix}_s_{i}"));
-        mb.cell(format!("{prefix}_fa{i}_x2"), CellKind::Xor2, &[axb, carry], &[s])?;
+        mb.cell(
+            format!("{prefix}_fa{i}_x2"),
+            CellKind::Xor2,
+            &[axb, carry],
+            &[s],
+        )?;
         let t1 = mb.net(format!("{prefix}_t1_{i}"));
-        mb.cell(format!("{prefix}_fa{i}_a1"), CellKind::And2, &[a[i], b[i]], &[t1])?;
+        mb.cell(
+            format!("{prefix}_fa{i}_a1"),
+            CellKind::And2,
+            &[a[i], b[i]],
+            &[t1],
+        )?;
         let t2 = mb.net(format!("{prefix}_t2_{i}"));
-        mb.cell(format!("{prefix}_fa{i}_a2"), CellKind::And2, &[axb, carry], &[t2])?;
+        mb.cell(
+            format!("{prefix}_fa{i}_a2"),
+            CellKind::And2,
+            &[axb, carry],
+            &[t2],
+        )?;
         let c = mb.net(format!("{prefix}_c_{i}"));
         mb.cell(format!("{prefix}_fa{i}_o1"), CellKind::Or2, &[t1, t2], &[c])?;
         sum.push(s);
@@ -191,7 +211,12 @@ pub fn reduce_tree(
         for (j, pair) in layer.chunks(2).enumerate() {
             if pair.len() == 2 {
                 let y = mb.net(format!("{prefix}_l{level}_{j}"));
-                mb.cell(format!("{prefix}_g{level}_{j}"), kind, &[pair[0], pair[1]], &[y])?;
+                mb.cell(
+                    format!("{prefix}_g{level}_{j}"),
+                    kind,
+                    &[pair[0], pair[1]],
+                    &[y],
+                )?;
                 next.push(y);
             } else {
                 next.push(pair[0]);
@@ -514,7 +539,11 @@ mod tests {
         poke_word(&mut engine, &flat, "d", 0b0100);
         engine.step_cycle();
         engine.step_cycle();
-        assert_eq!(read_word(&engine, &flat, "y"), 0b1011, "hold while disabled");
+        assert_eq!(
+            read_word(&engine, &flat, "y"),
+            0b1011,
+            "hold while disabled"
+        );
     }
 
     #[test]

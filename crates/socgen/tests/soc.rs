@@ -32,7 +32,12 @@ fn all_table1_configs_build_and_flatten() {
         let built = build_soc(&config).unwrap();
         let flat = built.design.flatten().unwrap();
         let stats = NetlistStats::compute(&flat);
-        assert!(stats.cells > 400, "{}: only {} cells", config.name, stats.cells);
+        assert!(
+            stats.cells > 400,
+            "{}: only {} cells",
+            config.name,
+            stats.cells
+        );
         // Module class inference must find all three subsystems.
         for class in ["cpu", "bus", "memory"] {
             assert!(
@@ -45,8 +50,8 @@ fn all_table1_configs_build_and_flatten() {
         assert!(built.info.memory_scale_factor >= 1.0);
         assert_eq!(
             built.info.memory_bits_modeled,
-            (built.info.config.memory_bytes as f64 * 8.0 / built.info.memory_scale_factor)
-                .round() as u64
+            (built.info.config.memory_bytes as f64 * 8.0 / built.info.memory_scale_factor).round()
+                as u64
         );
         // Netlists must be simulatable (no combinational loops).
         flat.levelize().unwrap();
@@ -55,7 +60,10 @@ fn all_table1_configs_build_and_flatten() {
     // The biggest config is substantially larger than the smallest.
     let small = build_soc(&SocConfig::table1()[0]).unwrap();
     let small_cells = small.design.flatten().unwrap().cells().len();
-    assert!(last_cells > 4 * small_cells, "{small_cells} vs {last_cells}");
+    assert!(
+        last_cells > 4 * small_cells,
+        "{small_cells} vs {last_cells}"
+    );
 }
 
 #[test]

@@ -23,9 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Run the full SSRESF pipeline: clustering, sampling, fault
     //    injection, SER evaluation, SVM training and whole-chip prediction.
-    let framework = Ssresf::new(
-        SsresfConfig::default().with_memory_scale(soc.info.memory_scale_factor),
-    );
+    let framework =
+        Ssresf::new(SsresfConfig::default().with_memory_scale(soc.info.memory_scale_factor));
     let analysis = framework.analyze(&netlist)?;
 
     // 3. Report what the paper reports.

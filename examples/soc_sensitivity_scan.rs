@@ -16,14 +16,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{:<12} {:>14} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11}",
-        "Benchmark", "Memory", "Mem SER", "Bus SER", "CPU SER", "Clusters", "SET Xsect", "SEU Xsect"
+        "Benchmark",
+        "Memory",
+        "Mem SER",
+        "Bus SER",
+        "CPU SER",
+        "Clusters",
+        "SET Xsect",
+        "SEU Xsect"
     );
     for config in configs {
         let soc = build_soc(&config)?;
         let netlist = soc.design.flatten()?;
 
-        let mut fw_config =
-            SsresfConfig::default().with_memory_scale(soc.info.memory_scale_factor);
+        let mut fw_config = SsresfConfig::default().with_memory_scale(soc.info.memory_scale_factor);
         fw_config.clustering.clusters = 4 + config.bus_width.ilog2() as usize / 2;
         fw_config.sampling.fraction = 0.1;
         fw_config.campaign.workload = Workload {

@@ -6,9 +6,7 @@
 //! cargo run --release --example svm_speedup
 //! ```
 
-use ssresf::{
-    run_campaign, CampaignConfig, Dut, EngineKind, Ssresf, SsresfConfig, Workload,
-};
+use ssresf::{run_campaign, CampaignConfig, Dut, EngineKind, Ssresf, SsresfConfig, Workload};
 use ssresf_netlist::CellId;
 use ssresf_radiation::RadiationEnvironment;
 use ssresf_socgen::{build_soc, SocConfig};
@@ -82,10 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t2 = Instant::now();
         let mut predicted_sensitive = 0usize;
         for &cell in &unknown {
-            let feature = &analysis
-                .predictions
-                .get(cell.index())
-                .map(|&(_, s)| s);
+            let feature = &analysis.predictions.get(cell.index()).map(|&(_, s)| s);
             if feature.unwrap_or(false) {
                 predicted_sensitive += 1;
             }

@@ -4,6 +4,7 @@
 
 use ssresf::{run_campaign, CampaignConfig, Dut, EngineKind, Workload};
 use ssresf_netlist::CellId;
+use ssresf_sim::{Fault, SeuFault};
 use ssresf_socgen::{build_soc, SocConfig};
 
 fn workload() -> Workload {
@@ -26,7 +27,11 @@ fn engines_agree_on_soc_golden_runs() {
             ev.trace.matches(&lv.trace),
             "{}: engines diverge: {:?}",
             config.name,
-            ev.trace.diff(&lv.trace).into_iter().take(3).collect::<Vec<_>>()
+            ev.trace
+                .diff(&lv.trace)
+                .into_iter()
+                .take(3)
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -77,6 +82,96 @@ fn engines_agree_on_seu_campaign_verdicts() {
             netlist.cell_full_name(a.cell)
         );
     }
+}
+
+#[test]
+fn checkpoint_restored_runs_match_from_scratch_on_both_engines() {
+    // A run restored from any golden checkpoint must produce a trace
+    // bit-identical to a from-scratch run with the same fault — including a
+    // fault scheduled exactly on a checkpoint boundary.
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let netlist = soc.design.flatten().unwrap();
+    let dut = Dut::from_conventions(&netlist).unwrap();
+    let wl = workload();
+    let interval = 10u64;
+    let ff = netlist
+        .iter_cells()
+        .filter(|(_, c)| c.kind.is_sequential())
+        .map(|(id, _)| id)
+        .nth(5)
+        .unwrap();
+
+    for kind in [EngineKind::EventDriven, EngineKind::Levelized] {
+        let golden = dut
+            .run_golden_with_checkpoints(kind, &wl, interval)
+            .unwrap();
+        assert_eq!(golden.checkpoints.len(), 5, "0, 10, 20, 30, 40");
+        // Fault cycles covering every checkpoint window plus both kinds of
+        // boundary: exactly on a checkpoint (10, 20) and just around one.
+        for cycle in [0, 3, 9, 10, 11, 19, 20, 35, 49] {
+            let fault = Fault::Seu(SeuFault {
+                cell: ff,
+                cycle,
+                offset: 0.5,
+            });
+            let scratch = dut.run(kind, &wl, &[fault]).unwrap();
+            let resumed = dut.resume(kind, &wl, &[fault], &golden, false).unwrap();
+            assert!(
+                scratch.trace.matches(&resumed.trace),
+                "{} fault at cycle {cycle}: restored trace diverges: {:?}",
+                kind.name(),
+                scratch
+                    .trace
+                    .diff(&resumed.trace)
+                    .into_iter()
+                    .take(3)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpointed_campaign_records_are_bit_identical_and_cheaper() {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    let netlist = soc.design.flatten().unwrap();
+    let dut = Dut::from_conventions(&netlist).unwrap();
+    let cells: Vec<CellId> = netlist
+        .iter_cells()
+        .map(|(id, _)| id)
+        .step_by(9)
+        .take(20)
+        .collect();
+    let base = CampaignConfig {
+        workload: workload(),
+        ..CampaignConfig::default()
+    };
+    let scratch = run_campaign(
+        &dut,
+        &cells,
+        &CampaignConfig {
+            checkpoint_interval: 0,
+            ..base
+        },
+    )
+    .unwrap();
+    let fast = run_campaign(
+        &dut,
+        &cells,
+        &CampaignConfig {
+            checkpoint_interval: 10,
+            early_stop: true,
+            ..base
+        },
+    )
+    .unwrap();
+    assert_eq!(scratch.records, fast.records);
+    assert!(
+        fast.total_work < scratch.total_work,
+        "fast-forward saved nothing: {} vs {}",
+        fast.total_work,
+        scratch.total_work
+    );
 }
 
 #[test]

@@ -50,8 +50,18 @@ fn full_pipeline_on_soc1_reproduces_paper_shapes() {
     assert!(analysis.ser.chip_ser <= max_cluster + 1e-12);
 
     // Paper Table I: bus is the most SER-sensitive subsystem.
-    let bus = analysis.ser.per_module_class.get("bus").copied().unwrap_or(0.0);
-    let cpu = analysis.ser.per_module_class.get("cpu").copied().unwrap_or(0.0);
+    let bus = analysis
+        .ser
+        .per_module_class
+        .get("bus")
+        .copied()
+        .unwrap_or(0.0);
+    let cpu = analysis
+        .ser
+        .per_module_class
+        .get("cpu")
+        .copied()
+        .unwrap_or(0.0);
     assert!(
         bus > cpu,
         "bus SER ({bus:.3}) should exceed CPU logic SER ({cpu:.3})"
@@ -89,10 +99,8 @@ fn rad_hard_memory_reduces_seu_cross_section() {
     let sram_flat = sram.design.flatten().unwrap();
     let hard_flat = hard.design.flatten().unwrap();
     let let37 = ssresf_radiation::Let::new(37.0);
-    let (sram_seu, _) =
-        ssresf::scaled_chip_xsect(&sram_flat, let37, sram.info.memory_scale_factor);
-    let (hard_seu, _) =
-        ssresf::scaled_chip_xsect(&hard_flat, let37, hard.info.memory_scale_factor);
+    let (sram_seu, _) = ssresf::scaled_chip_xsect(&sram_flat, let37, sram.info.memory_scale_factor);
+    let (hard_seu, _) = ssresf::scaled_chip_xsect(&hard_flat, let37, hard.info.memory_scale_factor);
     assert!(
         hard_seu < sram_seu / 2.0,
         "rad-hard {hard_seu:.3e} vs SRAM {sram_seu:.3e}"

@@ -7,7 +7,9 @@
 use proptest::prelude::*;
 use ssresf_netlist::verilog::{parse_verilog, write_verilog};
 use ssresf_netlist::{CellKind, Design, FlatNetlist, ModuleBuilder, PortDir};
-use ssresf_sim::{drive_random_inputs, Engine, EventDrivenEngine, Lfsr, LevelizedEngine, Testbench};
+use ssresf_sim::{
+    drive_random_inputs, Engine, EventDrivenEngine, LevelizedEngine, Lfsr, Testbench,
+};
 
 /// Deterministically builds a random-but-valid sequential circuit: a DAG of
 /// random gates over the inputs, with a bank of resettable flip-flops whose
@@ -70,7 +72,12 @@ fn random_circuit(seed: u32, gates: usize, ffs: usize) -> FlatNetlist {
     design.flatten().unwrap()
 }
 
-fn run_trace<E: Engine>(engine: E, flat: &FlatNetlist, stim_seed: u32, cycles: u64) -> ssresf_sim::CycleTrace {
+fn run_trace<E: Engine>(
+    engine: E,
+    flat: &FlatNetlist,
+    stim_seed: u32,
+    cycles: u64,
+) -> ssresf_sim::CycleTrace {
     let inputs: Vec<_> = (0..3)
         .map(|i| flat.net_by_name(&format!("in_{i}")).unwrap())
         .collect();

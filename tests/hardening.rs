@@ -113,8 +113,7 @@ fn guided_hardening_reduces_measured_ser() {
     let baseline_errors = analysis.campaign.soft_errors();
     assert!(baseline_errors > 0, "need observable errors for this test");
 
-    let result =
-        selective_harden(&netlist, &analysis, 0.5, HardeningStrategy::SvmGuided).unwrap();
+    let result = selective_harden(&netlist, &analysis, 0.5, HardeningStrategy::SvmGuided).unwrap();
     let dut = Dut::from_conventions(&result.netlist).unwrap();
     let campaign = CampaignConfig {
         workload: workload(),
