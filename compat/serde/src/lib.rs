@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, and the workspace's only
+//! serialization surface is the hand-written JSON in `ssresf-json`, so
+//! `Serialize`/`Deserialize` are marker traits blanket-implemented for every
+//! type. Existing `#[derive(Serialize, Deserialize)]` annotations stay in
+//! place and expand to nothing (see the sibling `serde_derive` shim); they
+//! continue to document which types are interchange-shaped.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

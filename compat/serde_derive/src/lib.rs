@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses serde derives as markers (the sole JSON surface
+//! is hand-written in `ssresf-json`), so the derives expand to nothing.
+//! Declaring `attributes(serde)` keeps `#[serde(skip)]`, `#[serde(default)]`
+//! and friends legal on derived items.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the conformance subsystem: how much the
+//! naive oracle pays for being obviously correct, and what one full
+//! differential check costs (the unit CI's conformance-smoke budget is
+//! denominated in).
+//!
+//! The oracle-vs-engines comparison doubles as a regression guard on the
+//! production engines' whole point: if the event wheel or levelization
+//! ever degrades to chaotic-iteration cost, these curves collapse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssresf_conformance::{check, Scenario};
+use ssresf_sim::{Engine, EventDrivenEngine, LevelizedEngine, Logic, OracleEngine};
+
+/// Runs one engine through a scenario's reset and stimulus.
+fn drive<E: Engine>(engine: &mut E, scenario: &Scenario, stim: &[Vec<Logic>]) {
+    let flat = engine.netlist();
+    let rst = flat.net_by_name("rst_n").unwrap();
+    let inputs: Vec<_> = (0..scenario.circuit.inputs.max(1))
+        .map(|i| flat.net_by_name(&format!("in_{i}")).unwrap())
+        .collect();
+    engine.poke(rst, Logic::Zero);
+    for _ in 0..scenario.reset_cycles {
+        engine.step_cycle();
+    }
+    engine.poke(rst, Logic::One);
+    for row in stim.iter().take(scenario.run_cycles as usize) {
+        for (i, &net) in inputs.iter().enumerate() {
+            engine.poke(net, row[i]);
+        }
+        engine.step_cycle();
+    }
+}
+
+fn bench_oracle_overhead(c: &mut Criterion) {
+    let scenario = Scenario::from_seed(7);
+    let flat = scenario.circuit.flatten().expect("scenario flattens");
+    let clk = flat.net_by_name("clk").unwrap();
+    let stim = scenario.stimulus();
+
+    let mut group = c.benchmark_group("conformance_engines");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("oracle"),
+        &scenario,
+        |b, scenario| {
+            b.iter(|| {
+                let mut engine = OracleEngine::new(&flat, clk).unwrap();
+                drive(&mut engine, scenario, &stim);
+                engine.cycle()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("event_driven"),
+        &scenario,
+        |b, scenario| {
+            b.iter(|| {
+                let mut engine = EventDrivenEngine::new(&flat, clk).unwrap();
+                drive(&mut engine, scenario, &stim);
+                engine.cycle()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("levelized"),
+        &scenario,
+        |b, scenario| {
+            b.iter(|| {
+                let mut engine = LevelizedEngine::new(&flat, clk).unwrap();
+                drive(&mut engine, scenario, &stim);
+                engine.cycle()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_differential_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conformance_check");
+    for seed in [3u64, 11] {
+        let scenario = Scenario::from_seed(seed);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!(
+                "seed {seed} ({} gates, {} cycles)",
+                scenario.circuit.gates.len(),
+                scenario.run_cycles
+            )),
+            &scenario,
+            |b, scenario| b.iter(|| check(scenario).expect("scenario conforms")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_overhead, bench_differential_check);
+criterion_main!(benches);

@@ -13,6 +13,9 @@ use ssresf_mlcore::{
 };
 use ssresf_netlist::FeatureExtractor;
 
+/// Trains on the first index set and predicts labels for the second.
+type Predictor = dyn Fn(&Dataset, &[usize], &[usize]) -> Vec<i8>;
+
 fn main() {
     let (built, flat) = soc(0);
     let config = analysis_config(&built, flat.cells().len());
@@ -51,7 +54,7 @@ fn main() {
         "classifier", "accuracy", "TPR", "TNR", "F1"
     );
 
-    let evaluate = |name: &str, predict: &dyn Fn(&Dataset, &[usize], &[usize]) -> Vec<i8>| {
+    let evaluate = |name: &str, predict: &Predictor| {
         let mut truth = Vec::new();
         let mut predicted = Vec::new();
         for (train_idx, test_idx) in folds.split(&data).expect("split succeeds") {

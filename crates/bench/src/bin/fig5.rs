@@ -27,10 +27,7 @@ fn main() {
         .expect("selection enabled");
 
     println!("FIG. 5: Mean 10-fold CV score vs number of selected features\n");
-    println!(
-        "{:>9} {:>10}  {:<14} {}",
-        "features", "cv score", "added", "bar"
-    );
+    println!("{:>9} {:>10}  {:<14} bar", "features", "cv score", "added");
     for (i, &score) in curve.scores.iter().enumerate() {
         let bar = "#".repeat((score * 50.0).round() as usize);
         println!(

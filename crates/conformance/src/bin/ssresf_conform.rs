@@ -1,0 +1,129 @@
+//! `ssresf-conform` — deterministic replay and sweep driver for the
+//! conformance subsystem.
+//!
+//! ```text
+//! ssresf-conform --seed 42                 # replay one seed
+//! ssresf-conform --seed 42 --mutant xor2-as-or2
+//! ssresf-conform --cases 100 --start 0     # sweep a seed block
+//! ssresf-conform --list-mutants
+//! ```
+//!
+//! Replaying a seed re-derives the scenario, runs every differential
+//! check, and on failure prints the shrunk counterexample — the minimized
+//! scenario, its netlist in structural Verilog, and the exact command line
+//! that reproduces it. Output is byte-for-byte identical to the library's
+//! [`ssresf_conformance::replay`], which the conformance tests assert.
+//! Exit status is 0 on pass, 1 on a conformance failure, 2 on usage
+//! errors. `--json` wraps the verdict in a machine-readable envelope.
+
+use ssresf_conformance::harness;
+use ssresf_json::{object, Value};
+use ssresf_sim::EvalMutant;
+
+struct Options {
+    seed: Option<u64>,
+    start: u64,
+    cases: Option<u64>,
+    mutant: Option<EvalMutant>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ssresf-conform [--seed N | --cases N [--start N]] \
+         [--mutant NAME] [--json] [--list-mutants]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seed: None,
+        start: 0,
+        cases: None,
+        mutant: None,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage()));
+            }
+            "--start" => {
+                opts.start = value("--start").parse().unwrap_or_else(|_| usage());
+            }
+            "--cases" => {
+                opts.cases = Some(value("--cases").parse().unwrap_or_else(|_| usage()));
+            }
+            "--mutant" => {
+                let name = value("--mutant");
+                opts.mutant = Some(EvalMutant::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown mutant `{name}`; see --list-mutants");
+                    std::process::exit(2);
+                }));
+            }
+            "--json" => opts.json = true,
+            "--list-mutants" => {
+                for m in EvalMutant::ALL {
+                    println!("{}", m.name());
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if opts.seed.is_some() && opts.cases.is_some() {
+        eprintln!("--seed and --cases are mutually exclusive");
+        usage();
+    }
+    opts
+}
+
+fn emit(passed: bool, report: &str, opts: &Options) -> ! {
+    if opts.json {
+        let doc = object([
+            ("passed", Value::Bool(passed)),
+            ("report", Value::String(report.to_owned())),
+        ]);
+        println!("{}", doc.to_string_pretty());
+    } else {
+        print!("{report}");
+    }
+    if passed {
+        std::process::exit(0);
+    }
+    if let Some(path) = harness::write_failure_artifact(report) {
+        eprintln!("failing-seed report written to {}", path.display());
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(seed) = opts.seed {
+        let (passed, report) = harness::replay(seed, opts.mutant);
+        emit(passed, &report, &opts);
+    }
+    let count = opts.cases.unwrap_or_else(|| harness::cases(24));
+    match harness::sweep(opts.start, count, opts.mutant) {
+        Ok(()) => {
+            let report = format!(
+                "swept {count} case(s) from seed {}: all checks passed\n",
+                opts.start
+            );
+            emit(true, &report, &opts);
+        }
+        Err(cex) => emit(false, &cex.report(), &opts),
+    }
+}

@@ -1,0 +1,192 @@
+//! The fuzzing harness: seed sweeps, greedy shrinking and replay reports.
+//!
+//! The harness turns the differential runner into a property test without
+//! an external framework: [`sweep`] checks a contiguous block of seeds,
+//! and any failure is greedily [shrunk](shrink) to a minimal still-failing
+//! scenario. Everything is deterministic — a [`Counterexample`] report is
+//! byte-identical whether produced by the library, the `ssresf-conform`
+//! binary, or a CI rerun of the same seed.
+
+use crate::differ::check_with_mutant;
+use crate::scenario::Scenario;
+use ssresf_netlist::verilog::write_verilog;
+use ssresf_sim::EvalMutant;
+use std::fmt::Write as _;
+
+/// Ceiling on differential-check evaluations one shrink run may spend.
+const SHRINK_EVAL_BUDGET: usize = 400;
+
+/// Default sweep size when `PROPTEST_CASES` is unset.
+const DEFAULT_CASES: u64 = 24;
+
+/// Number of cases to sweep: honors the `PROPTEST_CASES` environment
+/// variable (kept from the proptest-based predecessor so CI and local
+/// invocations keep working), else `default`.
+pub fn cases(default: u64) -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A failing scenario, before and after shrinking.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Seed of the original failing scenario.
+    pub seed: u64,
+    /// Mutant installed in the oracle, if any.
+    pub mutant: Option<EvalMutant>,
+    /// Failure message of the original scenario.
+    pub failure: String,
+    /// The minimized still-failing scenario.
+    pub minimized: Scenario,
+    /// Failure message of the minimized scenario.
+    pub minimized_failure: String,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Differential checks spent shrinking.
+    pub evals: usize,
+}
+
+impl Counterexample {
+    /// The deterministic replay report: identical bytes from the library,
+    /// the `ssresf-conform` binary, and any rerun of the same seed.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "conformance failure for seed {}", self.seed);
+        if let Some(m) = self.mutant {
+            let _ = writeln!(s, "mutant: {}", m.name());
+        }
+        let _ = writeln!(s, "failure: {}", self.failure);
+        let _ = writeln!(
+            s,
+            "shrunk in {} step(s) / {} check(s) to {} gate(s), {} ff(s), {} fault(s):",
+            self.steps,
+            self.evals,
+            self.minimized.circuit.gates.len(),
+            self.minimized.circuit.ff_d.len().max(1),
+            self.minimized.faults.len(),
+        );
+        let _ = writeln!(s, "minimized failure: {}", self.minimized_failure);
+        s.push_str(&self.minimized.describe());
+        let _ = writeln!(s, "minimized netlist:");
+        s.push_str(&write_verilog(&self.minimized.circuit.build_design()));
+        let _ = write!(s, "replay: ssresf-conform --seed {}", self.seed);
+        if let Some(m) = self.mutant {
+            let _ = write!(s, " --mutant {}", m.name());
+        }
+        let _ = writeln!(s);
+        s
+    }
+}
+
+/// Checks one seed; `Ok` means the scenario passed every differential
+/// check, `Err` carries the shrunk counterexample.
+///
+/// # Errors
+///
+/// Returns the [`Counterexample`] when the seed's scenario fails.
+pub fn check_seed(seed: u64, mutant: Option<EvalMutant>) -> Result<(), Box<Counterexample>> {
+    let scenario = Scenario::from_seed(seed);
+    match check_with_mutant(&scenario, mutant) {
+        Ok(()) => Ok(()),
+        Err(failure) => Err(Box::new(shrink(scenario, failure, mutant))),
+    }
+}
+
+/// Greedily minimizes a failing scenario: repeatedly adopt the first
+/// shrink candidate that still fails, until none does or the eval budget
+/// runs out. Any still-failing candidate is acceptable — the failure
+/// message may change along the way (the minimized message is reported
+/// separately).
+pub fn shrink(scenario: Scenario, failure: String, mutant: Option<EvalMutant>) -> Counterexample {
+    let seed = scenario.seed;
+    let mut current = scenario;
+    let mut current_failure = failure.clone();
+    let mut steps = 0usize;
+    let mut evals = 0usize;
+    'outer: while evals < SHRINK_EVAL_BUDGET {
+        for candidate in current.shrink_candidates() {
+            if evals >= SHRINK_EVAL_BUDGET {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(msg) = check_with_mutant(&candidate, mutant) {
+                current = candidate;
+                current_failure = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Counterexample {
+        seed,
+        mutant,
+        failure,
+        minimized: current,
+        minimized_failure: current_failure,
+        steps,
+        evals,
+    }
+}
+
+/// Sweeps `count` consecutive seeds starting at `start`; stops at the
+/// first failure.
+///
+/// # Errors
+///
+/// Returns the first seed's shrunk [`Counterexample`].
+pub fn sweep(
+    start: u64,
+    count: u64,
+    mutant: Option<EvalMutant>,
+) -> Result<(), Box<Counterexample>> {
+    for seed in start..start.saturating_add(count) {
+        check_seed(seed, mutant)?;
+    }
+    Ok(())
+}
+
+/// Sweeps the default-sized block from seed 0 (CI entry point; case count
+/// honors `PROPTEST_CASES`).
+///
+/// # Errors
+///
+/// Returns the first failing seed's shrunk [`Counterexample`].
+pub fn sweep_default(mutant: Option<EvalMutant>) -> Result<(), Box<Counterexample>> {
+    sweep(0, cases(DEFAULT_CASES), mutant)
+}
+
+/// Replays one seed end to end, returning `(passed, report)`. On failure
+/// the report is the full [`Counterexample::report`]; on success a
+/// one-line confirmation. The binary prints exactly this string, so
+/// library and CLI output can be compared byte for byte.
+pub fn replay(seed: u64, mutant: Option<EvalMutant>) -> (bool, String) {
+    match check_seed(seed, mutant) {
+        Ok(()) => {
+            let label = mutant.map_or(String::new(), |m| format!(" (mutant {})", m.name()));
+            (true, format!("seed {seed}{label}: all checks passed\n"))
+        }
+        Err(cex) => (false, cex.report()),
+    }
+}
+
+/// Writes a failing seed's report where CI can pick it up as an artifact;
+/// the path is `target/conformance/failing-seed.txt` unless overridden via
+/// `SSRESF_CONFORMANCE_ARTIFACT`. Returns the path written, or `None` when
+/// the filesystem refused (reporting still proceeds on stdout).
+pub fn write_failure_artifact(report: &str) -> Option<std::path::PathBuf> {
+    let path = std::env::var_os("SSRESF_CONFORMANCE_ARTIFACT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new("target")
+                .join("conformance")
+                .join("failing-seed.txt")
+        });
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).ok()?;
+    }
+    std::fs::write(&path, report).ok()?;
+    Some(path)
+}

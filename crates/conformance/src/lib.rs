@@ -1,0 +1,35 @@
+//! Conformance subsystem: differential testing of the SSRESF simulation
+//! engines against a naive reference oracle.
+//!
+//! The production engines ([`EventDrivenEngine`](ssresf_sim::EventDrivenEngine)
+//! and [`LevelizedEngine`](ssresf_sim::LevelizedEngine)) earn their trust
+//! here, by agreeing with the deliberately naive
+//! [`OracleEngine`](ssresf_sim::OracleEngine) — a straight-line
+//! re-evaluate-to-fixpoint interpreter with no event wheel and no
+//! levelization — across randomly generated circuits, workloads and fault
+//! plans:
+//!
+//! - [`scenario`] derives a complete test case ([`Scenario`]) from one
+//!   `u64` seed and knows how to *shrink* it, proptest-style, to a minimal
+//!   still-failing variant;
+//! - [`differ`] runs one scenario through all three engines and checks
+//!   trace agreement, X-propagation monotonicity, VCD round-trips,
+//!   snapshot/restore roundtrips, faulty differentials and campaign
+//!   (from-scratch vs checkpointed vs early-stop) equivalence;
+//! - [`harness`] sweeps seed blocks, shrinks failures into a
+//!   [`Counterexample`] and renders deterministic replay reports — the
+//!   same bytes the `ssresf-conform` binary prints.
+//!
+//! The oracle can carry a deliberately wrong gate-evaluation rule
+//! ([`EvalMutant`](ssresf_sim::EvalMutant)); the harness proving it
+//! catches and shrinks every mutant is the subsystem's own smoke test.
+
+pub mod differ;
+pub mod harness;
+pub mod scenario;
+
+pub use differ::{check, check_with_mutant};
+pub use harness::{
+    cases, check_seed, replay, shrink, sweep, sweep_default, write_failure_artifact, Counterexample,
+};
+pub use scenario::{FaultSpec, Scenario};

@@ -1,0 +1,396 @@
+//! Structured test-case generation with proptest-style shrinking.
+//!
+//! A [`Scenario`] bundles everything one conformance case needs — a random
+//! circuit spec, workload lengths, a stimulus seed, a checkpoint schedule
+//! and a fault plan — and is derived *entirely* from one `u64` seed, so any
+//! failure replays from its seed alone. Shrinking works on the scenario
+//! value, not the seed: [`Scenario::shrink_candidates`] proposes strictly
+//! simpler scenarios (fewer gates, fewer flip-flops, fewer faults, shorter
+//! runs), and the harness greedily keeps any candidate that still fails.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssresf_netlist::{CircuitSpec, FlatNetlist, GateSpec, GENERATOR_KINDS};
+use ssresf_sim::{Fault, Lfsr, Logic, SetFault, SeuFault};
+use std::fmt::Write as _;
+
+/// One fault of a scenario's plan, in circuit-relative terms.
+///
+/// The target is a cell *index* resolved modulo the built netlist's cell
+/// count, so the plan survives circuit shrinking; the fault becomes an SEU
+/// on sequential targets and a SET on the output net of combinational ones.
+/// Sub-cycle placement is stored in integer percent so replay output is
+/// byte-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Target cell index (modulo the cell count).
+    pub cell: u16,
+    /// Workload-relative fault cycle.
+    pub cycle: u64,
+    /// Sub-cycle offset in percent of the period, `0..100`.
+    pub offset_pct: u8,
+    /// SET pulse width in percent of the period, `1..=100`.
+    pub width_pct: u8,
+}
+
+/// A complete, self-describing conformance case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The seed this scenario was derived from (kept for reporting; shrunk
+    /// scenarios retain the original seed).
+    pub seed: u64,
+    /// The circuit under test.
+    pub circuit: CircuitSpec,
+    /// Cycles with reset asserted.
+    pub reset_cycles: u64,
+    /// Post-reset cycles simulated and observed.
+    pub run_cycles: u64,
+    /// LFSR seed for the primary-input stimulus.
+    pub stim_seed: u32,
+    /// Campaign checkpoint interval exercised by the differential runner.
+    pub checkpoint_interval: u64,
+    /// Mid-run cycle at which the snapshot/restore roundtrip is probed
+    /// (always in `1..run_cycles`).
+    pub snapshot_cycle: u64,
+    /// The fault plan.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl Scenario {
+    /// Derives the whole scenario deterministically from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE_D1FF_5EED_0001);
+        let inputs = rng.gen_range(1usize..5);
+        let ffs = rng.gen_range(1usize..8);
+        let n_gates = rng.gen_range(4usize..40);
+        let mut gates = Vec::with_capacity(n_gates);
+        for g in 0..n_gates {
+            let kind = GENERATOR_KINDS[rng.gen_range(0usize..GENERATOR_KINDS.len())];
+            let pool = inputs + ffs + g;
+            let operands = (0..kind.num_inputs())
+                .map(|_| rng.gen_range(0usize..pool) as u16)
+                .collect();
+            gates.push(GateSpec { kind, operands });
+        }
+        let full_pool = inputs + ffs + n_gates;
+        let ff_d = (0..ffs)
+            .map(|_| rng.gen_range(0usize..full_pool) as u16)
+            .collect();
+        let circuit = CircuitSpec {
+            name: format!("conf_{seed}"),
+            inputs,
+            gates,
+            ff_d,
+            outputs: rng.gen_range(1usize..4),
+        };
+        let run_cycles = rng.gen_range(8u64..48);
+        let n_faults = rng.gen_range(1usize..5);
+        let faults = (0..n_faults)
+            .map(|_| FaultSpec {
+                cell: rng.gen_range(0u64..u64::from(u16::MAX)) as u16,
+                cycle: rng.gen_range(0..run_cycles),
+                offset_pct: rng.gen_range(0u64..100) as u8,
+                width_pct: rng.gen_range(1u64..100) as u8,
+            })
+            .collect();
+        Scenario {
+            seed,
+            circuit,
+            reset_cycles: rng.gen_range(1u64..4),
+            run_cycles,
+            stim_seed: rng.gen_range(1u64..u64::from(u32::MAX)) as u32,
+            checkpoint_interval: rng.gen_range(1u64..12),
+            snapshot_cycle: rng.gen_range(1..run_cycles),
+            faults,
+        }
+    }
+
+    /// Re-establishes internal invariants after a structural mutation.
+    fn sanitized(mut self) -> Self {
+        self.run_cycles = self.run_cycles.max(2);
+        self.snapshot_cycle = self.snapshot_cycle.clamp(1, self.run_cycles - 1);
+        self.checkpoint_interval = self.checkpoint_interval.max(1);
+        for f in &mut self.faults {
+            f.cycle = f.cycle.min(self.run_cycles - 1);
+            f.width_pct = f.width_pct.clamp(1, 100);
+            f.offset_pct = f.offset_pct.min(99);
+        }
+        self
+    }
+
+    /// The per-cycle primary-input stimulus, pre-expanded so runs can be
+    /// resumed from any cycle (an LFSR cannot be rewound).
+    ///
+    /// Row `c` holds the values poked before post-reset cycle `c`, one per
+    /// `in_*` input in index order.
+    pub fn stimulus(&self) -> Vec<Vec<Logic>> {
+        let inputs = self.circuit.inputs.max(1);
+        let mut lfsr = Lfsr::new(self.stim_seed);
+        (0..self.run_cycles)
+            .map(|_| {
+                (0..inputs)
+                    .map(|_| Logic::from_bool(lfsr.next_bit()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Resolves the fault plan against a built netlist.
+    ///
+    /// Fault cycles are workload-relative (cycle 0 = first post-reset
+    /// cycle), matching the campaign convention.
+    pub fn resolve_faults(&self, flat: &FlatNetlist) -> Vec<Fault> {
+        let n = flat.cells().len();
+        self.faults
+            .iter()
+            .map(|spec| {
+                let cell_id = ssresf_netlist::CellId((spec.cell as usize % n) as u32);
+                let info = flat.cell(cell_id);
+                let offset = f64::from(spec.offset_pct) / 100.0;
+                if info.kind.is_sequential() {
+                    Fault::Seu(SeuFault {
+                        cell: cell_id,
+                        cycle: spec.cycle,
+                        offset,
+                    })
+                } else {
+                    Fault::Set(SetFault {
+                        net: info.output,
+                        cycle: spec.cycle,
+                        offset,
+                        width: f64::from(spec.width_pct) / 100.0,
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Strictly simpler variants, most aggressive first. The shrinker keeps
+    /// the first candidate that still fails and restarts from it.
+    pub fn shrink_candidates(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        let mut push = |s: Scenario| out.push(s.sanitized());
+
+        let g = self.circuit.gates.len();
+        if g > 1 {
+            push(Scenario {
+                circuit: CircuitSpec {
+                    gates: self.circuit.gates[..g / 2].to_vec(),
+                    ..self.circuit.clone()
+                },
+                ..self.clone()
+            });
+        }
+        for i in (0..g).rev() {
+            let mut gates = self.circuit.gates.clone();
+            gates.remove(i);
+            push(Scenario {
+                circuit: CircuitSpec {
+                    gates,
+                    ..self.circuit.clone()
+                },
+                ..self.clone()
+            });
+        }
+
+        let ffs = self.circuit.ff_d.len();
+        if ffs > 2 {
+            push(Scenario {
+                circuit: CircuitSpec {
+                    ff_d: self.circuit.ff_d[..ffs / 2].to_vec(),
+                    ..self.circuit.clone()
+                },
+                ..self.clone()
+            });
+        }
+        for i in (0..ffs).rev() {
+            if ffs <= 1 {
+                break;
+            }
+            let mut ff_d = self.circuit.ff_d.clone();
+            ff_d.remove(i);
+            push(Scenario {
+                circuit: CircuitSpec {
+                    ff_d,
+                    ..self.circuit.clone()
+                },
+                ..self.clone()
+            });
+        }
+
+        if !self.faults.is_empty() {
+            push(Scenario {
+                faults: Vec::new(),
+                ..self.clone()
+            });
+            for i in (0..self.faults.len()).rev() {
+                let mut faults = self.faults.clone();
+                faults.remove(i);
+                push(Scenario {
+                    faults,
+                    ..self.clone()
+                });
+            }
+        }
+
+        if self.run_cycles > 4 {
+            push(Scenario {
+                run_cycles: self.run_cycles / 2,
+                ..self.clone()
+            });
+        }
+        if self.run_cycles > 2 {
+            push(Scenario {
+                run_cycles: self.run_cycles - 1,
+                ..self.clone()
+            });
+        }
+        if self.reset_cycles > 1 {
+            push(Scenario {
+                reset_cycles: 1,
+                ..self.clone()
+            });
+        }
+        if self.circuit.inputs > 1 {
+            push(Scenario {
+                circuit: CircuitSpec {
+                    inputs: 1,
+                    ..self.circuit.clone()
+                },
+                ..self.clone()
+            });
+        }
+        if self.circuit.outputs > 1 {
+            push(Scenario {
+                circuit: CircuitSpec {
+                    outputs: 1,
+                    ..self.circuit.clone()
+                },
+                ..self.clone()
+            });
+        }
+        if self.snapshot_cycle > 1 {
+            push(Scenario {
+                snapshot_cycle: 1,
+                ..self.clone()
+            });
+        }
+
+        // Last resort: simplify surviving gates to buffers of their first
+        // operand, which often exposes the single relevant gate.
+        for (i, gate) in self.circuit.gates.iter().enumerate() {
+            if gate.kind == ssresf_netlist::CellKind::Buf {
+                continue;
+            }
+            let mut gates = self.circuit.gates.clone();
+            gates[i] = GateSpec {
+                kind: ssresf_netlist::CellKind::Buf,
+                operands: gate.operands.clone(),
+            };
+            push(Scenario {
+                circuit: CircuitSpec {
+                    gates,
+                    ..self.circuit.clone()
+                },
+                ..self.clone()
+            });
+        }
+        out
+    }
+
+    /// Deterministic human-readable dump used in replay reports.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "circuit: {} inputs, {} gates, {} ffs, {} outputs",
+            self.circuit.inputs.max(1),
+            self.circuit.gates.len(),
+            self.circuit.ff_d.len().max(1),
+            self.circuit.outputs.max(1),
+        );
+        for (i, gate) in self.circuit.gates.iter().enumerate() {
+            let _ = writeln!(s, "  gate w_{i}: {} {:?}", gate.kind, gate.operands);
+        }
+        let _ = writeln!(s, "  ff d-indices: {:?}", self.circuit.ff_d);
+        let _ = writeln!(
+            s,
+            "workload: reset {} + run {} cycles, stim seed {}, checkpoint interval {}, snapshot probe at {}",
+            self.reset_cycles, self.run_cycles, self.stim_seed, self.checkpoint_interval, self.snapshot_cycle,
+        );
+        if self.faults.is_empty() {
+            let _ = writeln!(s, "faults: none");
+        } else {
+            let _ = writeln!(s, "faults:");
+            for f in &self.faults {
+                let _ = writeln!(
+                    s,
+                    "  cell#{} at cycle {} (offset {}%, width {}%)",
+                    f.cell, f.cycle, f.offset_pct, f.width_pct
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        for seed in [0u64, 1, 42, 0xFFFF_FFFF_FFFF] {
+            assert_eq!(Scenario::from_seed(seed), Scenario::from_seed(seed));
+        }
+        assert_ne!(Scenario::from_seed(1), Scenario::from_seed(2));
+    }
+
+    #[test]
+    fn every_scenario_builds_and_resolves() {
+        for seed in 0..50u64 {
+            let s = Scenario::from_seed(seed);
+            let flat = s.circuit.flatten().unwrap();
+            assert!(s.snapshot_cycle >= 1 && s.snapshot_cycle < s.run_cycles);
+            let stim = s.stimulus();
+            assert_eq!(stim.len(), s.run_cycles as usize);
+            for fault in s.resolve_faults(&flat) {
+                assert!(fault.validate().is_ok(), "seed {seed}: {fault:?}");
+                assert!(fault.cycle() < s.run_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_simpler_and_valid() {
+        let s = Scenario::from_seed(7);
+        // Every shrink axis contributes a term, higher-impact axes on
+        // higher tiers, so "strictly simpler" is a strict weight decrease.
+        let weight = |x: &Scenario| {
+            let non_buf = x
+                .circuit
+                .gates
+                .iter()
+                .filter(|g| g.kind != ssresf_netlist::CellKind::Buf)
+                .count();
+            x.circuit.gates.len() * 1_000_000
+                + non_buf * 100_000
+                + x.circuit.ff_d.len() * 10_000
+                + x.faults.len() * 1_000
+                + x.run_cycles as usize * 10
+                + x.reset_cycles as usize
+                + x.circuit.inputs
+                + x.circuit.outputs
+                + x.snapshot_cycle as usize
+        };
+        for cand in s.shrink_candidates() {
+            assert!(weight(&cand) < weight(&s), "candidate not simpler");
+            let flat = cand.circuit.flatten().unwrap();
+            assert!(cand.snapshot_cycle < cand.run_cycles);
+            for fault in cand.resolve_faults(&flat) {
+                assert!(fault.validate().is_ok());
+                assert!(fault.cycle() < cand.run_cycles);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Mutation smoke test: the conformance harness must catch a deliberately
+//! wrong gate-evaluation rule, shrink the counterexample to a tiny
+//! circuit, and reproduce it byte-for-byte through the `ssresf-conform`
+//! binary.
+//!
+//! Each [`EvalMutant`] is installed in the oracle, turning it into the
+//! buggy party; the differential runner must flag a divergence on some
+//! seed in a bounded sweep, and the greedy shrinker must reduce the
+//! failing scenario to at most 8 gates.
+
+use ssresf_conformance::{check_seed, check_with_mutant, replay, Scenario};
+use ssresf_sim::EvalMutant;
+use std::process::Command;
+
+/// Seeds searched per mutant before declaring the generator unable to
+/// exercise it (generously above what any mutant actually needs).
+const SEARCH_LIMIT: u64 = 300;
+
+fn first_failing_seed(mutant: EvalMutant) -> u64 {
+    (0..SEARCH_LIMIT)
+        .find(|&seed| check_with_mutant(&Scenario::from_seed(seed), Some(mutant)).is_err())
+        .unwrap_or_else(|| {
+            panic!(
+                "mutant {} undetected over {SEARCH_LIMIT} seeds — the differential \
+                 runner would miss a real semantic bug of this shape",
+                mutant.name()
+            )
+        })
+}
+
+#[test]
+fn every_mutant_is_detected_and_shrinks_small() {
+    for mutant in EvalMutant::ALL {
+        let seed = first_failing_seed(mutant);
+        let cex = check_seed(seed, Some(mutant))
+            .expect_err("seed already proved failing by first_failing_seed");
+        assert!(
+            cex.minimized.circuit.gates.len() <= 8,
+            "mutant {}: shrink stalled at {} gates (seed {seed}):\n{}",
+            mutant.name(),
+            cex.minimized.circuit.gates.len(),
+            cex.report()
+        );
+        // The minimized scenario still fails, and for the same class of
+        // reason: a trace divergence against the mutated oracle.
+        let msg = check_with_mutant(&cex.minimized, Some(mutant))
+            .expect_err("minimized scenario must still fail");
+        assert!(
+            msg.contains("trace"),
+            "mutant {}: unexpected minimized failure: {msg}",
+            mutant.name()
+        );
+    }
+}
+
+#[test]
+fn binary_replay_is_byte_identical_to_library_replay() {
+    let mutant = EvalMutant::Nand2AsAnd2;
+    let seed = first_failing_seed(mutant);
+    let (passed, library_report) = replay(seed, Some(mutant));
+    assert!(!passed);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ssresf-conform"))
+        .args(["--seed", &seed.to_string(), "--mutant", mutant.name()])
+        .env(
+            "SSRESF_CONFORMANCE_ARTIFACT",
+            std::env::temp_dir().join("ssresf-conform-mutation-test.txt"),
+        )
+        .output()
+        .expect("ssresf-conform binary runs");
+    assert_eq!(out.status.code(), Some(1), "failing replay must exit 1");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        library_report,
+        "binary stdout differs from the library's replay report"
+    );
+}
+
+#[test]
+fn binary_reports_passing_seeds_with_exit_zero() {
+    // Find a seed that passes the full battery (cheap: almost all do).
+    let seed = (0..50)
+        .find(|&s| check_with_mutant(&Scenario::from_seed(s), None).is_ok())
+        .expect("some seed passes");
+    let (passed, library_report) = replay(seed, None);
+    assert!(passed);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ssresf-conform"))
+        .args(["--seed", &seed.to_string()])
+        .output()
+        .expect("ssresf-conform binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), library_report);
+}

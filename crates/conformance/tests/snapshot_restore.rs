@@ -1,0 +1,168 @@
+//! Property tests of the `Engine::snapshot`/`restore` contract at random
+//! mid-run cycles, on every engine.
+//!
+//! The differential runner already probes one snapshot cycle per scenario;
+//! these tests hammer the contract harder: every legal snapshot point of a
+//! scenario, and the restore-diverge-restore-again pattern (restore, run a
+//! *different* future, restore the same snapshot again, and demand the
+//! original future back — proving restore fully erases divergent history).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssresf_conformance::{cases, Scenario};
+use ssresf_sim::{Engine, EngineState, EventDrivenEngine, LevelizedEngine, Logic, OracleEngine};
+
+/// Drives `engine` through reset and `upto` post-reset stimulus cycles.
+fn advance<E: Engine>(engine: &mut E, scenario: &Scenario, stim: &[Vec<Logic>], upto: u64) {
+    let flat = engine.netlist();
+    let rst = flat.net_by_name("rst_n").unwrap();
+    engine.poke(rst, Logic::Zero);
+    for _ in 0..scenario.reset_cycles {
+        engine.step_cycle();
+    }
+    engine.poke(rst, Logic::One);
+    continue_run(engine, scenario, stim, 0, upto);
+}
+
+/// Continues an engine from post-reset cycle `from` to `upto`, poking the
+/// stimulus matrix each cycle.
+fn continue_run<E: Engine>(
+    engine: &mut E,
+    scenario: &Scenario,
+    stim: &[Vec<Logic>],
+    from: u64,
+    upto: u64,
+) {
+    let flat = engine.netlist();
+    let inputs: Vec<_> = (0..scenario.circuit.inputs.max(1))
+        .map(|i| flat.net_by_name(&format!("in_{i}")).unwrap())
+        .collect();
+    for row in stim.iter().take(upto as usize).skip(from as usize) {
+        for (i, &net) in inputs.iter().enumerate() {
+            engine.poke(net, row[i]);
+        }
+        engine.step_cycle();
+    }
+}
+
+/// Final primary-output sample plus final snapshot of a continued run.
+fn finish<E: Engine>(
+    engine: &mut E,
+    scenario: &Scenario,
+    stim: &[Vec<Logic>],
+    from: u64,
+) -> (Vec<Logic>, EngineState) {
+    continue_run(engine, scenario, stim, from, scenario.run_cycles);
+    let outputs: Vec<_> = engine.netlist().primary_outputs().to_vec();
+    (engine.sample(&outputs), engine.snapshot())
+}
+
+fn check_engine<E: Engine>(make: impl Fn() -> E, scenario: &Scenario, snap_at: u64) {
+    let stim = scenario.stimulus();
+
+    // Uninterrupted reference run.
+    let mut reference = make();
+    advance(&mut reference, scenario, &stim, snap_at);
+    let snap = reference.snapshot();
+    let (ref_final, ref_state) = finish(&mut reference, scenario, &stim, snap_at);
+
+    // Restore into a fresh engine; same future.
+    let mut restored = make();
+    restored.restore(&snap);
+    let (out, state) = finish(&mut restored, scenario, &stim, snap_at);
+    assert_eq!(
+        out,
+        ref_final,
+        "[{}] restored run final sample differs (seed {}, snapshot at {snap_at})",
+        restored.name(),
+        scenario.seed
+    );
+    assert!(
+        state.converged_with(&ref_state),
+        "[{}] restored run final state differs (seed {}, snapshot at {snap_at})",
+        restored.name(),
+        scenario.seed
+    );
+
+    // Restore-diverge-restore-again: run a perturbed future off the same
+    // snapshot, then restore once more and demand the original future.
+    let mut diverged = make();
+    diverged.restore(&snap);
+    let perturbed: Vec<Vec<Logic>> = stim
+        .iter()
+        .map(|row| row.iter().map(|v| v.not()).collect())
+        .collect();
+    continue_run(
+        &mut diverged,
+        scenario,
+        &perturbed,
+        snap_at,
+        scenario.run_cycles,
+    );
+
+    diverged.restore(&snap);
+    let (out, state) = finish(&mut diverged, scenario, &stim, snap_at);
+    assert_eq!(
+        out,
+        ref_final,
+        "[{}] second restore kept divergent history (seed {}, snapshot at {snap_at})",
+        diverged.name(),
+        scenario.seed
+    );
+    assert!(
+        state.converged_with(&ref_state),
+        "[{}] second restore final state differs (seed {}, snapshot at {snap_at})",
+        diverged.name(),
+        scenario.seed
+    );
+}
+
+#[test]
+fn snapshot_restore_holds_at_random_cycles_on_every_engine() {
+    let mut rng = StdRng::seed_from_u64(0x5A45);
+    for case in 0..cases(12) {
+        let scenario = Scenario::from_seed(0x5A40_0000 + case);
+        let flat = scenario.circuit.flatten().unwrap();
+        let clk = flat.net_by_name("clk").unwrap();
+        // A handful of random snapshot points per scenario, end points
+        // included (snapshot right after reset and on the last cycle).
+        let mut points = vec![0, scenario.run_cycles];
+        for _ in 0..3 {
+            points.push(rng.gen_range(0..scenario.run_cycles + 1));
+        }
+        for snap_at in points {
+            check_engine(
+                || EventDrivenEngine::new(&flat, clk).unwrap(),
+                &scenario,
+                snap_at,
+            );
+            check_engine(
+                || LevelizedEngine::new(&flat, clk).unwrap(),
+                &scenario,
+                snap_at,
+            );
+            check_engine(
+                || OracleEngine::new(&flat, clk).unwrap(),
+                &scenario,
+                snap_at,
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_engine_snapshots_are_rejected() {
+    let scenario = Scenario::from_seed(1);
+    let flat = scenario.circuit.flatten().unwrap();
+    let clk = flat.net_by_name("clk").unwrap();
+    let event = EventDrivenEngine::new(&flat, clk).unwrap();
+    let mut lev = LevelizedEngine::new(&flat, clk).unwrap();
+    let snap = event.snapshot();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lev.restore(&snap);
+    }));
+    assert!(
+        result.is_err(),
+        "levelized accepted an event-driven snapshot"
+    );
+}

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// How sampled cells are labeled for SVM training.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum LabelRule {
     /// A cell is sensitive when its observed per-cell soft-error
     /// probability reaches the threshold.
@@ -33,13 +33,8 @@ pub enum LabelRule {
     /// The paper's rule: cluster-level SER ranking blended with the
     /// per-cell outcome. A cell is sensitive when
     /// `(cell_probability + cluster_SER) / 2` reaches the chip SER.
+    #[default]
     Blended,
-}
-
-impl Default for LabelRule {
-    fn default() -> Self {
-        LabelRule::Blended
-    }
 }
 
 /// Complete framework configuration.

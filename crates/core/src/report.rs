@@ -6,6 +6,7 @@
 
 use crate::framework::Analysis;
 use serde::{Deserialize, Serialize};
+use ssresf_json as json;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -88,7 +89,47 @@ impl From<&Analysis> for AnalysisSummary {
 impl AnalysisSummary {
     /// Serializes as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary is always serializable")
+        let ser_per_class = json::Value::Object(
+            self.ser_per_class
+                .iter()
+                .map(|(class, &ser)| (class.clone(), json::Value::from(ser)))
+                .collect(),
+        );
+        let predicted_per_class = json::Value::Object(
+            self.predicted_per_class
+                .iter()
+                .map(|(class, &(high, total))| {
+                    (class.clone(), json::Value::from(vec![high, total]))
+                })
+                .collect(),
+        );
+        json::object([
+            ("cells", json::Value::from(self.cells)),
+            ("clusters", json::Value::from(self.clusters)),
+            (
+                "cluster_sizes",
+                json::Value::from(self.cluster_sizes.clone()),
+            ),
+            ("sampled", json::Value::from(self.sampled)),
+            ("injections", json::Value::from(self.injections)),
+            ("soft_errors", json::Value::from(self.soft_errors)),
+            ("chip_ser", json::Value::from(self.chip_ser)),
+            ("ser_per_class", ser_per_class),
+            ("tnr", json::Value::from(self.tnr)),
+            ("tpr", json::Value::from(self.tpr)),
+            ("precision", json::Value::from(self.precision)),
+            ("accuracy", json::Value::from(self.accuracy)),
+            ("f1", json::Value::from(self.f1)),
+            ("auc", json::Value::from(self.auc)),
+            ("predicted_per_class", predicted_per_class),
+            ("seu_xsect_cm2", json::Value::from(self.seu_xsect_cm2)),
+            ("set_xsect_cm2", json::Value::from(self.set_xsect_cm2)),
+            ("simulation_s", json::Value::from(self.simulation_s)),
+            ("training_s", json::Value::from(self.training_s)),
+            ("prediction_s", json::Value::from(self.prediction_s)),
+            ("speedup", json::Value::from(self.speedup)),
+        ])
+        .to_string_pretty()
     }
 
     /// Parses a summary from JSON.
@@ -97,7 +138,73 @@ impl AnalysisSummary {
     ///
     /// Returns the underlying decode error message.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| e.to_string())
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let num = |name: &str| {
+            doc.get(name)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field \"{name}\""))
+        };
+        let count = |name: &str| {
+            doc.get(name)
+                .and_then(json::Value::as_usize)
+                .ok_or_else(|| format!("missing integer field \"{name}\""))
+        };
+        let cluster_sizes = doc
+            .get("cluster_sizes")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| "missing \"cluster_sizes\"".to_owned())?
+            .iter()
+            .map(|v| v.as_usize().ok_or_else(|| "bad cluster size".to_owned()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut ser_per_class = BTreeMap::new();
+        for (class, v) in doc
+            .get("ser_per_class")
+            .and_then(json::Value::as_object)
+            .ok_or_else(|| "missing \"ser_per_class\"".to_owned())?
+        {
+            let ser = v
+                .as_f64()
+                .ok_or_else(|| format!("bad SER for class \"{class}\""))?;
+            ser_per_class.insert(class.clone(), ser);
+        }
+        let mut predicted_per_class = BTreeMap::new();
+        for (class, v) in doc
+            .get("predicted_per_class")
+            .and_then(json::Value::as_object)
+            .ok_or_else(|| "missing \"predicted_per_class\"".to_owned())?
+        {
+            let pair = (
+                v.at(0).and_then(json::Value::as_usize),
+                v.at(1).and_then(json::Value::as_usize),
+            );
+            let (Some(high), Some(total)) = pair else {
+                return Err(format!("bad predicted counts for class \"{class}\""));
+            };
+            predicted_per_class.insert(class.clone(), (high, total));
+        }
+        Ok(AnalysisSummary {
+            cells: count("cells")?,
+            clusters: count("clusters")?,
+            cluster_sizes,
+            sampled: count("sampled")?,
+            injections: count("injections")?,
+            soft_errors: count("soft_errors")?,
+            chip_ser: num("chip_ser")?,
+            ser_per_class,
+            tnr: num("tnr")?,
+            tpr: num("tpr")?,
+            precision: num("precision")?,
+            accuracy: num("accuracy")?,
+            f1: num("f1")?,
+            auc: num("auc")?,
+            predicted_per_class,
+            seu_xsect_cm2: num("seu_xsect_cm2")?,
+            set_xsect_cm2: num("set_xsect_cm2")?,
+            simulation_s: num("simulation_s")?,
+            training_s: num("training_s")?,
+            prediction_s: num("prediction_s")?,
+            speedup: num("speedup")?,
+        })
     }
 }
 

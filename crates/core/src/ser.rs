@@ -115,16 +115,16 @@ pub fn evaluate_ser(
         }
     }
 
-    // Paper Eq. 2: SER_chip = Σ |cluster_i| · SER_i / Σ |cluster_i|.
-    let total_cells: usize = per_cluster.iter().map(|c| c.cells).sum();
-    let chip_ser = if total_cells == 0 {
+    // Paper Eq. 2: SER_chip = Σ |cluster_i| · SER_i / Σ |cluster_i|. The sum
+    // runs over clusters with at least one injection: a cluster that was
+    // never sampled has no SER estimate, and counting it as zero would skew
+    // the chip SER downward (empty clusters carry zero weight either way).
+    let measured = || per_cluster.iter().filter(|c| c.injections > 0);
+    let measured_cells: usize = measured().map(|c| c.cells).sum();
+    let chip_ser = if measured_cells == 0 {
         0.0
     } else {
-        per_cluster
-            .iter()
-            .map(|c| c.cells as f64 * c.ser())
-            .sum::<f64>()
-            / total_cells as f64
+        measured().map(|c| c.cells as f64 * c.ser()).sum::<f64>() / measured_cells as f64
     };
 
     let per_module_class = class_counts
@@ -248,6 +248,70 @@ mod tests {
             per_cluster: vec![vec![], vec![]],
         };
         assert!(evaluate_ser(&netlist, &clustering, &sample, &outcome(vec![])).is_err());
+    }
+
+    #[test]
+    fn empty_cluster_contributes_nothing_and_never_nans() {
+        let netlist = tiny_netlist();
+        // Cluster 1 is empty — a degenerate but legal clustering outcome.
+        let clustering = Clustering {
+            assignment: vec![0, 0],
+            clusters: 2,
+            members: vec![vec![CellId(0), CellId(1)], vec![]],
+        };
+        let sample = ClusterSample {
+            per_cluster: vec![vec![CellId(0)], vec![]],
+        };
+        let out = outcome(vec![record(0, true), record(0, false)]);
+        let eval = evaluate_ser(&netlist, &clustering, &sample, &out).unwrap();
+        assert!(eval.chip_ser.is_finite());
+        assert_eq!(eval.per_cluster[1].cells, 0);
+        assert_eq!(eval.per_cluster[1].ser(), 0.0);
+        // Chip SER is exactly the measured cluster's SER.
+        assert!((eval.chip_ser - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsampled_cluster_does_not_skew_chip_ser() {
+        let netlist = tiny_netlist();
+        // Cluster 1 has cells but zero sampled cells, hence zero injections.
+        let clustering = Clustering {
+            assignment: vec![0, 1],
+            clusters: 2,
+            members: vec![vec![CellId(0)], vec![CellId(1)]],
+        };
+        let sample = ClusterSample {
+            per_cluster: vec![vec![CellId(0)], vec![]],
+        };
+        let out = outcome(vec![record(0, true)]);
+        let eval = evaluate_ser(&netlist, &clustering, &sample, &out).unwrap();
+        assert_eq!(eval.per_cluster[1].injections, 0);
+        // Eq. 2 averages over measured clusters only: counting the
+        // unsampled cluster as SER 0 would halve the chip SER.
+        assert!((eval.chip_ser - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_chip_ser_equals_cluster_ser() {
+        let netlist = tiny_netlist();
+        let clustering = Clustering {
+            assignment: vec![0, 0],
+            clusters: 1,
+            members: vec![vec![CellId(0), CellId(1)]],
+        };
+        let sample = ClusterSample {
+            per_cluster: vec![vec![CellId(0), CellId(1)]],
+        };
+        let out = outcome(vec![
+            record(0, true),
+            record(0, false),
+            record(1, true),
+            record(1, false),
+        ]);
+        let eval = evaluate_ser(&netlist, &clustering, &sample, &out).unwrap();
+        assert!((eval.chip_ser - eval.per_cluster[0].ser()).abs() < 1e-12);
+        assert!((eval.chip_ser - 0.5).abs() < 1e-12);
+        assert_eq!(eval.ranked_clusters(), vec![0]);
     }
 
     #[test]

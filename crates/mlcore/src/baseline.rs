@@ -48,7 +48,10 @@ impl LogisticRegression {
     /// Returns [`MlError::Degenerate`] for empty or single-class data and
     /// [`MlError::Param`] for non-positive hyper-parameters.
     pub fn train(data: &Dataset, params: &LogisticParams) -> Result<Self, MlError> {
-        if !(params.learning_rate > 0.0) || params.epochs == 0 || params.l2 < 0.0 {
+        if params.learning_rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || params.epochs == 0
+            || params.l2 < 0.0
+        {
             return Err(MlError::Param("bad logistic-regression params".into()));
         }
         if data.is_empty() {

@@ -8,6 +8,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// One fold's `(train_indices, test_indices)` pair.
+pub type FoldIndices = (Vec<usize>, Vec<usize>);
+
 /// A stratified k-fold splitter.
 ///
 /// Rows of each class are shuffled (seeded) and dealt round-robin into `k`
@@ -42,7 +45,7 @@ impl KFold {
     /// # Errors
     ///
     /// Returns [`MlError::Degenerate`] when there are fewer rows than folds.
-    pub fn split(&self, data: &Dataset) -> Result<Vec<(Vec<usize>, Vec<usize>)>, MlError> {
+    pub fn split(&self, data: &Dataset) -> Result<Vec<FoldIndices>, MlError> {
         if data.len() < self.k {
             return Err(MlError::Degenerate(format!(
                 "{} rows cannot fill {} folds",

@@ -47,7 +47,7 @@ pub mod preprocess;
 pub mod svm;
 
 pub use baseline::{KnnClassifier, LogisticParams, LogisticRegression};
-pub use crossval::{cross_val_score, KFold};
+pub use crossval::{cross_val_score, FoldIndices, KFold};
 pub use dataset::Dataset;
 pub use error::MlError;
 pub use feature_selection::{forward_selection, SelectionCurve};

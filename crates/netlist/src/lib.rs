@@ -41,6 +41,7 @@ pub mod design;
 pub mod error;
 pub mod features;
 pub mod flat;
+pub mod generate;
 pub mod harden;
 pub mod path;
 pub mod stats;
@@ -51,6 +52,7 @@ pub use design::{Cell, Design, Instance, Module, ModuleBuilder, Port, PortDir};
 pub use error::NetlistError;
 pub use features::{CellFeatures, FeatureExtractor, ModuleClass, STRUCTURAL_FEATURE_NAMES};
 pub use flat::{CellId, FlatCell, FlatNet, FlatNetlist, NetId};
+pub use generate::{CircuitSpec, GateSpec, GENERATOR_KINDS};
 pub use harden::HardeningReport;
 pub use path::{HierPath, PathId, PathInterner};
 pub use stats::NetlistStats;

@@ -11,6 +11,7 @@ use crate::error::RadiationError;
 use crate::units::{Area, Let};
 use crate::weibull::WeibullCurve;
 use serde::{Deserialize, Serialize};
+use ssresf_json as json;
 use ssresf_netlist::cell::ALL_CELL_KINDS;
 use ssresf_netlist::{CellKind, RadiationClass};
 
@@ -170,7 +171,30 @@ impl SoftErrorDatabase {
 
     /// Serializes the database as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("database is always serializable")
+        let entries: Vec<json::Value> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                let points: Vec<json::Value> = entry
+                    .points
+                    .iter()
+                    .map(|p| {
+                        json::object([
+                            ("let_value", json::Value::from(p.let_value)),
+                            ("seu_cm2", json::Value::from(p.seu_cm2)),
+                            ("set_cm2", json::Value::from(p.set_cm2)),
+                        ])
+                    })
+                    .collect();
+                json::object([
+                    ("cell_kind", json::Value::from(entry.cell_kind.as_str())),
+                    ("class", json::Value::from(class_name(entry.class))),
+                    ("area_weight", json::Value::from(entry.area_weight)),
+                    ("points", json::Value::Array(points)),
+                ])
+            })
+            .collect();
+        json::object([("entries", json::Value::Array(entries))]).to_string_pretty()
     }
 
     /// Parses a database from JSON.
@@ -179,8 +203,76 @@ impl SoftErrorDatabase {
     ///
     /// Returns [`RadiationError::Database`] on malformed input.
     pub fn from_json(text: &str) -> Result<Self, RadiationError> {
-        serde_json::from_str(text).map_err(|e| RadiationError::Database(e.to_string()))
+        let bad = |what: &str| RadiationError::Database(format!("invalid database JSON: {what}"));
+        let doc = json::parse(text).map_err(|e| RadiationError::Database(e.to_string()))?;
+        let entries = doc
+            .get("entries")
+            .and_then(json::Value::as_array)
+            .ok_or_else(|| bad("missing \"entries\" array"))?;
+        let mut parsed = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let cell_kind = entry
+                .get("cell_kind")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| bad("entry missing \"cell_kind\""))?
+                .to_owned();
+            let class = entry
+                .get("class")
+                .and_then(json::Value::as_str)
+                .and_then(class_from_name)
+                .ok_or_else(|| bad("entry has no valid \"class\""))?;
+            let area_weight = entry
+                .get("area_weight")
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| bad("entry missing \"area_weight\""))?;
+            let raw_points = entry
+                .get("points")
+                .and_then(json::Value::as_array)
+                .ok_or_else(|| bad("entry missing \"points\""))?;
+            let mut points = Vec::with_capacity(raw_points.len());
+            for p in raw_points {
+                let field = |name: &str| {
+                    p.get(name)
+                        .and_then(json::Value::as_f64)
+                        .ok_or_else(|| bad("point is missing a numeric field"))
+                };
+                points.push(LetPoint {
+                    let_value: field("let_value")?,
+                    seu_cm2: field("seu_cm2")?,
+                    set_cm2: field("set_cm2")?,
+                });
+            }
+            parsed.push(DatabaseEntry {
+                cell_kind,
+                class,
+                area_weight,
+                points,
+            });
+        }
+        Ok(SoftErrorDatabase { entries: parsed })
     }
+}
+
+/// Stable interchange name of a radiation class (matches the variant name).
+fn class_name(class: RadiationClass) -> &'static str {
+    match class {
+        RadiationClass::Combinational => "Combinational",
+        RadiationClass::FlipFlop => "FlipFlop",
+        RadiationClass::SramCell => "SramCell",
+        RadiationClass::DramCell => "DramCell",
+        RadiationClass::RadHardCell => "RadHardCell",
+    }
+}
+
+fn class_from_name(name: &str) -> Option<RadiationClass> {
+    Some(match name {
+        "Combinational" => RadiationClass::Combinational,
+        "FlipFlop" => RadiationClass::FlipFlop,
+        "SramCell" => RadiationClass::SramCell,
+        "DramCell" => RadiationClass::DramCell,
+        "RadHardCell" => RadiationClass::RadHardCell,
+        _ => return None,
+    })
 }
 
 impl Default for SoftErrorDatabase {

@@ -3,6 +3,7 @@
 use crate::event::EventDrivenState;
 use crate::inject::Fault;
 use crate::levelized::LevelizedState;
+use crate::oracle::OracleState;
 use crate::value::Logic;
 use serde::{Deserialize, Serialize};
 use ssresf_netlist::{CellId, FlatNetlist, NetId};
@@ -19,6 +20,8 @@ pub enum EngineState {
     EventDriven(EventDrivenState),
     /// State of a [`LevelizedEngine`](crate::LevelizedEngine).
     Levelized(LevelizedState),
+    /// State of an [`OracleEngine`](crate::OracleEngine).
+    Oracle(OracleState),
 }
 
 impl EngineState {
@@ -27,6 +30,7 @@ impl EngineState {
         match self {
             EngineState::EventDriven(s) => s.cycle(),
             EngineState::Levelized(s) => s.cycle(),
+            EngineState::Oracle(s) => s.cycle(),
         }
     }
 
@@ -43,6 +47,7 @@ impl EngineState {
         match (self, other) {
             (EngineState::EventDriven(a), EngineState::EventDriven(b)) => a.converged_with(b),
             (EngineState::Levelized(a), EngineState::Levelized(b)) => a.converged_with(b),
+            (EngineState::Oracle(a), EngineState::Oracle(b)) => a.converged_with(b),
             _ => false,
         }
     }

@@ -38,6 +38,63 @@ pub fn eval_comb(kind: CellKind, inputs: &[Logic]) -> Logic {
     }
 }
 
+/// A deliberately wrong gate-evaluation rule, used by the conformance
+/// subsystem's mutation smoke tests: an engine built with a mutant must be
+/// caught by the differential runner and shrunk to a tiny counterexample.
+/// Mutants only take effect through [`eval_comb_with_mutant`]; production
+/// simulation paths call [`eval_comb`] and are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMutant {
+    /// `Xor2` evaluates as `Or2` — wrong exactly on the `(1, 1)` input row.
+    Xor2AsOr2,
+    /// `Nand2` evaluates as `And2` — wrong on every defined input row.
+    Nand2AsAnd2,
+    /// `Mux2` selects the wrong data operand.
+    Mux2SwappedData,
+}
+
+impl EvalMutant {
+    /// Every mutant, for exhaustive mutation sweeps.
+    pub const ALL: [EvalMutant; 3] = [
+        EvalMutant::Xor2AsOr2,
+        EvalMutant::Nand2AsAnd2,
+        EvalMutant::Mux2SwappedData,
+    ];
+
+    /// Stable name used by `ssresf-conform --mutant`.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMutant::Xor2AsOr2 => "xor2-as-or2",
+            EvalMutant::Nand2AsAnd2 => "nand2-as-and2",
+            EvalMutant::Mux2SwappedData => "mux2-swapped-data",
+        }
+    }
+
+    /// Parses [`EvalMutant::name`] back into the mutant.
+    pub fn from_name(name: &str) -> Option<Self> {
+        EvalMutant::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+/// [`eval_comb`] with an optional mutation applied; test infrastructure only.
+pub fn eval_comb_with_mutant(
+    kind: CellKind,
+    inputs: &[Logic],
+    mutant: Option<EvalMutant>,
+) -> Logic {
+    if let Some(m) = mutant {
+        match (m, kind) {
+            (EvalMutant::Xor2AsOr2, CellKind::Xor2) => return inputs[0].or(inputs[1]),
+            (EvalMutant::Nand2AsAnd2, CellKind::Nand2) => return inputs[0].and(inputs[1]),
+            (EvalMutant::Mux2SwappedData, CellKind::Mux2) => {
+                return inputs[2].mux(inputs[1], inputs[0])
+            }
+            _ => {}
+        }
+    }
+    eval_comb(kind, inputs)
+}
+
 /// Pin index of the clocking pin for a sequential cell (`CLK`, or `EN` for
 /// latches).
 pub fn clock_pin(kind: CellKind) -> usize {

@@ -54,6 +54,7 @@ pub mod eval;
 pub mod event;
 pub mod inject;
 pub mod levelized;
+pub mod oracle;
 pub mod testbench;
 pub mod trace;
 pub mod value;
@@ -61,9 +62,11 @@ pub mod vcd;
 
 pub use engine::{Engine, EngineState};
 pub use error::SimError;
+pub use eval::{eval_comb, eval_comb_with_mutant, EvalMutant};
 pub use event::{EventDrivenEngine, EventDrivenState};
 pub use inject::{Fault, Force, SetFault, SeuFault};
 pub use levelized::{LevelizedEngine, LevelizedState};
+pub use oracle::{OracleEngine, OracleState};
 pub use testbench::{drive_random_inputs, Lfsr, Testbench};
 pub use trace::{CycleTrace, Divergence, WaveSignal, WaveTrace};
 pub use value::Logic;

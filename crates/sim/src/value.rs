@@ -40,6 +40,7 @@ impl Logic {
     }
 
     /// Logical negation; unknowns stay unknown.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Logic {
         match self {
             Logic::Zero => Logic::One,

@@ -407,9 +407,7 @@ mod tests {
                     facc = sum ^ rot;
                 }
                 Insn::Amo(_) => {
-                    let old = amo;
-                    amo = acc;
-                    acc = old;
+                    std::mem::swap(&mut amo, &mut acc);
                 }
             }
             pc = next_pc % 16;

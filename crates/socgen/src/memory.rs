@@ -58,12 +58,12 @@ pub fn build_memory(
             &[row_we],
         )?;
         let mut q = Vec::with_capacity(w);
-        for b in 0..w {
+        for (b, &wd) in wdata.iter().enumerate().take(w) {
             let out = mb.net(format!("q_{r}_{b}"));
             mb.cell(
                 format!("u_bit_{r}_{b}"),
                 bit_cell,
-                &[clk, row_we, wdata[b]],
+                &[clk, row_we, wd],
                 &[out],
             )?;
             q.push(out);

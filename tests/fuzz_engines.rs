@@ -1,159 +1,59 @@
-//! Property-based differential testing: the event-driven and levelized
-//! engines are independent implementations of the same semantics, so on
-//! arbitrary random circuits under arbitrary stimulus their golden traces
-//! must agree — a simulator-vs-simulator fuzzer. Random designs must also
-//! survive a structural-Verilog round trip with identical behavior.
+//! Differential fuzzing of the simulation engines, driven by the
+//! conformance subsystem's seed-derived scenarios.
+//!
+//! The event-driven and levelized engines are independent implementations
+//! of the same semantics, and the conformance oracle is a third; on
+//! arbitrary generated circuits under arbitrary stimulus all three must
+//! agree, and failures shrink to a minimal counterexample. Random designs
+//! must also survive a structural-Verilog round trip with identical
+//! behavior. Case counts honor the `PROPTEST_CASES` environment variable.
 
-use proptest::prelude::*;
+use ssresf_conformance::{cases, sweep, Scenario};
 use ssresf_netlist::verilog::{parse_verilog, write_verilog};
-use ssresf_netlist::{CellKind, Design, FlatNetlist, ModuleBuilder, PortDir};
-use ssresf_sim::{
-    drive_random_inputs, Engine, EventDrivenEngine, LevelizedEngine, Lfsr, Testbench,
-};
+use ssresf_netlist::FlatNetlist;
+use ssresf_sim::{drive_random_inputs, CycleTrace, EventDrivenEngine, Lfsr, Testbench};
 
-/// Deterministically builds a random-but-valid sequential circuit: a DAG of
-/// random gates over the inputs, with a bank of resettable flip-flops whose
-/// outputs feed back into the cloud's leaf choices.
-fn random_circuit(seed: u32, gates: usize, ffs: usize) -> FlatNetlist {
-    let mut design = Design::new();
-    let mut mb = ModuleBuilder::new(format!("fuzz_{seed}"));
-    let clk = mb.port("clk", PortDir::Input);
-    let rst_n = mb.port("rst_n", PortDir::Input);
-    let inputs: Vec<_> = (0..3)
-        .map(|i| mb.port(format!("in_{i}"), PortDir::Input))
-        .collect();
-    let outputs: Vec<_> = (0..3)
-        .map(|i| mb.port(format!("out_{i}"), PortDir::Output))
-        .collect();
-
-    let mut lfsr = Lfsr::new(seed);
-    // FF outputs participate as gate operands (registered feedback only, so
-    // no combinational loops are possible).
-    let ff_q: Vec<_> = (0..ffs).map(|i| mb.net(format!("q_{i}"))).collect();
-    let mut pool: Vec<_> = inputs.clone();
-    pool.extend(ff_q.iter().copied());
-
-    let kinds = [
-        CellKind::Inv,
-        CellKind::Buf,
-        CellKind::And2,
-        CellKind::Or2,
-        CellKind::Nand2,
-        CellKind::Nor2,
-        CellKind::Xor2,
-        CellKind::Xnor2,
-        CellKind::And3,
-        CellKind::Nor3,
-        CellKind::Mux2,
-        CellKind::Aoi21,
-        CellKind::Oai21,
-    ];
-    for g in 0..gates {
-        let kind = kinds[lfsr.next_bits(8) as usize % kinds.len()];
-        let operands: Vec<_> = (0..kind.num_inputs())
-            .map(|_| pool[lfsr.next_bits(16) as usize % pool.len()])
-            .collect();
-        let y = mb.net(format!("w_{g}"));
-        mb.cell(format!("u_g{g}"), kind, &operands, &[y]).unwrap();
-        pool.push(y);
+#[test]
+fn engines_agree_on_random_sequential_circuits() {
+    // The full differential battery: oracle vs event-driven vs levelized
+    // golden traces, X-propagation, VCD round-trips, snapshot/restore,
+    // faulty runs and campaign equivalence — shrunk on failure.
+    if let Err(cex) = sweep(0, cases(24), None) {
+        panic!("{}", cex.report());
     }
-    for (i, &q) in ff_q.iter().enumerate() {
-        let d = pool[pool.len() - 1 - (i % pool.len().min(8))];
-        mb.cell(format!("u_ff{i}"), CellKind::Dffr, &[clk, d, rst_n], &[q])
-            .unwrap();
-    }
-    for (i, &out) in outputs.iter().enumerate() {
-        let src = pool[pool.len() - 1 - i];
-        mb.cell(format!("u_ob{i}"), CellKind::Buf, &[src], &[out])
-            .unwrap();
-    }
-    let id = design.add_module(mb.finish()).unwrap();
-    design.set_top(id).unwrap();
-    design.flatten().unwrap()
 }
 
-fn run_trace<E: Engine>(
-    engine: E,
-    flat: &FlatNetlist,
-    stim_seed: u32,
-    cycles: u64,
-) -> ssresf_sim::CycleTrace {
-    let inputs: Vec<_> = (0..3)
-        .map(|i| flat.net_by_name(&format!("in_{i}")).unwrap())
+fn run_trace(flat: &FlatNetlist, stim_seed: u32, cycles: u64) -> CycleTrace {
+    let inputs: Vec<_> = flat
+        .primary_inputs()
+        .iter()
+        .copied()
+        .filter(|&n| flat.net(n).name.starts_with("in_"))
         .collect();
+    let clk = flat.net_by_name("clk").unwrap();
     let mut lfsr = Lfsr::new(stim_seed);
-    let mut tb = Testbench::new(engine);
+    let mut tb = Testbench::new(EventDrivenEngine::new(flat, clk).unwrap());
     tb.run_with_stimulus(3, cycles, |_, e| drive_random_inputs(e, &inputs, &mut lfsr))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn random_designs_round_trip_through_verilog_with_identical_behavior() {
+    for seed in 0..cases(24) {
+        let scenario = Scenario::from_seed(seed);
+        let design = scenario.circuit.build_design();
+        let flat = design.flatten().unwrap();
 
-    #[test]
-    fn engines_agree_on_random_sequential_circuits(
-        seed in 1u32..10_000,
-        gates in 4usize..40,
-        ffs in 1usize..8,
-        stim_seed in 1u32..10_000,
-    ) {
-        let flat = random_circuit(seed, gates, ffs);
-        let clk = flat.net_by_name("clk").unwrap();
-        let ev = run_trace(
-            EventDrivenEngine::new(&flat, clk).unwrap(), &flat, stim_seed, 24);
-        let lv = run_trace(
-            LevelizedEngine::new(&flat, clk).unwrap(), &flat, stim_seed, 24);
-        prop_assert!(
-            ev.matches(&lv),
-            "seed {seed} gates {gates} ffs {ffs}: {:?}",
-            ev.diff(&lv).into_iter().take(3).collect::<Vec<_>>()
-        );
-    }
-
-    #[test]
-    fn random_designs_round_trip_through_verilog_with_identical_behavior(
-        seed in 1u32..10_000,
-        gates in 4usize..24,
-        ffs in 1usize..5,
-    ) {
-        let flat = random_circuit(seed, gates, ffs);
-        // The flat netlist came from a single module, so it maps 1:1 back
-        // onto a hierarchical design we can emit and re-parse.
-        let regenerated = {
-            let mut d = Design::new();
-            let mut b = ModuleBuilder::new(format!("fuzz_{seed}"));
-            // Rebuild from the flat netlist cells (single-module design, so
-            // the flat view maps 1:1 onto module contents).
-            // ModuleBuilder::net reuses nets by name, so looking nets up by
-            // their flat name is all the bookkeeping needed.
-            for &ni in flat.primary_inputs() {
-                b.port(flat.net(ni).name.clone(), PortDir::Input);
-            }
-            for &no in flat.primary_outputs() {
-                b.port(flat.net(no).name.clone(), PortDir::Output);
-            }
-            for (_, cell) in flat.iter_cells() {
-                let ins: Vec<_> = cell
-                    .inputs
-                    .iter()
-                    .map(|&n| b.net(flat.net(n).name.clone()))
-                    .collect();
-                let out = b.net(flat.net(cell.output).name.clone());
-                b.cell(cell.name.clone(), cell.kind, &ins, &[out]).unwrap();
-            }
-            let id = d.add_module(b.finish()).unwrap();
-            d.set_top(id).unwrap();
-            d
-        };
-
-        let text = write_verilog(&regenerated);
+        let text = write_verilog(&design);
         let reparsed = parse_verilog(&text).unwrap();
         let reflat = reparsed.flatten().unwrap();
-        prop_assert_eq!(reflat.cells().len(), flat.cells().len());
+        assert_eq!(reflat.cells().len(), flat.cells().len(), "seed {seed}");
 
-        let clk_a = flat.net_by_name("clk").unwrap();
-        let clk_b = reflat.net_by_name("clk").unwrap();
-        let ta = run_trace(EventDrivenEngine::new(&flat, clk_a).unwrap(), &flat, seed, 16);
-        let tb_ = run_trace(EventDrivenEngine::new(&reflat, clk_b).unwrap(), &reflat, seed, 16);
-        prop_assert!(ta.matches(&tb_), "round-tripped netlist diverges");
+        let ta = run_trace(&flat, scenario.stim_seed, 16);
+        let tb = run_trace(&reflat, scenario.stim_seed, 16);
+        assert!(
+            ta.matches(&tb),
+            "seed {seed}: round-tripped netlist diverges: {:?}",
+            ta.diff(&tb).into_iter().take(3).collect::<Vec<_>>()
+        );
     }
 }

@@ -1,68 +1,78 @@
-//! Property-based tests (proptest) over the framework's core data
-//! structures and invariants, spanning several crates.
+//! Property-based tests over the framework's core data structures and
+//! invariants, spanning several crates. Inputs are sampled with the
+//! workspace PRNG from fixed seeds (fully deterministic) and the per-test
+//! case count honors the `PROPTEST_CASES` environment variable.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ssresf::clustering::hier_distance;
 use ssresf::sampling::{sample_clusters, SamplingConfig};
 use ssresf::Clustering;
+use ssresf_conformance::cases;
 use ssresf_mlcore::{roc_curve, BinaryMetrics, MinMaxScaler, StandardScaler};
 use ssresf_netlist::{CellId, HierPath};
 use ssresf_sim::vcd::{parse_vcd, write_vcd};
 use ssresf_sim::{Logic, WaveSignal, WaveTrace};
 
-fn arb_path() -> impl Strategy<Value = HierPath> {
-    proptest::collection::vec(prop_oneof!["a", "b", "cpu", "bus", "mem"], 0..5)
-        .prop_map(|segments| HierPath::from_segments(segments))
+fn arb_path(rng: &mut StdRng) -> HierPath {
+    const SEGMENTS: [&str; 5] = ["a", "b", "cpu", "bus", "mem"];
+    let len = rng.gen_range(0usize..5);
+    HierPath::from_segments((0..len).map(|_| SEGMENTS[rng.gen_range(0usize..SEGMENTS.len())]))
 }
 
-fn arb_logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z),
-    ]
+fn arb_logic(rng: &mut StdRng) -> Logic {
+    match rng.gen_range(0u32..4) {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
 }
 
-proptest! {
-    // ---- Eq. 1 hierarchical distance is a metric-like function ----
+/// Sorted, time-deduplicated change list for a waveform signal.
+fn arb_changes(rng: &mut StdRng, min: usize) -> Vec<(u64, Logic)> {
+    let len = rng.gen_range(min..20.max(min + 1));
+    let mut changes: Vec<(u64, Logic)> = (0..len)
+        .map(|_| (rng.gen_range(0u64..1000), arb_logic(rng)))
+        .collect();
+    changes.sort_by_key(|&(t, _)| t);
+    changes.dedup_by_key(|&mut (t, _)| t);
+    changes
+}
 
-    #[test]
-    fn distance_identity(a in arb_path(), ln in 1usize..8) {
-        prop_assert_eq!(hier_distance(&a, &a, ln), 0);
-    }
+// ---- Eq. 1 hierarchical distance is a metric-like function ----
 
-    #[test]
-    fn distance_symmetry(a in arb_path(), b in arb_path(), ln in 1usize..8) {
-        prop_assert_eq!(hier_distance(&a, &b, ln), hier_distance(&b, &a, ln));
-    }
-
-    #[test]
-    fn distance_triangle(a in arb_path(), b in arb_path(), c in arb_path(), ln in 1usize..8) {
-        let ab = hier_distance(&a, &b, ln);
-        let bc = hier_distance(&b, &c, ln);
-        let ac = hier_distance(&a, &c, ln);
-        prop_assert!(ac <= ab + bc);
-    }
-
-    #[test]
-    fn distance_bounded(a in arb_path(), b in arb_path(), ln in 1usize..8) {
+#[test]
+fn distance_identity_symmetry_triangle_and_bound() {
+    let mut rng = StdRng::seed_from_u64(0xD157);
+    for _ in 0..cases(64) {
+        let (a, b, c) = (arb_path(&mut rng), arb_path(&mut rng), arb_path(&mut rng));
+        let ln = rng.gen_range(1usize..8);
+        assert_eq!(hier_distance(&a, &a, ln), 0);
+        assert_eq!(hier_distance(&a, &b, ln), hier_distance(&b, &a, ln));
+        let (ab, bc, ac) = (
+            hier_distance(&a, &b, ln),
+            hier_distance(&b, &c, ln),
+            hier_distance(&a, &c, ln),
+        );
+        assert!(ac <= ab + bc, "triangle violated: {ac} > {ab} + {bc}");
         // Sum of 2^(ln-1) + ... + 1 = 2^ln - 1.
-        prop_assert!(hier_distance(&a, &b, ln) <= (1 << ln) - 1);
+        assert!(ab < (1 << ln));
     }
+}
 
-    // ---- Sampling is a proper sub-selection ----
+// ---- Sampling is a proper sub-selection ----
 
-    #[test]
-    fn sampling_respects_clusters(
-        sizes in proptest::collection::vec(0usize..30, 1..6),
-        fraction in 0.05f64..1.0,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn sampling_respects_clusters() {
+    let mut rng = StdRng::seed_from_u64(0x5A3B);
+    for _ in 0..cases(48) {
+        let nclusters = rng.gen_range(1usize..6);
         let mut members = Vec::new();
         let mut assignment = Vec::new();
         let mut next = 0u32;
-        for (c, &size) in sizes.iter().enumerate() {
+        for c in 0..nclusters {
+            let size = rng.gen_range(0usize..30);
             let mut cluster = Vec::new();
             for _ in 0..size {
                 cluster.push(CellId(next));
@@ -71,158 +81,187 @@ proptest! {
             }
             members.push(cluster);
         }
-        let clustering = Clustering { assignment, clusters: sizes.len(), members };
-        let sample = sample_clusters(&clustering, &SamplingConfig {
-            fraction,
-            min_per_cluster: 2,
-            seed,
-        }).unwrap();
+        let fraction = 0.05 + rng.gen::<f64>() * 0.95;
+        let clustering = Clustering {
+            assignment,
+            clusters: nclusters,
+            members,
+        };
+        let sample = sample_clusters(
+            &clustering,
+            &SamplingConfig {
+                fraction,
+                min_per_cluster: 2,
+                seed: rng.gen_range(0u64..100),
+            },
+        )
+        .unwrap();
         for (c, cells) in sample.per_cluster.iter().enumerate() {
             // No oversampling, membership respected, no duplicates.
-            prop_assert!(cells.len() <= clustering.members[c].len());
+            assert!(cells.len() <= clustering.members[c].len());
             let mut sorted = cells.clone();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), cells.len());
+            assert_eq!(sorted.len(), cells.len());
             for cell in cells {
-                prop_assert!(clustering.members[c].contains(cell));
+                assert!(clustering.members[c].contains(cell));
             }
             // The equal-proportion floor holds for nonempty clusters.
             if !clustering.members[c].is_empty() {
                 let want = ((clustering.members[c].len() as f64 * fraction).ceil() as usize)
                     .max(2)
                     .min(clustering.members[c].len());
-                prop_assert_eq!(cells.len(), want);
+                assert_eq!(cells.len(), want);
             }
         }
     }
+}
 
-    // ---- Four-state logic algebra ----
+// ---- Four-state logic algebra ----
 
-    #[test]
-    fn logic_de_morgan_weak(a in arb_logic(), b in arb_logic()) {
+#[test]
+fn logic_de_morgan_weak() {
+    let mut rng = StdRng::seed_from_u64(0xDE_40);
+    for _ in 0..cases(64) {
+        let (a, b) = (arb_logic(&mut rng), arb_logic(&mut rng));
         // On the 4-valued domain, both sides are always equal for AND/OR
         // since X/Z map identically through not().
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        assert_eq!(a.or(b).not(), a.not().and(b.not()));
     }
+}
 
-    #[test]
-    fn logic_absorption_on_defined(a in any::<bool>(), b in arb_logic()) {
-        let av = Logic::from_bool(a);
+#[test]
+fn logic_absorption_on_defined() {
+    let mut rng = StdRng::seed_from_u64(0xAB_50);
+    for _ in 0..cases(64) {
+        let av = Logic::from_bool(rng.gen::<bool>());
+        let b = arb_logic(&mut rng);
         // a | (a & b) == a and a & (a | b) == a for defined `a`.
-        prop_assert_eq!(av.or(av.and(b)), av);
-        prop_assert_eq!(av.and(av.or(b)), av);
+        assert_eq!(av.or(av.and(b)), av);
+        assert_eq!(av.and(av.or(b)), av);
     }
+}
 
-    // ---- Waveforms and VCD ----
+// ---- Waveforms and VCD ----
 
-    #[test]
-    fn vcd_round_trips_arbitrary_waves(
-        changes in proptest::collection::vec((0u64..1000, arb_logic()), 0..20),
-        nsignals in 1usize..4,
-    ) {
-        let mut sorted = changes.clone();
-        sorted.sort_by_key(|&(t, _)| t);
-        sorted.dedup_by_key(|&mut (t, _)| t);
+#[test]
+fn vcd_round_trips_arbitrary_waves() {
+    let mut rng = StdRng::seed_from_u64(0x7CD);
+    for _ in 0..cases(48) {
+        let changes = arb_changes(&mut rng, 0);
+        let nsignals = rng.gen_range(1usize..4);
         let mut wave = WaveTrace::new();
         for s in 0..nsignals {
             wave.signals.push(WaveSignal {
                 name: format!("sig{s}"),
-                changes: sorted.clone(),
+                changes: changes.clone(),
             });
         }
         let parsed = parse_vcd(&write_vcd(&wave)).unwrap();
-        prop_assert_eq!(parsed.signals.len(), wave.signals.len());
+        assert_eq!(parsed.signals.len(), wave.signals.len());
         for (a, b) in wave.signals.iter().zip(&parsed.signals) {
-            prop_assert_eq!(&a.changes, &b.changes);
+            assert_eq!(a.changes, b.changes);
         }
     }
+}
 
-    #[test]
-    fn wave_value_at_reconstructs_changes(
-        changes in proptest::collection::vec((0u64..1000, arb_logic()), 1..20),
-    ) {
-        let mut sorted = changes.clone();
-        sorted.sort_by_key(|&(t, _)| t);
-        sorted.dedup_by_key(|&mut (t, _)| t);
-        let sig = WaveSignal { name: "s".into(), changes: sorted.clone() };
-        for &(t, v) in &sorted {
-            prop_assert_eq!(sig.value_at(t), v);
+#[test]
+fn wave_value_at_reconstructs_changes() {
+    let mut rng = StdRng::seed_from_u64(0x3A1E);
+    for _ in 0..cases(48) {
+        let changes = arb_changes(&mut rng, 1);
+        let sig = WaveSignal {
+            name: "s".into(),
+            changes: changes.clone(),
+        };
+        for &(t, v) in &changes {
+            assert_eq!(sig.value_at(t), v);
         }
-        if let Some(&(t0, _)) = sorted.first() {
+        if let Some(&(t0, _)) = changes.first() {
             if t0 > 0 {
-                prop_assert_eq!(sig.value_at(t0 - 1), Logic::X);
+                assert_eq!(sig.value_at(t0 - 1), Logic::X);
             }
         }
     }
+}
 
-    // ---- Preprocessing bounds ----
+// ---- Preprocessing bounds ----
 
-    #[test]
-    fn minmax_outputs_stay_in_unit_interval(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-1e6f64..1e6, 3), 1..20),
-    ) {
+fn arb_rows(rng: &mut StdRng, width: usize) -> Vec<Vec<f64>> {
+    let n = rng.gen_range(1usize..20);
+    (0..n)
+        .map(|_| (0..width).map(|_| (rng.gen::<f64>() - 0.5) * 2e6).collect())
+        .collect()
+}
+
+#[test]
+fn minmax_outputs_stay_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0x31A);
+    for _ in 0..cases(48) {
+        let rows = arb_rows(&mut rng, 3);
         let scaler = MinMaxScaler::fit(&rows).unwrap();
         for row in scaler.transform(&rows) {
             for v in row {
-                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+                assert!((-1e-9..=1.0 + 1e-9).contains(&v));
             }
         }
     }
+}
 
-    #[test]
-    fn standard_scaler_is_finite_everywhere(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-1e6f64..1e6, 2), 1..20),
-    ) {
+#[test]
+fn standard_scaler_is_finite_everywhere() {
+    let mut rng = StdRng::seed_from_u64(0x57D);
+    for _ in 0..cases(48) {
+        let rows = arb_rows(&mut rng, 2);
         let scaler = StandardScaler::fit(&rows).unwrap();
         for row in scaler.transform(&rows) {
             for v in row {
-                prop_assert!(v.is_finite());
+                assert!(v.is_finite());
             }
         }
     }
+}
 
-    // ---- Metrics invariants ----
+// ---- Metrics invariants ----
 
-    #[test]
-    fn binary_metrics_are_rates(
-        truth in proptest::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], 1..50),
-        flips in proptest::collection::vec(any::<bool>(), 1..50),
-    ) {
+#[test]
+fn binary_metrics_are_rates() {
+    let mut rng = StdRng::seed_from_u64(0xB17);
+    for _ in 0..cases(48) {
+        let n = rng.gen_range(1usize..50);
+        let truth: Vec<i8> = (0..n)
+            .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+            .collect();
         let predicted: Vec<i8> = truth
             .iter()
-            .zip(flips.iter().cycle())
-            .map(|(&t, &f)| if f { -t } else { t })
+            .map(|&t| if rng.gen::<bool>() { -t } else { t })
             .collect();
         let m = BinaryMetrics::from_predictions(&truth, &predicted);
-        prop_assert_eq!(m.total(), truth.len());
+        assert_eq!(m.total(), truth.len());
         for rate in [m.tpr(), m.tnr(), m.precision(), m.accuracy(), m.f1()] {
-            prop_assert!((0.0..=1.0).contains(&rate));
+            assert!((0.0..=1.0).contains(&rate));
         }
-        let expected_acc = truth
-            .iter()
-            .zip(&predicted)
-            .filter(|(t, p)| t == p)
-            .count() as f64 / truth.len() as f64;
-        prop_assert!((m.accuracy() - expected_acc).abs() < 1e-12);
+        let expected_acc = truth.iter().zip(&predicted).filter(|(t, p)| t == p).count() as f64
+            / truth.len() as f64;
+        assert!((m.accuracy() - expected_acc).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn auc_is_in_unit_interval(
-        scores in proptest::collection::vec(-10.0f64..10.0, 2..40),
-        labels in proptest::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], 2..40),
-    ) {
-        let n = scores.len().min(labels.len());
-        let truth = &labels[..n];
-        let s = &scores[..n];
+#[test]
+fn auc_is_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0xA0C);
+    for _ in 0..cases(48) {
+        let n = rng.gen_range(2usize..40);
+        let truth: Vec<i8> = (0..n)
+            .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+            .collect();
+        let scores: Vec<f64> = (0..n).map(|_| (rng.gen::<f64>() - 0.5) * 20.0).collect();
         // Need both classes for a meaningful curve; otherwise skip.
-        if truth.iter().any(|&t| t == 1) && truth.iter().any(|&t| t == -1) {
-            let roc = roc_curve(truth, s);
-            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&roc.auc), "auc = {}", roc.auc);
-            prop_assert_eq!(roc.points.first().copied(), Some((0.0, 0.0)));
-            prop_assert_eq!(roc.points.last().copied(), Some((1.0, 1.0)));
+        if truth.contains(&1) && truth.contains(&-1) {
+            let roc = roc_curve(&truth, &scores);
+            assert!((-1e-9..=1.0 + 1e-9).contains(&roc.auc), "auc = {}", roc.auc);
+            assert_eq!(roc.points.first().copied(), Some((0.0, 0.0)));
+            assert_eq!(roc.points.last().copied(), Some((1.0, 1.0)));
         }
     }
 }
