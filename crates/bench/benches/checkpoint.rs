@@ -8,7 +8,9 @@
 //! the default 120-cycle workload with uniformly sampled fault cycles.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ssresf::{run_campaign, CampaignConfig, Dut, Workload};
+use ssresf::{
+    run_campaign, run_campaign_with, CampaignConfig, Dut, Instrument, MetricsRegistry, Workload,
+};
 use ssresf_netlist::CellId;
 use ssresf_socgen::{build_soc, SocConfig};
 
@@ -56,7 +58,14 @@ fn campaign_variants(c: &mut Criterion) {
     ];
 
     let scratch = run_campaign(&dut, &cells, &variants[0].1).expect("campaign runs");
-    let fast = run_campaign(&dut, &cells, &variants[1].1).expect("campaign runs");
+    let metrics = MetricsRegistry::new();
+    let fast = run_campaign_with(
+        &dut,
+        &cells,
+        &variants[1].1,
+        &Instrument::with_metrics(&metrics),
+    )
+    .expect("campaign runs");
     assert_eq!(
         scratch.records, fast.records,
         "fast-forward changed records"
@@ -69,6 +78,10 @@ fn campaign_variants(c: &mut Criterion) {
     assert!(
         ratio >= 1.5,
         "checkpoint fast-forward below 1.5x: {ratio:.2}x"
+    );
+    println!(
+        "checkpointed campaign metrics:\n{}",
+        metrics.to_json().to_string_pretty()
     );
 
     let mut group = c.benchmark_group("campaign_soc1");

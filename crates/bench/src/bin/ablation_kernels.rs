@@ -56,7 +56,7 @@ fn main() {
         let analysis = Ssresf::new(config)
             .analyze(&flat)
             .expect("analysis succeeds");
-        let train = analysis.timing.training.as_secs_f64();
+        let train = analysis.timing.training().as_secs_f64();
         let m = &analysis.sensitivity_report.metrics;
         println!(
             "{:<22} {:>8.2}% {:>7.2}% {:>7.2}% {:>8.2} {:>10.2}",

@@ -89,7 +89,7 @@ fn main() {
                 high += 1;
             }
         }
-        let model_time = t2.elapsed().as_secs_f64() + analysis.timing.prediction.as_secs_f64();
+        let model_time = t2.elapsed().as_secs_f64() + analysis.timing.prediction().as_secs_f64();
         let _ = high;
 
         // Accuracy per the paper's §IV-C methodology: consistency of the
@@ -98,10 +98,11 @@ fn main() {
         // simulation side uses the same blended rule as the pipeline:
         // (cell probability + cluster SER)/2 >= chip SER.
         let chip_ser = analysis.ser.chip_ser.max(1e-9);
+        let ev_stats = ev.per_cell_stats();
         let sim_high = probe
             .iter()
             .filter(|cell| {
-                let prob = ev.cell_error_probability(**cell).unwrap_or(0.0);
+                let prob = ev_stats.get(*cell).map(|s| s.probability()).unwrap_or(0.0);
                 let cluster = analysis.clustering.cluster_of(**cell);
                 let cluster_ser = analysis.ser.per_cluster[cluster].ser();
                 (prob + cluster_ser) / 2.0 >= chip_ser

@@ -1,0 +1,129 @@
+//! Telemetry smoke check: runs the full pipeline twice on the smallest
+//! Table-I SoC with metrics and progress reporting attached, verifies the
+//! deterministic metrics export is byte-identical across the runs and that
+//! the expected key set (per-stage timings, campaign counters, pipeline
+//! gauges) is present, then prints the export.
+//!
+//! ```sh
+//! cargo run --release -p ssresf-bench --bin telemetry_smoke
+//! ```
+//!
+//! Exits nonzero on any violation — CI runs this as the telemetry gate.
+
+use ssresf::{
+    CampaignProgress, Instrument, MetricsRegistry, ProgressPhase, ProgressSink, Ssresf,
+    SsresfConfig, Workload,
+};
+use ssresf_bench::quick;
+use ssresf_socgen::{build_soc, SocConfig};
+use std::sync::Mutex;
+
+/// Counters / gauges / timings every instrumented analyze must produce.
+const EXPECTED_COUNTERS: &[&str] = &[
+    "pipeline.analyses",
+    "campaign.injections.total",
+    "campaign.injections.soft_errors",
+    "campaign.engine.events_processed",
+    "campaign.engine.cells_evaluated",
+    "campaign.engine.delta_cycles",
+    "campaign.engine.wheel_advances",
+    "campaign.checkpoint.restores",
+    "campaign.early_stop.truncations",
+    "campaign.work.total",
+];
+const EXPECTED_GAUGES: &[&str] = &[
+    "pipeline.cells",
+    "pipeline.clusters",
+    "pipeline.sampled_cells",
+    "pipeline.predictions",
+    "campaign.threads",
+    "campaign.throughput_per_second",
+];
+const EXPECTED_TIMINGS: &[&str] = &[
+    "stage.clustering",
+    "stage.sampling",
+    "stage.golden",
+    "stage.injections",
+    "stage.ser",
+    "stage.features",
+    "stage.svm_train",
+    "stage.predict",
+];
+const EXPECTED_HISTOGRAMS: &[&str] = &["campaign.work_per_injection"];
+
+#[derive(Default)]
+struct PhaseLog(Mutex<Vec<ProgressPhase>>);
+
+impl ProgressSink for PhaseLog {
+    fn report(&self, progress: &CampaignProgress) {
+        self.0.lock().unwrap().push(progress.phase);
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("telemetry_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn run_once(config: &SsresfConfig, netlist: &ssresf_netlist::FlatNetlist) -> String {
+    let metrics = MetricsRegistry::new();
+    let sink = PhaseLog::default();
+    let hooks = Instrument {
+        progress: Some(&sink),
+        ..Instrument::with_metrics(&metrics)
+    };
+    let analysis = Ssresf::new(*config)
+        .analyze_with(netlist, &hooks)
+        .unwrap_or_else(|e| fail(&format!("analysis failed: {e}")));
+    if analysis.campaign.records.is_empty() {
+        fail("campaign produced no records");
+    }
+    let phases = sink.0.lock().unwrap();
+    if phases.first() != Some(&ProgressPhase::Start) {
+        fail("progress sink did not receive a Start report");
+    }
+    if phases.last() != Some(&ProgressPhase::Finished) {
+        fail("progress sink did not receive a Finished report");
+    }
+    metrics.to_json_deterministic().to_string_pretty()
+}
+
+fn check_keys(doc: &ssresf_json::Value, section: &str, expected: &[&str]) {
+    let obj = doc
+        .get(section)
+        .unwrap_or_else(|| fail(&format!("export lacks a `{section}` section")));
+    for key in expected {
+        if obj.get(key).is_none() {
+            fail(&format!("`{section}` is missing key `{key}`"));
+        }
+    }
+}
+
+fn main() {
+    let soc = build_soc(&SocConfig::table1()[0]).expect("preset SoC builds");
+    let netlist = soc.design.flatten().expect("preset SoC flattens");
+    let mut config = SsresfConfig::default().with_memory_scale(soc.info.memory_scale_factor);
+    if quick() {
+        config.sampling.fraction = 0.08;
+        config.campaign.workload = Workload {
+            reset_cycles: 3,
+            run_cycles: 50,
+        };
+    }
+
+    let first = run_once(&config, &netlist);
+    let second = run_once(&config, &netlist);
+    if first != second {
+        fail("deterministic metrics export differs across repeat runs of the same seed");
+    }
+
+    let doc = ssresf_json::parse(&first)
+        .unwrap_or_else(|e| fail(&format!("export is not valid JSON: {e}")));
+    check_keys(&doc, "counters", EXPECTED_COUNTERS);
+    check_keys(&doc, "gauges", EXPECTED_GAUGES);
+    check_keys(&doc, "timings_s", EXPECTED_TIMINGS);
+    check_keys(&doc, "histograms", EXPECTED_HISTOGRAMS);
+
+    println!("{first}");
+    eprintln!("telemetry_smoke: PASS (export stable, all expected keys present)");
+}

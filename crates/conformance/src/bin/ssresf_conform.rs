@@ -16,6 +16,7 @@
 //! Exit status is 0 on pass, 1 on a conformance failure, 2 on usage
 //! errors. `--json` wraps the verdict in a machine-readable envelope.
 
+use ssresf::MetricsRegistry;
 use ssresf_conformance::harness;
 use ssresf_json::{object, Value};
 use ssresf_sim::EvalMutant;
@@ -90,11 +91,20 @@ fn parse_args() -> Options {
     opts
 }
 
-fn emit(passed: bool, report: &str, opts: &Options) -> ! {
+fn emit(passed: bool, report: &str, opts: &Options, metrics: &MetricsRegistry) -> ! {
     if opts.json {
+        metrics.counter_add(
+            if passed {
+                "conform.passes"
+            } else {
+                "conform.failures"
+            },
+            1,
+        );
         let doc = object([
             ("passed", Value::Bool(passed)),
             ("report", Value::String(report.to_owned())),
+            ("metrics", metrics.to_json_deterministic()),
         ]);
         println!("{}", doc.to_string_pretty());
     } else {
@@ -111,9 +121,13 @@ fn emit(passed: bool, report: &str, opts: &Options) -> ! {
 
 fn main() {
     let opts = parse_args();
+    let metrics = MetricsRegistry::new();
+    let span = metrics.span("conform.run");
     if let Some(seed) = opts.seed {
         let (passed, report) = harness::replay(seed, opts.mutant);
-        emit(passed, &report, &opts);
+        metrics.counter_add("conform.seeds.checked", 1);
+        drop(span);
+        emit(passed, &report, &opts, &metrics);
     }
     let count = opts.cases.unwrap_or_else(|| harness::cases(24));
     match harness::sweep(opts.start, count, opts.mutant) {
@@ -122,8 +136,14 @@ fn main() {
                 "swept {count} case(s) from seed {}: all checks passed\n",
                 opts.start
             );
-            emit(true, &report, &opts);
+            metrics.counter_add("conform.seeds.checked", count);
+            drop(span);
+            emit(true, &report, &opts, &metrics);
         }
-        Err(cex) => emit(false, &cex.report(), &opts),
+        Err(cex) => {
+            metrics.counter_add("conform.seeds.checked", cex.seed - opts.start + 1);
+            drop(span);
+            emit(false, &cex.report(), &opts, &metrics)
+        }
     }
 }

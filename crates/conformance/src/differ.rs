@@ -1,4 +1,4 @@
-//! The differential runner: one scenario, three engines, six checks.
+//! The differential runner: one scenario, three engines, seven checks.
 //!
 //! [`check_with_mutant`] executes a [`Scenario`] on the reference
 //! [`OracleEngine`] and both production engines and verifies, in order:
@@ -19,6 +19,9 @@
 //!    checkpointed+early-stop campaigns over the scenario's fault targets
 //!    produce bit-identical records, and the campaign's golden trace
 //!    matches the oracle's.
+//! 7. **Metrics determinism** — attaching a [`MetricsRegistry`] changes no
+//!    injection record, and the deterministic JSON metrics export is
+//!    byte-identical across repeat runs of the same seed.
 //!
 //! When a mutant is installed the oracle is the *mutated* party, so any
 //! scenario whose outputs exercise the mutated gate fails check 1 or 5 —
@@ -27,7 +30,10 @@
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ssresf::{run_campaign, CampaignConfig, Dut, EngineKind, Workload};
+use ssresf::{
+    run_campaign, run_campaign_with, CampaignConfig, Dut, EngineKind, Instrument, MetricsRegistry,
+    Workload,
+};
 use ssresf_netlist::{CellId, FlatNetlist, NetId};
 use ssresf_sim::vcd::{parse_vcd, write_vcd};
 use ssresf_sim::{
@@ -451,6 +457,25 @@ fn check_campaigns(scenario: &Scenario, flat: &FlatNetlist) -> Result<(), String
             "campaign: golden trace disagrees with oracle{}",
             show_divergences(&diffs)
         ));
+    }
+
+    // 7. Metrics determinism: instrumentation is purely observational, and
+    //    the deterministic export is byte-stable across repeat runs.
+    let mut exports = Vec::with_capacity(2);
+    for repeat in 0..2 {
+        let metrics = MetricsRegistry::new();
+        let instrumented =
+            run_campaign_with(&dut, &cells, &base, &Instrument::with_metrics(&metrics))
+                .map_err(|e| format!("campaign: instrumented run {repeat} failed: {e}"))?;
+        if scratch.records != instrumented.records {
+            return Err(format!(
+                "campaign: attaching metrics changed the records (run {repeat})"
+            ));
+        }
+        exports.push(metrics.to_json_deterministic().to_string_pretty());
+    }
+    if exports[0] != exports[1] {
+        return Err("campaign: deterministic metrics export differs across repeat runs".to_owned());
     }
     Ok(())
 }

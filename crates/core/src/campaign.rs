@@ -17,14 +17,16 @@
 //! simulation by construction.
 
 use crate::error::SsresfError;
+use crate::progress::{CampaignProgress, Instrument, ProgressPhase, WorkerUtilization};
 use crate::workload::{Dut, EngineKind, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use ssresf_netlist::CellId;
 use ssresf_radiation::{PulseWidthModel, RadiationEnvironment};
-use ssresf_sim::{CycleTrace, Fault, SetFault, SeuFault};
-use std::sync::atomic::{AtomicBool, Ordering};
+use ssresf_sim::{CycleTrace, EngineTelemetry, Fault, SetFault, SeuFault};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Campaign configuration.
@@ -90,6 +92,40 @@ pub struct InjectionRecord {
     pub divergences: usize,
 }
 
+/// Deterministic event counters accumulated over a whole campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignTelemetry {
+    /// Engine-level counters summed over the golden run and every
+    /// injection run.
+    pub engine: EngineTelemetry,
+    /// Injection runs that fast-forwarded from a golden checkpoint.
+    pub checkpoint_restores: u64,
+    /// Injection runs whose simulated tail was truncated by early stop.
+    pub early_stop_truncations: u64,
+}
+
+/// Per-cell injection statistics (see
+/// [`CampaignOutcome::per_cell_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellErrorStats {
+    /// Injections performed into the cell.
+    pub injections: usize,
+    /// Injections that produced a soft error.
+    pub errors: usize,
+}
+
+impl CellErrorStats {
+    /// Observed soft-error probability (0 when the cell was never
+    /// injected).
+    pub fn probability(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.injections as f64
+        }
+    }
+}
+
 /// Aggregate campaign outcome.
 #[derive(Debug, Clone)]
 pub struct CampaignOutcome {
@@ -101,8 +137,12 @@ pub struct CampaignOutcome {
     pub records: Vec<InjectionRecord>,
     /// Wall-clock time spent simulating (golden + all injections).
     pub simulation_time: Duration,
+    /// Wall-clock time of the golden run alone (checkpoints included).
+    pub golden_time: Duration,
     /// Engine work proxy accumulated over all runs.
     pub total_work: u64,
+    /// Deterministic event counters accumulated over all runs.
+    pub telemetry: CampaignTelemetry,
 }
 
 impl CampaignOutcome {
@@ -126,6 +166,9 @@ impl CampaignOutcome {
 
     /// Observed soft-error probability of one cell (errors / injections),
     /// or `None` if the cell was never injected.
+    ///
+    /// Scans all records; callers that need many cells should build
+    /// [`per_cell_stats`](CampaignOutcome::per_cell_stats) once instead.
     pub fn cell_error_probability(&self, cell: CellId) -> Option<f64> {
         let mut total = 0usize;
         let mut errors = 0usize;
@@ -142,6 +185,20 @@ impl CampaignOutcome {
         } else {
             Some(errors as f64 / total as f64)
         }
+    }
+
+    /// Per-cell `(injections, errors)` statistics, built in one pass over
+    /// the records.
+    pub fn per_cell_stats(&self) -> BTreeMap<CellId, CellErrorStats> {
+        let mut stats: BTreeMap<CellId, CellErrorStats> = BTreeMap::new();
+        for r in &self.records {
+            let entry = stats.entry(r.cell).or_default();
+            entry.injections += 1;
+            if r.soft_error {
+                entry.errors += 1;
+            }
+        }
+        stats
     }
 }
 
@@ -185,8 +242,45 @@ pub fn run_campaign(
     cells: &[CellId],
     config: &CampaignConfig,
 ) -> Result<CampaignOutcome, SsresfError> {
+    run_campaign_with(dut, cells, config, &Instrument::default())
+}
+
+/// The per-run data a worker keeps besides the record itself.
+struct JobResult {
+    record: InjectionRecord,
+    work: u64,
+    engine: EngineTelemetry,
+    resumed_from: Option<u64>,
+    early_stopped: bool,
+}
+
+/// [`run_campaign`] with observability hooks attached.
+///
+/// `hooks.progress` receives a `Start` report after the golden run, a
+/// `Heartbeat` every [`Instrument::heartbeat_every`] completed injections,
+/// and a final `Finished` report with per-worker utilization.
+/// `hooks.metrics` receives campaign counters (`campaign.*`), the
+/// `campaign.work_per_injection` histogram, the `stage.golden` /
+/// `stage.injections` timings and per-worker gauges. Hooks are
+/// observational only: records are bit-identical with or without them.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation failures; notably
+/// [`SsresfError::Config`] for a zero-injection or zero-cycle workload.
+pub fn run_campaign_with(
+    dut: &Dut<'_>,
+    cells: &[CellId],
+    config: &CampaignConfig,
+    hooks: &Instrument<'_>,
+) -> Result<CampaignOutcome, SsresfError> {
     if config.injections_per_cell == 0 {
         return Err(SsresfError::Config("injections_per_cell is 0".into()));
+    }
+    if config.workload.run_cycles == 0 {
+        return Err(SsresfError::Config(
+            "workload run_cycles is 0: nothing to observe or inject into".into(),
+        ));
     }
     let started = Instant::now();
     // The golden run doubles as the checkpoint source workers fork from.
@@ -195,6 +289,7 @@ pub fn run_campaign(
         &config.workload,
         config.checkpoint_interval,
     )?;
+    let golden_time = started.elapsed();
 
     // Pre-generate every fault so worker threads only simulate.
     let jobs: Vec<(CellId, Fault)> = cells
@@ -217,24 +312,50 @@ pub fn run_campaign(
 
     let golden_run = &golden;
     let golden_trace = &golden.outcome.trace;
-    let mut results: Vec<Option<(InjectionRecord, u64)>> = vec![None; jobs.len()];
+    let mut results: Vec<Option<JobResult>> = Vec::with_capacity(jobs.len());
+    results.resize_with(jobs.len(), || None);
     let error: std::sync::Mutex<Option<SsresfError>> = std::sync::Mutex::new(None);
     // Raised on the first failure so sibling workers stop simulating
     // chunks whose results will be discarded anyway.
     let cancel = AtomicBool::new(false);
 
+    // Shared progress state (approximate during the run; the Finished
+    // report re-derives exact totals from the records).
+    let total = jobs.len();
+    let completed = AtomicUsize::new(0);
+    let soft_errors = AtomicUsize::new(0);
+    let heartbeat = hooks.heartbeat();
+    let injections_started = Instant::now();
+    if let Some(sink) = hooks.progress {
+        sink.report(&CampaignProgress {
+            phase: ProgressPhase::Start,
+            completed: 0,
+            total,
+            soft_errors: 0,
+            elapsed: Duration::ZERO,
+            workers: Vec::new(),
+        });
+    }
+
+    let mut worker_stats: Vec<WorkerUtilization> = Vec::new();
     std::thread::scope(|scope| {
-        let mut remaining: &mut [Option<(InjectionRecord, u64)>] = &mut results;
+        let mut remaining: &mut [Option<JobResult>] = &mut results;
         let chunk = jobs.len().div_ceil(threads).max(1);
-        for job_chunk in jobs.chunks(chunk) {
+        let mut handles = Vec::new();
+        for (worker, job_chunk) in jobs.chunks(chunk).enumerate() {
             let (mine, rest) = remaining.split_at_mut(job_chunk.len().min(remaining.len()));
             remaining = rest;
             let error = &error;
             let cancel = &cancel;
-            scope.spawn(move || {
+            let completed = &completed;
+            let soft_errors = &soft_errors;
+            let progress = hooks.progress;
+            handles.push(scope.spawn(move || {
+                let worker_started = Instant::now();
+                let mut jobs_done = 0usize;
                 for ((cell, fault), slot) in job_chunk.iter().zip(mine.iter_mut()) {
                     if cancel.load(Ordering::Relaxed) {
-                        return;
+                        break;
                     }
                     // `resume` falls back to a from-scratch run when
                     // checkpointing is disabled.
@@ -248,15 +369,36 @@ pub fn run_campaign(
                     match run {
                         Ok(outcome) => {
                             let diffs = golden_trace.diff(&outcome.trace);
-                            *slot = Some((
-                                InjectionRecord {
+                            let soft_error = !diffs.is_empty();
+                            *slot = Some(JobResult {
+                                record: InjectionRecord {
                                     cell: *cell,
                                     fault: *fault,
-                                    soft_error: !diffs.is_empty(),
+                                    soft_error,
                                     divergences: diffs.len(),
                                 },
-                                outcome.work,
-                            ));
+                                work: outcome.work,
+                                engine: outcome.engine,
+                                resumed_from: outcome.resumed_from,
+                                early_stopped: outcome.early_stopped,
+                            });
+                            jobs_done += 1;
+                            if soft_error {
+                                soft_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                            if let Some(sink) = progress {
+                                if done.is_multiple_of(heartbeat) && done < total {
+                                    sink.report(&CampaignProgress {
+                                        phase: ProgressPhase::Heartbeat,
+                                        completed: done,
+                                        total,
+                                        soft_errors: soft_errors.load(Ordering::Relaxed),
+                                        elapsed: injections_started.elapsed(),
+                                        workers: Vec::new(),
+                                    });
+                                }
+                            }
                         }
                         Err(e) => {
                             cancel.store(true, Ordering::Relaxed);
@@ -264,11 +406,19 @@ pub fn run_campaign(
                             if guard.is_none() {
                                 *guard = Some(e);
                             }
-                            return;
+                            break;
                         }
                     }
                 }
-            });
+                WorkerUtilization {
+                    worker,
+                    jobs: jobs_done,
+                    busy: worker_started.elapsed(),
+                }
+            }));
+        }
+        for handle in handles {
+            worker_stats.push(handle.join().expect("campaign worker panicked"));
         }
     });
 
@@ -276,20 +426,145 @@ pub fn run_campaign(
         return Err(e);
     }
     let mut records = Vec::with_capacity(jobs.len());
+    let mut work_per_injection = Vec::with_capacity(jobs.len());
     let mut total_work = golden.outcome.work;
+    let mut telemetry = CampaignTelemetry {
+        engine: golden.outcome.engine,
+        checkpoint_restores: 0,
+        early_stop_truncations: 0,
+    };
     for slot in results {
-        let (record, work) = slot.expect("worker completed without error");
-        records.push(record);
-        total_work += work;
+        let result = slot.expect("worker completed without error");
+        records.push(result.record);
+        work_per_injection.push(result.work);
+        total_work += result.work;
+        telemetry.engine.accumulate(result.engine);
+        if result.resumed_from.is_some() {
+            telemetry.checkpoint_restores += 1;
+        }
+        if result.early_stopped {
+            telemetry.early_stop_truncations += 1;
+        }
+    }
+
+    let simulation_time = started.elapsed();
+    if let Some(sink) = hooks.progress {
+        sink.report(&CampaignProgress {
+            phase: ProgressPhase::Finished,
+            completed: records.len(),
+            total,
+            soft_errors: records.iter().filter(|r| r.soft_error).count(),
+            elapsed: injections_started.elapsed(),
+            workers: worker_stats.clone(),
+        });
+    }
+    if let Some(metrics) = hooks.metrics {
+        record_campaign_metrics(
+            metrics,
+            &records,
+            &work_per_injection,
+            &telemetry,
+            total_work,
+            golden_time,
+            simulation_time,
+            threads,
+            &worker_stats,
+        );
     }
 
     Ok(CampaignOutcome {
         golden: golden.outcome.trace,
         golden_activity: golden.outcome.activity_per_cycle,
         records,
-        simulation_time: started.elapsed(),
+        simulation_time,
+        golden_time,
         total_work,
+        telemetry,
     })
+}
+
+/// Publishes one finished campaign into `metrics`.
+///
+/// Counters and histograms carry only deterministic quantities;
+/// wall-clock-derived values go to `timings_s` and suffix-marked gauges so
+/// [`MetricsRegistry::to_json_deterministic`] exports stay byte-identical
+/// across runs of the same seed.
+///
+/// [`MetricsRegistry::to_json_deterministic`]: ssresf_telemetry::MetricsRegistry::to_json_deterministic
+#[allow(clippy::too_many_arguments)]
+fn record_campaign_metrics(
+    metrics: &ssresf_telemetry::MetricsRegistry,
+    records: &[InjectionRecord],
+    work_per_injection: &[u64],
+    telemetry: &CampaignTelemetry,
+    total_work: u64,
+    golden_time: Duration,
+    simulation_time: Duration,
+    threads: usize,
+    worker_stats: &[WorkerUtilization],
+) {
+    metrics.counter_add("campaign.injections.total", records.len() as u64);
+    metrics.counter_add(
+        "campaign.injections.soft_errors",
+        records.iter().filter(|r| r.soft_error).count() as u64,
+    );
+    metrics.counter_add(
+        "campaign.engine.events_processed",
+        telemetry.engine.events_processed,
+    );
+    metrics.counter_add(
+        "campaign.engine.cells_evaluated",
+        telemetry.engine.cells_evaluated,
+    );
+    metrics.counter_add(
+        "campaign.engine.delta_cycles",
+        telemetry.engine.delta_cycles,
+    );
+    metrics.counter_add(
+        "campaign.engine.wheel_advances",
+        telemetry.engine.wheel_advances,
+    );
+    metrics.counter_add(
+        "campaign.checkpoint.restores",
+        telemetry.checkpoint_restores,
+    );
+    metrics.counter_add(
+        "campaign.early_stop.truncations",
+        telemetry.early_stop_truncations,
+    );
+    metrics.counter_add("campaign.work.total", total_work);
+    for &work in work_per_injection {
+        metrics.observe("campaign.work_per_injection", work as f64);
+    }
+    metrics.gauge_set("campaign.threads", threads as f64);
+    let elapsed = simulation_time.as_secs_f64();
+    let throughput = if elapsed > 0.0 {
+        records.len() as f64 / elapsed
+    } else {
+        0.0
+    };
+    metrics.gauge_set("campaign.throughput_per_second", throughput);
+    for w in worker_stats {
+        metrics.gauge_set(&format!("campaign.worker.{}.jobs", w.worker), w.jobs as f64);
+        metrics.gauge_set(
+            &format!("campaign.worker.{}.busy_seconds", w.worker),
+            w.busy.as_secs_f64(),
+        );
+        let utilization = if elapsed > 0.0 {
+            (w.busy.as_secs_f64() / elapsed).min(1.0)
+        } else {
+            0.0
+        };
+        metrics.gauge_set(
+            &format!("campaign.worker.{}.utilization", w.worker),
+            utilization,
+        );
+    }
+    metrics.timing_add("stage.golden", golden_time);
+    metrics.timing_add(
+        "stage.injections",
+        simulation_time.saturating_sub(golden_time),
+    );
 }
 
 #[cfg(test)]
@@ -530,6 +805,149 @@ mod tests {
             ..CampaignConfig::default()
         };
         assert!(run_campaign(&dut, &[], &config).is_err());
+    }
+
+    #[test]
+    fn zero_cycle_workload_rejected() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let config = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 0,
+            },
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            run_campaign(&dut, &cells, &config),
+            Err(SsresfError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn campaign_telemetry_counts_runs() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let outcome = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                injections_per_cell: 2,
+                checkpoint_interval: 10,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        // Every injection fast-forwarded from a golden checkpoint, and the
+        // event-driven engine's counters accumulated across all runs.
+        assert_eq!(
+            outcome.telemetry.checkpoint_restores,
+            outcome.records.len() as u64
+        );
+        assert!(outcome.telemetry.engine.events_processed > 0);
+        assert!(outcome.telemetry.engine.wheel_advances > 0);
+        assert_eq!(outcome.telemetry.engine.cells_evaluated, 0);
+        assert!(outcome.golden_time <= outcome.simulation_time);
+    }
+
+    #[test]
+    fn per_cell_stats_match_linear_scan() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let outcome = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                injections_per_cell: 3,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        let stats = outcome.per_cell_stats();
+        assert_eq!(stats.len(), cells.len());
+        for (&cell, s) in &stats {
+            assert_eq!(s.injections, 3);
+            assert_eq!(Some(s.probability()), outcome.cell_error_probability(cell));
+        }
+        assert_eq!(CellErrorStats::default().probability(), 0.0);
+    }
+
+    /// Sink that keeps every report it receives.
+    struct CollectingSink(std::sync::Mutex<Vec<CampaignProgress>>);
+
+    impl crate::progress::ProgressSink for CollectingSink {
+        fn report(&self, progress: &CampaignProgress) {
+            self.0.lock().unwrap().push(progress.clone());
+        }
+    }
+
+    #[test]
+    fn progress_sink_totals_match_outcome() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let sink = CollectingSink(std::sync::Mutex::new(Vec::new()));
+        let config = CampaignConfig {
+            injections_per_cell: 2,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let hooks = Instrument {
+            progress: Some(&sink),
+            heartbeat_every: 3,
+            ..Instrument::default()
+        };
+        let outcome = run_campaign_with(&dut, &cells, &config, &hooks).unwrap();
+        let reports = sink.0.into_inner().unwrap();
+
+        assert_eq!(reports.first().unwrap().phase, ProgressPhase::Start);
+        let finished = reports.last().unwrap();
+        assert_eq!(finished.phase, ProgressPhase::Finished);
+        assert_eq!(finished.completed, outcome.records.len());
+        assert_eq!(finished.total, outcome.records.len());
+        assert_eq!(finished.soft_errors, outcome.soft_errors());
+        assert_eq!(
+            finished.workers.iter().map(|w| w.jobs).sum::<usize>(),
+            outcome.records.len()
+        );
+        // Heartbeats fire every 3 completions and carry monotone progress.
+        assert!(reports.iter().any(|r| r.phase == ProgressPhase::Heartbeat));
+        for r in &reports {
+            assert!(r.completed <= r.total);
+            assert!(r.soft_errors <= r.completed);
+        }
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_records() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let config = CampaignConfig {
+            injections_per_cell: 2,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let plain = run_campaign(&dut, &cells, &config).unwrap();
+        let metrics = ssresf_telemetry::MetricsRegistry::new();
+        let instrumented =
+            run_campaign_with(&dut, &cells, &config, &Instrument::with_metrics(&metrics)).unwrap();
+        assert_eq!(plain.records, instrumented.records);
+        assert_eq!(plain.golden, instrumented.golden);
+        assert_eq!(
+            metrics.counter("campaign.injections.total"),
+            plain.records.len() as u64
+        );
+        assert_eq!(
+            metrics.counter("campaign.injections.soft_errors"),
+            plain.soft_errors() as u64
+        );
+        assert_eq!(metrics.counter("campaign.work.total"), plain.total_work);
+        let hist = metrics.histogram("campaign.work_per_injection").unwrap();
+        assert_eq!(hist.count, plain.records.len() as u64);
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! returning an [`Analysis`] with every intermediate artifact plus the
 //! timing split that yields the paper's Table-III speed-up.
 
-use crate::campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+use crate::campaign::{run_campaign_with, CampaignConfig, CampaignOutcome};
 use crate::clustering::{cluster_cells, Clustering, ClusteringConfig};
 use crate::error::SsresfError;
+use crate::progress::Instrument;
 use crate::sampling::{sample_clusters, ClusterSample, SamplingConfig};
 use crate::sensitivity::{
     train_sensitivity, SensitivityConfig, SensitivityReport, TrainedSensitivity,
@@ -77,25 +78,74 @@ impl SsresfConfig {
     }
 }
 
-/// Wall-clock timing split of an analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Ceiling on the reported speed-up, keeping [`Timing::speedup`] finite
+/// (and JSON reports parseable) when the prediction time rounds to zero.
+pub const MAX_SPEEDUP: f64 = 1e9;
+
+/// Wall-clock timing split of an analysis, broken down per pipeline stage.
+///
+/// The coarse quantities of the paper's Table III remain available through
+/// [`simulation`](Timing::simulation), [`training`](Timing::training) and
+/// [`prediction`](Timing::prediction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Timing {
-    /// Fault-injection simulation time (golden + all injections).
-    pub simulation: Duration,
-    /// SVM training time (selection + search + fit + CV).
-    pub training: Duration,
-    /// Whole-netlist prediction time.
-    pub prediction: Duration,
+    /// Algorithm-1 clustering.
+    pub clustering: Duration,
+    /// Equal-proportion sampling.
+    pub sampling: Duration,
+    /// Golden (fault-free) run, including checkpointing.
+    pub golden: Duration,
+    /// All fault-injection runs.
+    pub injections: Duration,
+    /// SER evaluation (Eq. 2).
+    pub ser: Duration,
+    /// Feature extraction and labeling.
+    pub features: Duration,
+    /// SVM training (selection + search + fit + CV).
+    pub svm_train: Duration,
+    /// Whole-netlist prediction.
+    pub predict: Duration,
 }
 
 impl Timing {
-    /// Simulation time over prediction time — the paper's speed-up metric.
+    /// Fault-injection simulation time (golden + all injections).
+    pub fn simulation(&self) -> Duration {
+        self.golden + self.injections
+    }
+
+    /// SVM training time.
+    pub fn training(&self) -> Duration {
+        self.svm_train
+    }
+
+    /// Whole-netlist prediction time.
+    pub fn prediction(&self) -> Duration {
+        self.predict
+    }
+
+    /// Sum of every stage.
+    pub fn total(&self) -> Duration {
+        self.clustering
+            + self.sampling
+            + self.golden
+            + self.injections
+            + self.ser
+            + self.features
+            + self.svm_train
+            + self.predict
+    }
+
+    /// Simulation time over prediction time — the paper's speed-up metric,
+    /// clamped to [`MAX_SPEEDUP`] so the result is always finite.
     pub fn speedup(&self) -> f64 {
-        let p = self.prediction.as_secs_f64();
-        if p <= 0.0 {
-            f64::INFINITY
+        let s = self.simulation().as_secs_f64();
+        let p = self.prediction().as_secs_f64();
+        if p > 0.0 {
+            (s / p).min(MAX_SPEEDUP)
+        } else if s > 0.0 {
+            MAX_SPEEDUP
         } else {
-            self.simulation.as_secs_f64() / p
+            1.0
         }
     }
 }
@@ -158,30 +208,78 @@ impl Ssresf {
     /// # Errors
     ///
     /// Propagates failures from every stage; notably
-    /// [`SsresfError::Config`] when the campaign labels only one class (the
+    /// [`SsresfError::Config`] for an invalid configuration (labeling
+    /// threshold outside `(0, 1]`, non-finite or non-positive
+    /// `memory_scale`) or when the campaign labels only one class (the
     /// workload or sample was too small to observe both sensitive and
     /// insensitive nodes).
     pub fn analyze(&self, netlist: &FlatNetlist) -> Result<Analysis, SsresfError> {
+        self.analyze_with(netlist, &Instrument::default())
+    }
+
+    /// [`analyze`](Ssresf::analyze) with observability hooks attached.
+    ///
+    /// `hooks.metrics` receives a per-stage timing breakdown
+    /// (`stage.clustering`, `stage.sampling`, `stage.golden`,
+    /// `stage.injections`, `stage.ser`, `stage.features`,
+    /// `stage.svm_train`, `stage.predict`), pipeline gauges and the full
+    /// campaign counter set; `hooks.progress` receives campaign progress
+    /// reports. Hooks never change results.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`analyze`](Ssresf::analyze).
+    pub fn analyze_with(
+        &self,
+        netlist: &FlatNetlist,
+        hooks: &Instrument<'_>,
+    ) -> Result<Analysis, SsresfError> {
+        self.validate_config()?;
         let dut = crate::workload::Dut::from_conventions(netlist)?;
+        let mut timing = Timing::default();
+        let stage = |name: &str, elapsed: Duration| {
+            if let Some(metrics) = hooks.metrics {
+                metrics.timing_add(name, elapsed);
+            }
+            elapsed
+        };
 
         // 1–2. Clustering and equal-proportion sampling.
+        let started = Instant::now();
         let clustering = cluster_cells(netlist, &self.config.clustering)?;
+        timing.clustering = stage("stage.clustering", started.elapsed());
+        let started = Instant::now();
         let sample = sample_clusters(&clustering, &self.config.sampling)?;
+        timing.sampling = stage("stage.sampling", started.elapsed());
 
-        // 3. Fault injection and simulation.
-        let campaign = run_campaign(&dut, &sample.all_cells(), &self.config.campaign)?;
+        // 3. Fault injection and simulation. The campaign records its own
+        // golden/injection split (and the campaign.* metrics).
+        let campaign = run_campaign_with(&dut, &sample.all_cells(), &self.config.campaign, hooks)?;
+        timing.golden = campaign.golden_time;
+        timing.injections = campaign
+            .simulation_time
+            .saturating_sub(campaign.golden_time);
 
         // 4. SER evaluation (Eq. 2).
+        let started = Instant::now();
         let ser = evaluate_ser(netlist, &clustering, &sample, &campaign)?;
+        timing.ser = stage("stage.ser", started.elapsed());
 
         // 5–7. Feature engineering and SVM training on the sampled cells.
+        // Per-cell error statistics are built once and reused, instead of
+        // rescanning all records for every sampled cell.
+        let started = Instant::now();
         let extractor = FeatureExtractor::new(netlist)?;
         let features = extractor.extract(Some(&campaign.golden_activity));
+        let cell_stats = campaign.per_cell_stats();
         let labels: Vec<(CellId, bool)> = sample
             .all_cells()
             .iter()
             .map(|&cell| {
-                let probability = campaign.cell_error_probability(cell).unwrap_or(0.0);
+                let probability = cell_stats
+                    .get(&cell)
+                    .map(|s| s.probability())
+                    .unwrap_or(0.0);
                 let sensitive = match self.config.labeling {
                     LabelRule::PerCell { min_probability } => probability >= min_probability,
                     LabelRule::Blended => {
@@ -193,13 +291,16 @@ impl Ssresf {
                 (cell, sensitive)
             })
             .collect();
+        timing.features = stage("stage.features", started.elapsed());
+        let started = Instant::now();
         let (classifier, sensitivity_report) =
             train_sensitivity(&features, &labels, &self.config.sensitivity)?;
+        timing.svm_train = stage("stage.svm_train", started.elapsed());
 
         // 8. Whole-netlist prediction (the fast path replacing simulation).
-        let predict_started = Instant::now();
+        let started = Instant::now();
         let predictions = classifier.classify_all(&features);
-        let prediction = predict_started.elapsed();
+        timing.predict = stage("stage.predict", started.elapsed());
 
         let mut class_counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
         for (&(cell, high), feature) in predictions.iter().zip(&features) {
@@ -217,19 +318,19 @@ impl Ssresf {
         let chip_xsect = scaled_chip_xsect(
             netlist,
             self.config.campaign.environment.let_value,
-            if self.config.memory_scale > 0.0 {
-                self.config.memory_scale
-            } else {
-                1.0
-            },
+            self.config.memory_scale,
         );
 
+        if let Some(metrics) = hooks.metrics {
+            metrics.counter_add("pipeline.analyses", 1);
+            metrics.gauge_set("pipeline.cells", netlist.cells().len() as f64);
+            metrics.gauge_set("pipeline.clusters", clustering.clusters as f64);
+            metrics.gauge_set("pipeline.sampled_cells", sample.len() as f64);
+            metrics.gauge_set("pipeline.predictions", predictions.len() as f64);
+        }
+
         Ok(Analysis {
-            timing: Timing {
-                simulation: campaign.simulation_time,
-                training: sensitivity_report.training_time,
-                prediction,
-            },
+            timing,
             clustering,
             sample,
             campaign,
@@ -240,6 +341,24 @@ impl Ssresf {
             class_counts,
             chip_xsect,
         })
+    }
+
+    /// Entry-point configuration validation shared by every analysis.
+    fn validate_config(&self) -> Result<(), SsresfError> {
+        if let LabelRule::PerCell { min_probability } = self.config.labeling {
+            if !(min_probability > 0.0 && min_probability <= 1.0) {
+                return Err(SsresfError::Config(format!(
+                    "PerCell min_probability {min_probability} outside (0, 1]"
+                )));
+            }
+        }
+        if !self.config.memory_scale.is_finite() || self.config.memory_scale <= 0.0 {
+            return Err(SsresfError::Config(format!(
+                "memory_scale {} must be finite and positive",
+                self.config.memory_scale
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -262,4 +381,99 @@ pub fn scaled_chip_xsect(
         set += db.set_cross_section(cell.kind, let_value) * scale;
     }
     (seu, set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(simulation_ms: u64, prediction_ms: u64) -> Timing {
+        Timing {
+            golden: Duration::from_millis(simulation_ms / 2),
+            injections: Duration::from_millis(simulation_ms - simulation_ms / 2),
+            predict: Duration::from_millis(prediction_ms),
+            ..Timing::default()
+        }
+    }
+
+    #[test]
+    fn timing_aggregates_preserve_split() {
+        let t = Timing {
+            clustering: Duration::from_millis(1),
+            sampling: Duration::from_millis(2),
+            golden: Duration::from_millis(3),
+            injections: Duration::from_millis(4),
+            ser: Duration::from_millis(5),
+            features: Duration::from_millis(6),
+            svm_train: Duration::from_millis(7),
+            predict: Duration::from_millis(8),
+        };
+        assert_eq!(t.simulation(), Duration::from_millis(7));
+        assert_eq!(t.training(), Duration::from_millis(7));
+        assert_eq!(t.prediction(), Duration::from_millis(8));
+        assert_eq!(t.total(), Duration::from_millis(36));
+    }
+
+    #[test]
+    fn speedup_is_finite_and_clamped() {
+        assert_eq!(timing(100, 10).speedup(), 10.0);
+        // Zero prediction time no longer yields infinity.
+        let s = timing(100, 0).speedup();
+        assert!(s.is_finite());
+        assert_eq!(s, MAX_SPEEDUP);
+        // Degenerate all-zero timing reports parity, not NaN.
+        assert_eq!(timing(0, 0).speedup(), 1.0);
+        // An absurd but nonzero ratio is clamped too.
+        let t = Timing {
+            golden: Duration::from_secs(1_000_000),
+            predict: Duration::from_nanos(1),
+            ..Timing::default()
+        };
+        assert_eq!(t.speedup(), MAX_SPEEDUP);
+    }
+
+    fn tiny_netlist() -> FlatNetlist {
+        use ssresf_netlist::{CellKind, Design, ModuleBuilder, PortDir};
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("ctr");
+        let clk = mb.port("clk", PortDir::Input);
+        let rst_n = mb.port("rst_n", PortDir::Input);
+        let q0 = mb.port("q0", PortDir::Output);
+        let nq = mb.net("nq");
+        mb.cell("u_inv", CellKind::Inv, &[q0], &[nq]).unwrap();
+        mb.cell("u_ff", CellKind::Dffr, &[clk, nq, rst_n], &[q0])
+            .unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn analyze_rejects_bad_label_threshold() {
+        let netlist = tiny_netlist();
+        for min_probability in [0.0, -0.25, 1.5, f64::NAN] {
+            let config = SsresfConfig {
+                labeling: LabelRule::PerCell { min_probability },
+                ..SsresfConfig::default()
+            };
+            let err = Ssresf::new(config).analyze(&netlist).unwrap_err();
+            assert!(
+                matches!(err, SsresfError::Config(_)),
+                "min_probability {min_probability} not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_rejects_bad_memory_scale() {
+        let netlist = tiny_netlist();
+        for memory_scale in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let config = SsresfConfig::default().with_memory_scale(memory_scale);
+            let err = Ssresf::new(config).analyze(&netlist).unwrap_err();
+            assert!(
+                matches!(err, SsresfError::Config(_)),
+                "memory_scale {memory_scale} not rejected"
+            );
+        }
+    }
 }

@@ -44,6 +44,7 @@ pub mod clustering;
 pub mod error;
 pub mod framework;
 pub mod hardening;
+pub mod progress;
 pub mod report;
 pub mod sampling;
 pub mod sensitivity;
@@ -51,16 +52,23 @@ pub mod ser;
 pub mod workload;
 
 pub use campaign::{
-    faults_for_cell, run_campaign, CampaignConfig, CampaignOutcome, InjectionRecord,
+    faults_for_cell, run_campaign, run_campaign_with, CampaignConfig, CampaignOutcome,
+    CampaignTelemetry, CellErrorStats, InjectionRecord,
 };
 pub use clustering::{cluster_cells, hier_distance, Clustering, ClusteringConfig};
 pub use error::SsresfError;
-pub use framework::{scaled_chip_xsect, Analysis, LabelRule, Ssresf, SsresfConfig, Timing};
+pub use framework::{
+    scaled_chip_xsect, Analysis, LabelRule, Ssresf, SsresfConfig, Timing, MAX_SPEEDUP,
+};
 pub use hardening::{selective_harden, HardeningStrategy, SelectiveHardening};
+pub use progress::{CampaignProgress, Instrument, ProgressPhase, ProgressSink, WorkerUtilization};
 pub use report::AnalysisSummary;
 pub use sampling::{sample_clusters, ClusterSample, SamplingConfig};
 pub use sensitivity::{
     train_sensitivity, SensitivityConfig, SensitivityReport, TrainedSensitivity,
 };
 pub use ser::{evaluate_ser, ClusterSer, SerEvaluation};
+// Re-exported so downstream users can attach metrics without depending on
+// the telemetry crate directly.
+pub use ssresf_telemetry::{MetricsRegistry, Span};
 pub use workload::{Checkpoint, Dut, EngineKind, GoldenRun, RunOutcome, Workload};

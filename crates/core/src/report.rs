@@ -78,9 +78,9 @@ impl From<&Analysis> for AnalysisSummary {
             predicted_per_class: analysis.class_counts.clone(),
             seu_xsect_cm2: analysis.chip_xsect.0,
             set_xsect_cm2: analysis.chip_xsect.1,
-            simulation_s: analysis.timing.simulation.as_secs_f64(),
-            training_s: analysis.timing.training.as_secs_f64(),
-            prediction_s: analysis.timing.prediction.as_secs_f64(),
+            simulation_s: analysis.timing.simulation().as_secs_f64(),
+            training_s: analysis.timing.training().as_secs_f64(),
+            prediction_s: analysis.timing.prediction().as_secs_f64(),
             speedup: analysis.timing.speedup(),
         }
     }

@@ -72,13 +72,18 @@ pub fn sample_clusters(
             config.fraction
         )));
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut per_cluster = Vec::with_capacity(clustering.members.len());
-    for members in &clustering.members {
+    for (index, members) in clustering.members.iter().enumerate() {
         if members.is_empty() {
             per_cluster.push(Vec::new());
             continue;
         }
+        // Each cluster draws from its own seeded stream (mirroring the
+        // per-cell fault streams), so perturbing one cluster's membership
+        // leaves every other cluster's sample unchanged.
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)),
+        );
         let want = ((members.len() as f64 * config.fraction).ceil() as usize)
             .max(config.min_per_cluster)
             .min(members.len());
@@ -186,6 +191,26 @@ mod tests {
             )
             .is_err());
         }
+    }
+
+    #[test]
+    fn clusters_sample_from_independent_streams() {
+        // Perturbing one cluster's membership must not change any other
+        // cluster's sample (per-cluster seeded streams).
+        let base = clustering(&[30, 30, 30]);
+        let cfg = SamplingConfig {
+            fraction: 0.3,
+            min_per_cluster: 2,
+            seed: 7,
+        };
+        let before = sample_clusters(&base, &cfg).unwrap();
+
+        let mut perturbed = base.clone();
+        perturbed.members[1].pop();
+        let after = sample_clusters(&perturbed, &cfg).unwrap();
+
+        assert_eq!(before.per_cluster[0], after.per_cluster[0]);
+        assert_eq!(before.per_cluster[2], after.per_cluster[2]);
     }
 
     #[test]

@@ -188,7 +188,9 @@ mod tests {
             golden_activity: vec![],
             records,
             simulation_time: std::time::Duration::ZERO,
+            golden_time: std::time::Duration::ZERO,
             total_work: 0,
+            telemetry: crate::campaign::CampaignTelemetry::default(),
         }
     }
 

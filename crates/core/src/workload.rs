@@ -10,8 +10,8 @@ use crate::error::SsresfError;
 use serde::{Deserialize, Serialize};
 use ssresf_netlist::{FlatNetlist, NetId};
 use ssresf_sim::{
-    CycleTrace, Engine, EngineState, EventDrivenEngine, Fault, LevelizedEngine, Logic, SetFault,
-    SeuFault,
+    CycleTrace, Engine, EngineState, EngineTelemetry, EventDrivenEngine, Fault, LevelizedEngine,
+    Logic, SetFault, SeuFault,
 };
 
 /// Which simulation engine to use.
@@ -60,6 +60,13 @@ pub struct RunOutcome {
     pub activity_per_cycle: Vec<f64>,
     /// Engine work proxy (events processed / cells evaluated).
     pub work: u64,
+    /// Engine-level event counters for this run (resumed runs count only
+    /// the resumed portion, mirroring [`RunOutcome::work`]).
+    pub engine: EngineTelemetry,
+    /// The golden checkpoint cycle this run fast-forwarded from, if any.
+    pub resumed_from: Option<u64>,
+    /// Whether early stop truncated this run's simulated tail.
+    pub early_stopped: bool,
 }
 
 /// A golden-run engine snapshot taken at a post-reset cycle boundary.
@@ -318,6 +325,9 @@ impl<'a> Dut<'a> {
             trace,
             activity_per_cycle: engine.activity_per_cycle(),
             work: work(&engine),
+            engine: engine.telemetry(),
+            resumed_from: None,
+            early_stopped: false,
         })
     }
 
@@ -352,6 +362,9 @@ impl<'a> Dut<'a> {
                 trace,
                 activity_per_cycle: engine.activity_per_cycle(),
                 work: work(&engine),
+                engine: engine.telemetry(),
+                resumed_from: None,
+                early_stopped: false,
             },
             checkpoints,
         })
@@ -370,12 +383,14 @@ impl<'a> Dut<'a> {
     ) -> Result<RunOutcome, SsresfError> {
         engine.restore(&start.state);
         let resumed_at = work(&engine);
+        let telemetry_base = engine.telemetry();
         self.schedule_shifted(&mut engine, workload, faults);
         let (outputs, mut trace) = self.observed_outputs();
         for row in &golden.outcome.trace.rows[..start.cycle as usize] {
             trace.push_row(row.clone());
         }
         let last_fault = faults.iter().map(Fault::cycle).max().unwrap_or(0);
+        let mut early_stopped = false;
         for done in (start.cycle + 1)..=workload.run_cycles {
             engine.step_cycle();
             trace.push_row(engine.sample(&outputs));
@@ -389,6 +404,7 @@ impl<'a> Dut<'a> {
                     for row in &golden.outcome.trace.rows[done as usize..] {
                         trace.push_row(row.clone());
                     }
+                    early_stopped = true;
                     break;
                 }
             }
@@ -397,6 +413,9 @@ impl<'a> Dut<'a> {
             trace,
             activity_per_cycle: engine.activity_per_cycle(),
             work: work(&engine) - resumed_at,
+            engine: engine.telemetry().since(telemetry_base),
+            resumed_from: Some(start.cycle),
+            early_stopped,
         })
     }
 }

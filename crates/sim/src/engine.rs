@@ -53,6 +53,51 @@ impl EngineState {
     }
 }
 
+/// Cumulative engine-level event counters since construction.
+///
+/// Returned by [`Engine::telemetry`]; all counters are deterministic for a
+/// deterministic run (no wall-clock quantities). Engines that do not track
+/// a given counter leave it at 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineTelemetry {
+    /// Events executed by an event-driven engine.
+    pub events_processed: u64,
+    /// Cell evaluations performed by a sweep-based engine.
+    pub cells_evaluated: u64,
+    /// Zero-delay (same-timestamp) event executions, or full evaluation
+    /// sweeps for sweep-based engines.
+    pub delta_cycles: u64,
+    /// Times the event wheel advanced simulated time.
+    pub wheel_advances: u64,
+    /// Snapshot restores performed on this engine.
+    pub restores: u64,
+}
+
+impl EngineTelemetry {
+    /// Fieldwise sum.
+    pub fn accumulate(&mut self, other: EngineTelemetry) {
+        self.events_processed += other.events_processed;
+        self.cells_evaluated += other.cells_evaluated;
+        self.delta_cycles += other.delta_cycles;
+        self.wheel_advances += other.wheel_advances;
+        self.restores += other.restores;
+    }
+
+    /// Fieldwise saturating difference (`self - earlier`), for isolating
+    /// the counters of a run segment from a baseline snapshot.
+    pub fn since(&self, earlier: EngineTelemetry) -> EngineTelemetry {
+        EngineTelemetry {
+            events_processed: self
+                .events_processed
+                .saturating_sub(earlier.events_processed),
+            cells_evaluated: self.cells_evaluated.saturating_sub(earlier.cells_evaluated),
+            delta_cycles: self.delta_cycles.saturating_sub(earlier.delta_cycles),
+            wheel_advances: self.wheel_advances.saturating_sub(earlier.wheel_advances),
+            restores: self.restores.saturating_sub(earlier.restores),
+        }
+    }
+}
+
 /// A gate-level logic simulation engine.
 ///
 /// Both [`EventDrivenEngine`](crate::EventDrivenEngine) (the VCS stand-in)
@@ -126,6 +171,17 @@ pub trait Engine {
 
     /// Cumulative toggle count per net since construction.
     fn activity(&self) -> &[u64];
+
+    /// Cumulative engine-level event counters since construction.
+    ///
+    /// The default is a no-op returning all-zero counters, so custom
+    /// engines opt in by overriding. Counters are bookkeeping only: they
+    /// never influence simulation results, and snapshot restores do not
+    /// rewind the sweep/restore counters (only counters that are part of
+    /// the snapshotted work proxy).
+    fn telemetry(&self) -> EngineTelemetry {
+        EngineTelemetry::default()
+    }
 
     /// Per-net toggle activity normalized by completed cycles.
     fn activity_per_cycle(&self) -> Vec<f64> {

@@ -6,7 +6,7 @@
 //! mid-cycle propagate — or get masked — with realistic timing, which is what
 //! distinguishes SET simulation from cycle-accurate approximations.
 
-use crate::engine::{Engine, EngineState};
+use crate::engine::{Engine, EngineState, EngineTelemetry};
 use crate::eval::{async_override, eval_comb, next_state};
 use crate::inject::Fault;
 use crate::trace::{WaveSignal, WaveTrace};
@@ -148,6 +148,12 @@ pub struct EventDrivenEngine<'a> {
     waves: Vec<Vec<(u64, Logic)>>,
     /// Count of processed events, exposed for performance reporting.
     events_processed: u64,
+    /// Same-timestamp event executions (delta cycles).
+    delta_cycles: u64,
+    /// Times the event wheel advanced simulated time.
+    wheel_advances: u64,
+    /// Snapshot restores performed.
+    restores: u64,
 }
 
 impl<'a> EventDrivenEngine<'a> {
@@ -184,6 +190,9 @@ impl<'a> EventDrivenEngine<'a> {
             recorded: Vec::new(),
             waves: Vec::new(),
             events_processed: 0,
+            delta_cycles: 0,
+            wheel_advances: 0,
+            restores: 0,
         };
         // The clock idles low so the first rising edge is a clean posedge.
         engine.values[clock.index()] = Logic::Zero;
@@ -384,6 +393,11 @@ impl<'a> EventDrivenEngine<'a> {
                 break;
             }
             self.queue.pop();
+            if event.time > self.time {
+                self.wheel_advances += 1;
+            } else {
+                self.delta_cycles += 1;
+            }
             self.time = event.time;
             self.execute(event.action);
         }
@@ -485,6 +499,7 @@ impl Engine for EventDrivenEngine<'_> {
         self.activity.clone_from(&s.activity);
         self.faults.clone_from(&s.faults);
         self.events_processed = s.events_processed;
+        self.restores += 1;
     }
 
     fn step_cycle(&mut self) {
@@ -534,5 +549,15 @@ impl Engine for EventDrivenEngine<'_> {
 
     fn activity(&self) -> &[u64] {
         &self.activity
+    }
+
+    fn telemetry(&self) -> EngineTelemetry {
+        EngineTelemetry {
+            events_processed: self.events_processed,
+            cells_evaluated: 0,
+            delta_cycles: self.delta_cycles,
+            wheel_advances: self.wheel_advances,
+            restores: self.restores,
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! pulses are therefore widened to a full cycle (a standard cycle-accurate
 //! approximation); golden runs match the event-driven engine exactly.
 
-use crate::engine::{Engine, EngineState};
+use crate::engine::{Engine, EngineState, EngineTelemetry};
 use crate::eval::{async_override, eval_comb, next_state};
 use crate::inject::Fault;
 use crate::value::Logic;
@@ -76,6 +76,11 @@ pub struct LevelizedEngine<'a> {
     activity: Vec<u64>,
     /// Cells evaluated so far (a proxy for simulation work).
     evals: u64,
+    /// Full evaluation sweeps performed (the sweep-based delta-cycle
+    /// analogue).
+    sweeps: u64,
+    /// Snapshot restores performed.
+    restores: u64,
 }
 
 impl<'a> LevelizedEngine<'a> {
@@ -106,6 +111,8 @@ impl<'a> LevelizedEngine<'a> {
             cycle: 0,
             activity: vec![0; netlist.nets().len()],
             evals: 0,
+            sweeps: 0,
+            restores: 0,
         };
         engine.values[clock.index()] = Logic::Zero;
         engine.propagate();
@@ -135,6 +142,7 @@ impl<'a> LevelizedEngine<'a> {
 
     /// One full evaluation sweep of the combinational netlist.
     fn propagate(&mut self) {
+        self.sweeps += 1;
         for i in 0..self.order.len() {
             let cell = self.order[i];
             let kind = self.netlist.cell(cell).kind;
@@ -246,6 +254,7 @@ impl Engine for LevelizedEngine<'_> {
         self.cycle = s.cycle;
         self.activity.clone_from(&s.activity);
         self.evals = s.evals;
+        self.restores += 1;
     }
 
     fn step_cycle(&mut self) {
@@ -329,5 +338,15 @@ impl Engine for LevelizedEngine<'_> {
 
     fn activity(&self) -> &[u64] {
         &self.activity
+    }
+
+    fn telemetry(&self) -> EngineTelemetry {
+        EngineTelemetry {
+            events_processed: 0,
+            cells_evaluated: self.evals,
+            delta_cycles: self.sweeps,
+            wheel_advances: 0,
+            restores: self.restores,
+        }
     }
 }

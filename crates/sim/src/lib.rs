@@ -60,7 +60,7 @@ pub mod trace;
 pub mod value;
 pub mod vcd;
 
-pub use engine::{Engine, EngineState};
+pub use engine::{Engine, EngineState, EngineTelemetry};
 pub use error::SimError;
 pub use eval::{eval_comb, eval_comb_with_mutant, EvalMutant};
 pub use event::{EventDrivenEngine, EventDrivenState};

@@ -20,7 +20,7 @@
 //! gate-evaluation rule — so the conformance harness can prove it would
 //! catch a real semantic bug (mutation smoke testing).
 
-use crate::engine::{Engine, EngineState};
+use crate::engine::{Engine, EngineState, EngineTelemetry};
 use crate::eval::{async_override, eval_comb_with_mutant, next_state, EvalMutant};
 use crate::inject::Fault;
 use crate::value::Logic;
@@ -138,6 +138,10 @@ pub struct OracleEngine<'a> {
     /// Cell evaluations so far (a proxy for simulation work; the oracle's
     /// chaotic iteration deliberately does many more than the engines).
     evals: u64,
+    /// Chaotic-iteration sweep passes performed.
+    sweeps: u64,
+    /// Snapshot restores performed.
+    restores: u64,
     mutant: Option<EvalMutant>,
 }
 
@@ -177,6 +181,8 @@ impl<'a> OracleEngine<'a> {
             cycle: 0,
             activity: vec![0; netlist.nets().len()],
             evals: 0,
+            sweeps: 0,
+            restores: 0,
             mutant,
         };
         // Chaotic iteration converges on an all-X fixpoint even through a
@@ -224,6 +230,7 @@ impl<'a> OracleEngine<'a> {
     /// One unordered evaluation pass over every combinational cell.
     /// Returns the first net that changed, if any did.
     fn sweep(&mut self) -> Option<NetId> {
+        self.sweeps += 1;
         let mut changed = None;
         for (id, cell) in self.netlist.iter_cells() {
             if cell.kind.is_sequential() {
@@ -365,6 +372,7 @@ impl Engine for OracleEngine<'_> {
         self.cycle = s.cycle;
         self.activity.clone_from(&s.activity);
         self.evals = s.evals;
+        self.restores += 1;
     }
 
     fn step_cycle(&mut self) {
@@ -442,6 +450,16 @@ impl Engine for OracleEngine<'_> {
 
     fn activity(&self) -> &[u64] {
         &self.activity
+    }
+
+    fn telemetry(&self) -> EngineTelemetry {
+        EngineTelemetry {
+            events_processed: 0,
+            cells_evaluated: self.evals,
+            delta_cycles: self.sweeps,
+            wheel_advances: 0,
+            restores: self.restores,
+        }
     }
 }
 

@@ -67,9 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n-- runtime --");
     println!(
         "  simulation {:.2?}, training {:.2?}, prediction {:.2?} (speed-up {:.0}x)",
-        analysis.timing.simulation,
-        analysis.timing.training,
-        analysis.timing.prediction,
+        analysis.timing.simulation(),
+        analysis.timing.training(),
+        analysis.timing.prediction(),
         analysis.timing.speedup()
     );
     Ok(())

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 predicted_sensitive += 1;
             }
         }
-        let model_time = t2.elapsed().as_secs_f64() + analysis.timing.prediction.as_secs_f64();
+        let model_time = t2.elapsed().as_secs_f64() + analysis.timing.prediction().as_secs_f64();
 
         // Agreement on the probed subset: simulated verdict vs prediction.
         let agree = ev
