@@ -1,0 +1,109 @@
+//! Criterion comparison of scalar vs bit-parallel batched fault-injection
+//! campaigns — the PPSFP-style 64-lane kernel's per-injection gate-evaluation
+//! reduction on the socgen SoC.
+//!
+//! Besides the wall-clock benchmark, this suite asserts the headline
+//! invariants once per process: batched records are bit-identical to scalar
+//! records, and per-injection gate evaluations drop by at least 5x. The
+//! measured numbers are written to `BENCH_bitparallel.json` at the
+//! workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssresf::{run_campaign, CampaignConfig, Dut, EngineKind, Workload};
+use ssresf_netlist::CellId;
+use ssresf_socgen::{build_soc, SocConfig};
+use std::path::Path;
+use std::time::Instant;
+
+fn campaign_scalar_vs_bitparallel(c: &mut Criterion) {
+    let soc = build_soc(&SocConfig::table1()[0]).expect("soc builds");
+    let flat = soc.design.flatten().expect("soc flattens");
+    let dut = Dut::from_conventions(&flat).expect("conventions");
+    let cells: Vec<CellId> = flat
+        .iter_cells()
+        .map(|(id, _)| id)
+        .step_by(7)
+        .take(24)
+        .collect();
+    let scalar_config = CampaignConfig {
+        workload: Workload {
+            reset_cycles: 3,
+            run_cycles: 120,
+        },
+        engine: EngineKind::Levelized,
+        threads: 1,
+        checkpoint_interval: 0,
+        ..CampaignConfig::default()
+    };
+    let batched_config = CampaignConfig {
+        batching: true,
+        ..scalar_config
+    };
+
+    let scalar_started = Instant::now();
+    let scalar = run_campaign(&dut, &cells, &scalar_config).expect("campaign runs");
+    let scalar_wall = scalar_started.elapsed();
+    let batched_started = Instant::now();
+    let batched = run_campaign(&dut, &cells, &batched_config).expect("campaign runs");
+    let batched_wall = batched_started.elapsed();
+
+    assert_eq!(
+        scalar.records, batched.records,
+        "bit-parallel batching changed records"
+    );
+    let injections = scalar.records.len() as u64;
+    // The golden run is a scalar levelized run in both modes; subtract it
+    // so the comparison isolates injection work.
+    let golden_evals = batched.telemetry.engine.cells_evaluated;
+    let scalar_inj = scalar.telemetry.engine.cells_evaluated - golden_evals;
+    let batched_inj = batched.telemetry.engine.word_evals;
+    let reduction = scalar_inj as f64 / batched_inj.max(1) as f64;
+    let wall_ratio = scalar_wall.as_secs_f64() / batched_wall.as_secs_f64().max(1e-9);
+    println!(
+        "gate evals/injection: scalar {:.0}, batched {:.0} word-evals \
+         ({reduction:.1}x reduction); wall-clock ratio {wall_ratio:.2}x",
+        scalar_inj as f64 / injections as f64,
+        batched_inj as f64 / injections as f64,
+    );
+    assert!(
+        reduction >= 5.0,
+        "bit-parallel batching below 5x eval reduction: {reduction:.2}x"
+    );
+
+    let report = ssresf_json::object([
+        (
+            "soc",
+            ssresf_json::Value::from(SocConfig::table1()[0].name.clone()),
+        ),
+        ("injections", ssresf_json::Value::from(injections)),
+        (
+            "scalar_gate_evals_per_injection",
+            ssresf_json::Value::from(scalar_inj as f64 / injections as f64),
+        ),
+        (
+            "batched_word_evals_per_injection",
+            ssresf_json::Value::from(batched_inj as f64 / injections as f64),
+        ),
+        ("eval_reduction", ssresf_json::Value::from(reduction)),
+        ("wall_clock_ratio", ssresf_json::Value::from(wall_ratio)),
+        ("records_identical", ssresf_json::Value::from(true)),
+    ]);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_bitparallel.json");
+    std::fs::write(&out, report.to_string_pretty() + "\n").expect("write BENCH_bitparallel.json");
+    println!("wrote {}", out.display());
+
+    let mut group = c.benchmark_group("campaign_bitparallel_soc1");
+    for (name, config) in [("scalar", &scalar_config), ("bitparallel", &batched_config)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), config, |b, config| {
+            b.iter(|| run_campaign(&dut, &cells, config).expect("campaign runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = campaign_scalar_vs_bitparallel
+}
+criterion_main!(benches);

@@ -11,10 +11,11 @@
 //! Exits nonzero on any violation — CI runs this as the telemetry gate.
 
 use ssresf::{
-    CampaignProgress, Instrument, MetricsRegistry, ProgressPhase, ProgressSink, Ssresf,
-    SsresfConfig, Workload,
+    run_campaign_with, CampaignConfig, CampaignProgress, Dut, EngineKind, Instrument,
+    MetricsRegistry, ProgressPhase, ProgressSink, Ssresf, SsresfConfig, Workload,
 };
 use ssresf_bench::quick;
+use ssresf_netlist::CellId;
 use ssresf_socgen::{build_soc, SocConfig};
 use std::sync::Mutex;
 
@@ -29,6 +30,7 @@ const EXPECTED_COUNTERS: &[&str] = &[
     "campaign.engine.wheel_advances",
     "campaign.checkpoint.restores",
     "campaign.early_stop.truncations",
+    "campaign.engine.word_evals",
     "campaign.work.total",
 ];
 const EXPECTED_GAUGES: &[&str] = &[
@@ -99,6 +101,56 @@ fn check_keys(doc: &ssresf_json::Value, section: &str, expected: &[&str]) {
     }
 }
 
+/// Bit-parallel batched campaigns publish their own key set: the
+/// `campaign.batch_occupancy` histogram and a nonzero
+/// `campaign.engine.word_evals` counter, and the deterministic export must
+/// stay byte-stable across repeat runs.
+fn check_batched(netlist: &ssresf_netlist::FlatNetlist) {
+    let dut =
+        Dut::from_conventions(netlist).unwrap_or_else(|e| fail(&format!("batched: no DUT: {e}")));
+    let cells: Vec<CellId> = netlist
+        .iter_cells()
+        .map(|(id, _)| id)
+        .step_by(11)
+        .take(16)
+        .collect();
+    let config = CampaignConfig {
+        workload: Workload {
+            reset_cycles: 3,
+            run_cycles: 40,
+        },
+        engine: EngineKind::Levelized,
+        batching: true,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let mut exports = Vec::with_capacity(2);
+    for repeat in 0..2 {
+        let metrics = MetricsRegistry::new();
+        let outcome = run_campaign_with(&dut, &cells, &config, &Instrument::with_metrics(&metrics))
+            .unwrap_or_else(|e| fail(&format!("batched: campaign run {repeat} failed: {e}")));
+        if outcome.telemetry.engine.word_evals == 0 {
+            fail("batched: campaign reported zero word evaluations");
+        }
+        exports.push(metrics.to_json_deterministic().to_string_pretty());
+    }
+    if exports[0] != exports[1] {
+        fail("batched: deterministic metrics export differs across repeat runs");
+    }
+    let doc = ssresf_json::parse(&exports[0])
+        .unwrap_or_else(|e| fail(&format!("batched: export is not valid JSON: {e}")));
+    check_keys(&doc, "counters", &["campaign.engine.word_evals"]);
+    check_keys(&doc, "histograms", &["campaign.batch_occupancy"]);
+    let word_evals = doc
+        .get("counters")
+        .and_then(|c| c.get("campaign.engine.word_evals"))
+        .and_then(ssresf_json::Value::as_u64)
+        .unwrap_or(0);
+    if word_evals == 0 {
+        fail("batched: exported campaign.engine.word_evals is zero");
+    }
+}
+
 fn main() {
     let soc = build_soc(&SocConfig::table1()[0]).expect("preset SoC builds");
     let netlist = soc.design.flatten().expect("preset SoC flattens");
@@ -123,6 +175,8 @@ fn main() {
     check_keys(&doc, "gauges", EXPECTED_GAUGES);
     check_keys(&doc, "timings_s", EXPECTED_TIMINGS);
     check_keys(&doc, "histograms", EXPECTED_HISTOGRAMS);
+
+    check_batched(&netlist);
 
     println!("{first}");
     eprintln!("telemetry_smoke: PASS (export stable, all expected keys present)");

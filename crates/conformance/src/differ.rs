@@ -1,4 +1,4 @@
-//! The differential runner: one scenario, three engines, seven checks.
+//! The differential runner: one scenario, three engines, eight checks.
 //!
 //! [`check_with_mutant`] executes a [`Scenario`] on the reference
 //! [`OracleEngine`] and both production engines and verifies, in order:
@@ -22,6 +22,10 @@
 //! 7. **Metrics determinism** — attaching a [`MetricsRegistry`] changes no
 //!    injection record, and the deterministic JSON metrics export is
 //!    byte-identical across repeat runs of the same seed.
+//! 8. **Batched-campaign differential** — a bit-parallel batched campaign
+//!    (scratch, checkpointed, and checkpointed+early-stop) produces records
+//!    byte-identical to a scratch scalar levelized campaign over the same
+//!    fault targets.
 //!
 //! When a mutant is installed the oracle is the *mutated* party, so any
 //! scenario whose outputs exercise the mutated gate fails check 1 or 5 —
@@ -358,10 +362,11 @@ pub fn check_with_mutant(scenario: &Scenario, mutant: Option<EvalMutant>) -> Res
         ));
     }
 
-    // 6. Campaign differential (meaningful only against an unmutated
+    // 6.–8. Campaign differentials (meaningful only against an unmutated
     //    oracle: the campaign always runs production engines).
     if mutant.is_none() {
         check_campaigns(scenario, &flat)?;
+        check_batched_campaign(scenario, &flat)?;
     }
     Ok(())
 }
@@ -476,6 +481,78 @@ fn check_campaigns(scenario: &Scenario, flat: &FlatNetlist) -> Result<(), String
     }
     if exports[0] != exports[1] {
         return Err("campaign: deterministic metrics export differs across repeat runs".to_owned());
+    }
+    Ok(())
+}
+
+/// 8. Bit-parallel batched campaigns — from scratch, under checkpointed
+///    fast-forward, and with early stop — must produce records byte-identical
+///    to a scratch scalar levelized campaign over the same fault targets.
+fn check_batched_campaign(scenario: &Scenario, flat: &FlatNetlist) -> Result<(), String> {
+    let dut = Dut::from_conventions(flat).map_err(|e| format!("batched: no DUT: {e}"))?;
+    let mut cells: Vec<CellId> = scenario
+        .faults
+        .iter()
+        .map(|f| CellId((f.cell as usize % flat.cells().len()) as u32))
+        .collect();
+    cells.sort();
+    cells.dedup();
+    // Batching is levelized-only, so both sides pin that engine (unlike
+    // check 6, which alternates engines by seed parity).
+    let base = CampaignConfig {
+        workload: Workload {
+            reset_cycles: scenario.reset_cycles,
+            run_cycles: scenario.run_cycles,
+        },
+        injections_per_cell: 1,
+        seed: scenario.seed,
+        engine: EngineKind::Levelized,
+        threads: 1,
+        checkpoint_interval: 0,
+        early_stop: false,
+        ..CampaignConfig::default()
+    };
+    let scalar = run_campaign(&dut, &cells, &base)
+        .map_err(|e| format!("batched: scalar reference run failed: {e}"))?;
+    for (label, interval, early_stop) in [
+        ("scratch", 0, false),
+        ("checkpointed", scenario.checkpoint_interval, false),
+        ("early-stop", scenario.checkpoint_interval, true),
+    ] {
+        let batched = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                batching: true,
+                checkpoint_interval: interval,
+                early_stop,
+                ..base
+            },
+        )
+        .map_err(|e| format!("batched: {label} batched run failed: {e}"))?;
+        if scalar.golden != batched.golden {
+            return Err(format!(
+                "batched: {label} golden trace differs from the scalar campaign's"
+            ));
+        }
+        if scalar.records != batched.records {
+            let diverged = scalar
+                .records
+                .iter()
+                .zip(&batched.records)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Err(format!(
+                "batched: {label} records differ from the scalar campaign \
+                 (first at injection {diverged} of {})",
+                scalar.records.len()
+            ));
+        }
+        if batched.telemetry.engine.word_evals == 0 {
+            return Err(format!(
+                "batched: {label} run reported zero word evaluations"
+            ));
+        }
     }
     Ok(())
 }

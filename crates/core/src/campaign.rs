@@ -57,6 +57,14 @@ pub struct CampaignConfig {
     /// records are bit-identical either way.
     #[serde(default)]
     pub early_stop: bool,
+    /// Pack up to 63 fault instances per bit-parallel batch
+    /// ([`Dut::run_batch`]) instead of simulating them one scalar run at a
+    /// time. Requires [`EngineKind::Levelized`] — the event-driven engine
+    /// resolves sub-cycle SET timing that cannot be lane-packed. Records
+    /// are bit-identical to scalar-mode records for the same seed and
+    /// config, across any thread count.
+    #[serde(default)]
+    pub batching: bool,
 }
 
 fn default_checkpoint_interval() -> u64 {
@@ -75,6 +83,7 @@ impl Default for CampaignConfig {
             threads: 0,
             checkpoint_interval: default_checkpoint_interval(),
             early_stop: false,
+            batching: false,
         }
     }
 }
@@ -282,6 +291,13 @@ pub fn run_campaign_with(
             "workload run_cycles is 0: nothing to observe or inject into".into(),
         ));
     }
+    if config.batching && config.engine != EngineKind::Levelized {
+        return Err(SsresfError::Config(
+            "batching requires the levelized engine: the event-driven engine \
+             resolves sub-cycle SET timing that cannot be lane-packed"
+                .into(),
+        ));
+    }
     let started = Instant::now();
     // The golden run doubles as the checkpoint source workers fork from.
     let golden = dut.run_golden_with_checkpoints(
@@ -338,6 +354,7 @@ pub fn run_campaign_with(
     }
 
     let mut worker_stats: Vec<WorkerUtilization> = Vec::new();
+    let mut batch_occupancy: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
         let mut remaining: &mut [Option<JobResult>] = &mut results;
         let chunk = jobs.len().div_ceil(threads).max(1);
@@ -353,72 +370,142 @@ pub fn run_campaign_with(
             handles.push(scope.spawn(move || {
                 let worker_started = Instant::now();
                 let mut jobs_done = 0usize;
-                for ((cell, fault), slot) in job_chunk.iter().zip(mine.iter_mut()) {
-                    if cancel.load(Ordering::Relaxed) {
-                        break;
+                let mut occupancy: Vec<u64> = Vec::new();
+                let note_done = |soft_error: bool| {
+                    if soft_error {
+                        soft_errors.fetch_add(1, Ordering::Relaxed);
                     }
-                    // `resume` falls back to a from-scratch run when
-                    // checkpointing is disabled.
-                    let run = dut.resume(
-                        config.engine,
-                        &config.workload,
-                        std::slice::from_ref(fault),
-                        golden_run,
-                        config.early_stop,
-                    );
-                    match run {
-                        Ok(outcome) => {
-                            let diffs = golden_trace.diff(&outcome.trace);
-                            let soft_error = !diffs.is_empty();
-                            *slot = Some(JobResult {
-                                record: InjectionRecord {
-                                    cell: *cell,
-                                    fault: *fault,
-                                    soft_error,
-                                    divergences: diffs.len(),
-                                },
-                                work: outcome.work,
-                                engine: outcome.engine,
-                                resumed_from: outcome.resumed_from,
-                                early_stopped: outcome.early_stopped,
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(sink) = progress {
+                        if done.is_multiple_of(heartbeat) && done < total {
+                            sink.report(&CampaignProgress {
+                                phase: ProgressPhase::Heartbeat,
+                                completed: done,
+                                total,
+                                soft_errors: soft_errors.load(Ordering::Relaxed),
+                                elapsed: injections_started.elapsed(),
+                                workers: Vec::new(),
                             });
-                            jobs_done += 1;
-                            if soft_error {
-                                soft_errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                            if let Some(sink) = progress {
-                                if done.is_multiple_of(heartbeat) && done < total {
-                                    sink.report(&CampaignProgress {
-                                        phase: ProgressPhase::Heartbeat,
-                                        completed: done,
-                                        total,
-                                        soft_errors: soft_errors.load(Ordering::Relaxed),
-                                        elapsed: injections_started.elapsed(),
-                                        workers: Vec::new(),
-                                    });
-                                }
-                            }
                         }
-                        Err(e) => {
-                            cancel.store(true, Ordering::Relaxed);
-                            let mut guard = error.lock().expect("mutex poisoned");
-                            if guard.is_none() {
-                                *guard = Some(e);
-                            }
+                    }
+                };
+                let fail = |e: SsresfError| {
+                    cancel.store(true, Ordering::Relaxed);
+                    let mut guard = error.lock().expect("mutex poisoned");
+                    if guard.is_none() {
+                        *guard = Some(e);
+                    }
+                };
+                if config.batching {
+                    // Group this worker's jobs into up-to-63-lane batches.
+                    // Sorting by fault cycle lets batch-mates share one
+                    // fast-forward checkpoint; results scatter back to their
+                    // original slots, so the record order (and therefore the
+                    // records themselves) is identical to scalar mode.
+                    let mut by_cycle: Vec<usize> = (0..job_chunk.len()).collect();
+                    by_cycle.sort_by_key(|&i| (job_chunk[i].1.cycle(), i));
+                    for lanes in by_cycle.chunks(ssresf_sim::LANES - 1) {
+                        if cancel.load(Ordering::Relaxed) {
                             break;
                         }
+                        let faults: Vec<Fault> = lanes.iter().map(|&i| job_chunk[i].1).collect();
+                        match dut.run_batch(
+                            &config.workload,
+                            &faults,
+                            golden_run,
+                            config.early_stop,
+                        ) {
+                            Ok(batch) => {
+                                occupancy.push(lanes.len() as u64);
+                                // Split the shared word-eval work evenly so
+                                // per-injection sums stay exact.
+                                let n = lanes.len() as u64;
+                                let per = batch.work / n;
+                                let rem = (batch.work % n) as usize;
+                                for (k, (&i, lane)) in
+                                    lanes.iter().zip(batch.lanes.iter()).enumerate()
+                                {
+                                    let (cell, fault) = job_chunk[i];
+                                    mine[i] = Some(JobResult {
+                                        record: InjectionRecord {
+                                            cell,
+                                            fault,
+                                            soft_error: lane.soft_error,
+                                            divergences: lane.divergences,
+                                        },
+                                        work: per + u64::from(k < rem),
+                                        engine: if k == 0 {
+                                            batch.engine
+                                        } else {
+                                            EngineTelemetry::default()
+                                        },
+                                        resumed_from: batch.resumed_from,
+                                        early_stopped: batch.early_stopped,
+                                    });
+                                    jobs_done += 1;
+                                    note_done(lane.soft_error);
+                                }
+                            }
+                            Err(e) => {
+                                fail(e);
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    for ((cell, fault), slot) in job_chunk.iter().zip(mine.iter_mut()) {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // `resume` falls back to a from-scratch run when
+                        // checkpointing is disabled.
+                        let run = dut.resume(
+                            config.engine,
+                            &config.workload,
+                            std::slice::from_ref(fault),
+                            golden_run,
+                            config.early_stop,
+                        );
+                        match run {
+                            Ok(outcome) => {
+                                let diffs = golden_trace.diff(&outcome.trace);
+                                let soft_error = !diffs.is_empty();
+                                *slot = Some(JobResult {
+                                    record: InjectionRecord {
+                                        cell: *cell,
+                                        fault: *fault,
+                                        soft_error,
+                                        divergences: diffs.len(),
+                                    },
+                                    work: outcome.work,
+                                    engine: outcome.engine,
+                                    resumed_from: outcome.resumed_from,
+                                    early_stopped: outcome.early_stopped,
+                                });
+                                jobs_done += 1;
+                                note_done(soft_error);
+                            }
+                            Err(e) => {
+                                fail(e);
+                                break;
+                            }
+                        }
                     }
                 }
-                WorkerUtilization {
-                    worker,
-                    jobs: jobs_done,
-                    busy: worker_started.elapsed(),
-                }
+                (
+                    WorkerUtilization {
+                        worker,
+                        jobs: jobs_done,
+                        busy: worker_started.elapsed(),
+                    },
+                    occupancy,
+                )
             }));
         }
         for handle in handles {
-            worker_stats.push(handle.join().expect("campaign worker panicked"));
+            let (stats, occupancy) = handle.join().expect("campaign worker panicked");
+            worker_stats.push(stats);
+            batch_occupancy.extend(occupancy);
         }
     });
 
@@ -469,6 +556,7 @@ pub fn run_campaign_with(
             simulation_time,
             threads,
             &worker_stats,
+            &batch_occupancy,
         );
     }
 
@@ -502,6 +590,7 @@ fn record_campaign_metrics(
     simulation_time: Duration,
     threads: usize,
     worker_stats: &[WorkerUtilization],
+    batch_occupancy: &[u64],
 ) {
     metrics.counter_add("campaign.injections.total", records.len() as u64);
     metrics.counter_add(
@@ -524,6 +613,7 @@ fn record_campaign_metrics(
         "campaign.engine.wheel_advances",
         telemetry.engine.wheel_advances,
     );
+    metrics.counter_add("campaign.engine.word_evals", telemetry.engine.word_evals);
     metrics.counter_add(
         "campaign.checkpoint.restores",
         telemetry.checkpoint_restores,
@@ -535,6 +625,11 @@ fn record_campaign_metrics(
     metrics.counter_add("campaign.work.total", total_work);
     for &work in work_per_injection {
         metrics.observe("campaign.work_per_injection", work as f64);
+    }
+    // Lanes filled per bit-parallel batch; absent entirely in scalar mode
+    // so the telemetry key set keeps distinguishing the two paths.
+    for &filled in batch_occupancy {
+        metrics.observe("campaign.batch_occupancy", filled as f64);
     }
     metrics.gauge_set("campaign.threads", threads as f64);
     let elapsed = simulation_time.as_secs_f64();
@@ -948,6 +1043,157 @@ mod tests {
         assert_eq!(metrics.counter("campaign.work.total"), plain.total_work);
         let hist = metrics.histogram("campaign.work_per_injection").unwrap();
         assert_eq!(hist.count, plain.records.len() as u64);
+    }
+
+    #[test]
+    fn batched_records_match_scalar_across_modes_and_threads() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 30,
+            },
+            injections_per_cell: 3,
+            engine: EngineKind::Levelized,
+            ..CampaignConfig::default()
+        };
+        // Scratch, checkpointed and checkpointed+early-stop, each compared
+        // against its scalar twin, across thread counts.
+        for (interval, early_stop) in [(0u64, false), (10, false), (10, true)] {
+            let mode = CampaignConfig {
+                checkpoint_interval: interval,
+                early_stop,
+                ..base
+            };
+            let scalar =
+                run_campaign(&dut, &cells, &CampaignConfig { threads: 1, ..mode }).unwrap();
+            for threads in [1usize, 4] {
+                let batched = run_campaign(
+                    &dut,
+                    &cells,
+                    &CampaignConfig {
+                        batching: true,
+                        threads,
+                        ..mode
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    scalar.records, batched.records,
+                    "interval={interval} early_stop={early_stop} threads={threads}"
+                );
+                assert_eq!(scalar.golden, batched.golden);
+                assert!(batched.telemetry.engine.word_evals > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_early_stop_truncates_on_reconvergent_design() {
+        let flat = shift_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        // Early stop releases a batch only when *every* lane re-converges,
+        // so inject only into the shift stages (whose upsets flush within
+        // 3 cycles) — a toggler upset would pin the batch forever.
+        let cells: Vec<CellId> = flat
+            .iter_cells()
+            .filter(|(_, c)| c.name.starts_with("u_sh_"))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(cells.len(), 3);
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 60,
+            },
+            injections_per_cell: 3,
+            engine: EngineKind::Levelized,
+            checkpoint_interval: 5,
+            batching: true,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let plain = run_campaign(&dut, &cells, &base).unwrap();
+        let stopped = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                early_stop: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.records, stopped.records);
+        // Shift-register upsets flush within 3 cycles; the single batch
+        // re-converges and stops at a checkpoint boundary.
+        assert!(stopped.telemetry.early_stop_truncations > 0);
+        assert!(
+            stopped.total_work < plain.total_work,
+            "batched early stop saved nothing: {} vs {}",
+            stopped.total_work,
+            plain.total_work
+        );
+    }
+
+    #[test]
+    fn batching_rejects_the_event_driven_engine() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let config = CampaignConfig {
+            engine: EngineKind::EventDriven,
+            batching: true,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            run_campaign(&dut, &cells, &config),
+            Err(SsresfError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn batching_cuts_per_injection_evaluations_at_least_5x() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        // 4 FFs x 2 injections = 8 jobs in one 8-lane batch on one thread.
+        let ffs: Vec<CellId> = flat
+            .iter_cells()
+            .filter(|(_, c)| c.kind.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 40,
+            },
+            injections_per_cell: 2,
+            engine: EngineKind::Levelized,
+            threads: 1,
+            checkpoint_interval: 0,
+            ..CampaignConfig::default()
+        };
+        let scalar = run_campaign(&dut, &ffs, &base).unwrap();
+        let batched = run_campaign(
+            &dut,
+            &ffs,
+            &CampaignConfig {
+                batching: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(scalar.records, batched.records);
+        // The golden run is scalar in both modes; isolate injection work.
+        let golden_evals = batched.telemetry.engine.cells_evaluated;
+        let scalar_inj = scalar.telemetry.engine.cells_evaluated - golden_evals;
+        let batched_inj = batched.telemetry.engine.word_evals;
+        assert!(batched_inj > 0);
+        assert!(
+            scalar_inj >= 5 * batched_inj,
+            "8-lane batch should cut gate evaluations >=5x: scalar {scalar_inj} vs batched {batched_inj}"
+        );
     }
 
     #[test]

@@ -71,4 +71,6 @@ pub use ser::{evaluate_ser, ClusterSer, SerEvaluation};
 // Re-exported so downstream users can attach metrics without depending on
 // the telemetry crate directly.
 pub use ssresf_telemetry::{MetricsRegistry, Span};
-pub use workload::{Checkpoint, Dut, EngineKind, GoldenRun, RunOutcome, Workload};
+pub use workload::{
+    BatchOutcome, Checkpoint, Dut, EngineKind, GoldenRun, LaneOutcome, RunOutcome, Workload,
+};

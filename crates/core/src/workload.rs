@@ -10,8 +10,8 @@ use crate::error::SsresfError;
 use serde::{Deserialize, Serialize};
 use ssresf_netlist::{FlatNetlist, NetId};
 use ssresf_sim::{
-    CycleTrace, Engine, EngineState, EngineTelemetry, EventDrivenEngine, Fault, LevelizedEngine,
-    Logic, SetFault, SeuFault,
+    BitParallelEngine, CycleTrace, Engine, EngineState, EngineTelemetry, EventDrivenEngine, Fault,
+    LevelizedEngine, Logic, SetFault, SeuFault, LANES,
 };
 
 /// Which simulation engine to use.
@@ -66,6 +66,34 @@ pub struct RunOutcome {
     /// The golden checkpoint cycle this run fast-forwarded from, if any.
     pub resumed_from: Option<u64>,
     /// Whether early stop truncated this run's simulated tail.
+    pub early_stopped: bool,
+}
+
+/// Per-fault observation of one lane of a batched run; field-compatible
+/// with the observations a scalar [`Dut::resume`] run yields through a
+/// golden-trace diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneOutcome {
+    /// Whether the lane's primary outputs ever differed from the golden
+    /// lane.
+    pub soft_error: bool,
+    /// Number of (cycle, signal) divergences against the golden lane.
+    pub divergences: usize,
+}
+
+/// Outcome of one bit-parallel batched run ([`Dut::run_batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One observation per scheduled fault, in scheduling order.
+    pub lanes: Vec<LaneOutcome>,
+    /// Word evaluations spent on the batch (excluding any fast-forwarded
+    /// prefix); one word evaluation covers a cell for all lanes.
+    pub work: u64,
+    /// Engine-level counters for the batched portion of the run.
+    pub engine: EngineTelemetry,
+    /// The golden checkpoint cycle the batch fast-forwarded from, if any.
+    pub resumed_from: Option<u64>,
+    /// Whether early stop truncated the batch's simulated tail.
     pub early_stopped: bool,
 }
 
@@ -249,6 +277,139 @@ impl<'a> Dut<'a> {
                 })
             }
         }
+    }
+
+    /// Runs up to [`LANES`]` - 1` faulty instances in one bit-parallel
+    /// sweep: lane 0 replays the golden run, lane `i + 1` carries
+    /// `faults[i]`, and the whole batch shares one netlist evaluation per
+    /// cycle.
+    ///
+    /// Per-lane observations are bit-identical to what a scalar
+    /// [`Dut::resume`] with the single fault would yield through a
+    /// golden-trace diff — same soft-error verdicts, same divergence
+    /// counts. Like [`Dut::resume`], the batch fast-forwards from the
+    /// latest golden checkpoint at or before the earliest fault cycle
+    /// (the checkpoints must come from a levelized golden run), and with
+    /// `early_stop` it terminates at the first checkpoint boundary past
+    /// the last fault cycle where *every* lane has re-converged with the
+    /// golden run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `faults` is empty or exceeds [`LANES`]` - 1`, when
+    /// `golden` does not cover `workload.run_cycles`, or if the golden
+    /// lane ever disagrees with the golden trace (an engine bug, never
+    /// silent data corruption).
+    pub fn run_batch(
+        &self,
+        workload: &Workload,
+        faults: &[Fault],
+        golden: &GoldenRun,
+        early_stop: bool,
+    ) -> Result<BatchOutcome, SsresfError> {
+        assert!(
+            (1..LANES).contains(&faults.len()),
+            "a batch carries 1..={} faults, got {}",
+            LANES - 1,
+            faults.len()
+        );
+        let golden_rows = &golden.outcome.trace.rows;
+        assert_eq!(
+            golden_rows.len(),
+            workload.run_cycles as usize,
+            "golden trace does not cover the workload"
+        );
+        let mut engine = BitParallelEngine::new(self.netlist, self.clock)?;
+
+        let first_fault = faults.iter().map(Fault::cycle).min().unwrap_or(0);
+        let resumed_from = match golden.nearest_checkpoint(first_fault) {
+            Some(start) => {
+                engine.restore(start.state());
+                Some(start.cycle)
+            }
+            None => {
+                self.setup(&mut engine, workload);
+                None
+            }
+        };
+        let resumed_at = engine.word_evals();
+        let telemetry_base = engine.telemetry();
+
+        let offset = if self.reset.is_some() {
+            workload.reset_cycles
+        } else {
+            0
+        };
+        for (i, fault) in faults.iter().enumerate() {
+            let shifted = match *fault {
+                Fault::Seu(f) => Fault::Seu(SeuFault {
+                    cycle: f.cycle + offset,
+                    ..f
+                }),
+                Fault::Set(f) => Fault::Set(SetFault {
+                    cycle: f.cycle + offset,
+                    ..f
+                }),
+            };
+            engine.schedule_fault_in_lane(i + 1, shifted);
+        }
+
+        let (outputs, _) = self.observed_outputs();
+        // Lanes carrying faults; avoids the undefined `1 << 64` for a full
+        // 63-fault batch.
+        let fault_mask = (1..=faults.len()).fold(0u64, |m, l| m | (1 << l));
+        let mut divergences = vec![0usize; faults.len()];
+        let last_fault = faults.iter().map(Fault::cycle).max().unwrap_or(0);
+        let mut early_stopped = false;
+        let start_cycle = resumed_from.unwrap_or(0);
+        for done in (start_cycle + 1)..=workload.run_cycles {
+            engine.step_cycle();
+            let row = &golden_rows[(done - 1) as usize];
+            for (j, &net) in outputs.iter().enumerate() {
+                // Lane 0 replays the golden run by determinism; verify it
+                // so a batch can never silently drift.
+                assert_eq!(
+                    engine.peek(net),
+                    row[j],
+                    "golden lane diverged from the golden trace at cycle {done}"
+                );
+                let mut lanes = engine.lanes_differing_from_golden(net) & fault_mask;
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros() as usize;
+                    divergences[lane - 1] += 1;
+                    lanes &= lanes - 1;
+                }
+            }
+            if early_stop && done > last_fault && engine.diverged_lanes() == 0 {
+                let converged = golden
+                    .checkpoint_at(done)
+                    .is_some_and(|reference| engine.snapshot().converged_with(reference.state()));
+                if converged {
+                    // Every lane equals the golden state, so the remaining
+                    // rows diverge nowhere: stop simulating.
+                    early_stopped = true;
+                    break;
+                }
+            }
+        }
+
+        Ok(BatchOutcome {
+            lanes: divergences
+                .iter()
+                .map(|&d| LaneOutcome {
+                    soft_error: d > 0,
+                    divergences: d,
+                })
+                .collect(),
+            work: engine.word_evals() - resumed_at,
+            engine: engine.telemetry().since(telemetry_base),
+            resumed_from,
+            early_stopped,
+        })
     }
 
     /// Reset sequence plus post-reset memory-image load — the state every

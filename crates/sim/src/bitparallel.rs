@@ -1,0 +1,928 @@
+//! Bit-parallel batched fault simulation — the PPSFP-style 64-lane kernel.
+//!
+//! Classic fault simulators get their orders-of-magnitude wins from packing
+//! many fault instances into machine words and evaluating the netlist once
+//! for all of them. [`BitParallelEngine`] does exactly that: lane 0 carries
+//! the golden (fault-free) run and lanes 1–63 carry up to 63 independent
+//! fault instances, all sharing one levelized evaluation sweep per cycle.
+//!
+//! # Two-plane encoding
+//!
+//! Each net (and each sequential cell's state) holds a [`LaneWord`]: a
+//! `val` plane and an `unk` plane of 64 bits each. Lane `i` decodes as
+//!
+//! | `val` bit | `unk` bit | value |
+//! |-----------|-----------|-------|
+//! | 0         | 0         | `0`   |
+//! | 1         | 0         | `1`   |
+//! | 0         | 1         | `X`   |
+//!
+//! `val & unk == 0` is a canonical invariant every operator preserves. `Z`
+//! collapses to `X` — gate inputs already treat them identically (see
+//! [`Logic::to_bool`]), campaign runs never drive `Z`, and [`Engine::poke`]
+//! rejects it outright, so the collapse is unobservable in batch mode.
+//!
+//! Every [`eval_comb`](crate::eval::eval_comb) kind has a word-level
+//! implementation ([`eval_comb_word`]) built from the Kleene operators on
+//! [`LaneWord`]; SEU flips and cycle-widened SET pulses become per-lane
+//! mask operations ([`LaneWord::disturb`]); soft-error detection is a
+//! per-lane divergence mask against lane 0
+//! ([`BitParallelEngine::lanes_differing_from_golden`]) — no per-lane
+//! traces are ever materialised.
+//!
+//! The engine mirrors [`LevelizedEngine`](crate::LevelizedEngine)
+//! cycle-for-cycle and lane-for-lane: a batched run is bit-identical to 63
+//! scalar levelized runs, which the conformance subsystem verifies
+//! differentially.
+
+use crate::engine::{Engine, EngineState, EngineTelemetry};
+use crate::inject::Fault;
+use crate::levelized::LevelizedState;
+use crate::value::Logic;
+use crate::SimError;
+use ssresf_netlist::flat::Driver;
+use ssresf_netlist::{CellId, CellKind, FlatNetlist, NetId};
+
+/// Lanes per word: lane 0 is the golden lane, lanes `1..LANES` carry
+/// fault instances.
+pub const LANES: usize = 64;
+
+/// Iteration bound for the asynchronous-control fixpoint (matches the
+/// levelized engine's bound).
+const ASYNC_FIXPOINT_LIMIT: usize = 16;
+
+/// Widest cell input list (`Dffre`: CLK, D, RSTN, EN).
+const MAX_INPUTS: usize = 4;
+
+/// 64 four-state logic values in two bit-planes (see the module docs for
+/// the encoding). All operators are lane-wise Kleene logic agreeing with
+/// the scalar [`Logic`] operators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneWord {
+    /// Defined-one plane.
+    pub val: u64,
+    /// Unknown plane (`X`).
+    pub unk: u64,
+}
+
+impl LaneWord {
+    /// All lanes `0`.
+    pub const ZERO: LaneWord = LaneWord { val: 0, unk: 0 };
+    /// All lanes `1`.
+    pub const ONE: LaneWord = LaneWord { val: !0, unk: 0 };
+    /// All lanes `X`.
+    pub const UNKNOWN: LaneWord = LaneWord { val: 0, unk: !0 };
+
+    /// Broadcasts one scalar value into every lane (`Z` collapses to `X`).
+    pub fn splat(v: Logic) -> LaneWord {
+        match v {
+            Logic::Zero => LaneWord::ZERO,
+            Logic::One => LaneWord::ONE,
+            Logic::X | Logic::Z => LaneWord::UNKNOWN,
+        }
+    }
+
+    /// Decodes one lane.
+    pub fn get(self, lane: usize) -> Logic {
+        debug_assert!(lane < LANES);
+        if (self.unk >> lane) & 1 == 1 {
+            Logic::X
+        } else if (self.val >> lane) & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Sets one lane (`Z` collapses to `X`).
+    pub fn set_lane(&mut self, lane: usize, v: Logic) {
+        debug_assert!(lane < LANES);
+        let bit = 1u64 << lane;
+        self.val &= !bit;
+        self.unk &= !bit;
+        match v {
+            Logic::Zero => {}
+            Logic::One => self.val |= bit,
+            Logic::X | Logic::Z => self.unk |= bit,
+        }
+    }
+
+    /// Lanes holding a defined `0`.
+    pub fn defined_zero(self) -> u64 {
+        !self.val & !self.unk
+    }
+
+    /// Lane-wise negation; unknowns stay unknown.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> LaneWord {
+        LaneWord {
+            val: self.defined_zero(),
+            unk: self.unk,
+        }
+    }
+
+    /// Lane-wise AND with dominance of `0`.
+    pub fn and(self, other: LaneWord) -> LaneWord {
+        let zero = self.defined_zero() | other.defined_zero();
+        let one = self.val & other.val;
+        LaneWord {
+            val: one,
+            unk: !zero & !one,
+        }
+    }
+
+    /// Lane-wise OR with dominance of `1`.
+    pub fn or(self, other: LaneWord) -> LaneWord {
+        let one = self.val | other.val;
+        let zero = self.defined_zero() & other.defined_zero();
+        LaneWord {
+            val: one,
+            unk: !one & !zero,
+        }
+    }
+
+    /// Lane-wise XOR; any unknown input lane yields unknown.
+    pub fn xor(self, other: LaneWord) -> LaneWord {
+        let unk = self.unk | other.unk;
+        LaneWord {
+            val: (self.val ^ other.val) & !unk,
+            unk,
+        }
+    }
+
+    /// Multiplexer select (`self` is the select): `s ? d1 : d0`. An unknown
+    /// select lane passes the common value when `d0`/`d1` agree and are
+    /// defined, otherwise `X` — the word form of [`Logic::mux`].
+    pub fn mux(self, d0: LaneWord, d1: LaneWord) -> LaneWord {
+        let s1 = self.val;
+        let s0 = self.defined_zero();
+        let su = self.unk;
+        let agree = !d0.unk & !d1.unk & !(d0.val ^ d1.val);
+        LaneWord {
+            val: (s0 & d0.val) | (s1 & d1.val) | (su & agree & d0.val),
+            unk: (s0 & d0.unk) | (s1 & d1.unk) | (su & !agree),
+        }
+    }
+
+    /// Strict-X control select (`self` is the control): `c ? on_one :
+    /// on_zero`, with an unknown control lane yielding `X` regardless of the
+    /// data — the hold/capture rule of the sequential
+    /// [`next_state`](crate::eval::next_state) match arms, which (unlike
+    /// [`mux`](LaneWord::mux)) never passes agreeing data through an `X`
+    /// control.
+    pub fn select(self, on_one: LaneWord, on_zero: LaneWord) -> LaneWord {
+        let c1 = self.val;
+        let c0 = self.defined_zero();
+        LaneWord {
+            val: (c1 & on_one.val) | (c0 & on_zero.val),
+            unk: (c1 & on_one.unk) | (c0 & on_zero.unk) | self.unk,
+        }
+    }
+
+    /// Applies the single-event disturbance rule to the lanes in `lanes`:
+    /// defined values invert, undefined lanes go to a defined `1` — the
+    /// word form of [`disturb`](crate::eval::disturb).
+    pub fn disturb(self, lanes: u64) -> LaneWord {
+        LaneWord {
+            val: (self.val & !lanes) | (lanes & (!self.val | self.unk)),
+            unk: self.unk & !lanes,
+        }
+    }
+
+    /// Forces the lanes in `lanes` to a defined `0` (async-reset override).
+    pub fn force_zero(self, lanes: u64) -> LaneWord {
+        LaneWord {
+            val: self.val & !lanes,
+            unk: self.unk & !lanes,
+        }
+    }
+
+    /// Lanes whose decoded value differs between `self` and `other`.
+    pub fn diff(self, other: LaneWord) -> u64 {
+        (self.val ^ other.val) | (self.unk ^ other.unk)
+    }
+}
+
+/// Word-level [`eval_comb`](crate::eval::eval_comb): evaluates a
+/// combinational cell for all 64 lanes at once.
+///
+/// # Panics
+///
+/// Panics if `kind` is sequential or `inputs.len()` does not match the
+/// kind's arity; both indicate an engine bug, not user error.
+pub fn eval_comb_word(kind: CellKind, inputs: &[LaneWord]) -> LaneWord {
+    assert!(
+        kind.is_combinational(),
+        "eval_comb_word called on sequential cell {kind}"
+    );
+    assert_eq!(inputs.len(), kind.num_inputs(), "arity mismatch for {kind}");
+    match kind {
+        CellKind::Tie0 => LaneWord::ZERO,
+        CellKind::Tie1 => LaneWord::ONE,
+        // Scalar Buf maps Z to X; Z is already collapsed by the encoding,
+        // so the word form is the identity.
+        CellKind::Buf => inputs[0],
+        CellKind::Inv => inputs[0].not(),
+        CellKind::And2 => inputs[0].and(inputs[1]),
+        CellKind::Or2 => inputs[0].or(inputs[1]),
+        CellKind::Nand2 => inputs[0].and(inputs[1]).not(),
+        CellKind::Nor2 => inputs[0].or(inputs[1]).not(),
+        CellKind::Xor2 => inputs[0].xor(inputs[1]),
+        CellKind::Xnor2 => inputs[0].xor(inputs[1]).not(),
+        CellKind::And3 => inputs[0].and(inputs[1]).and(inputs[2]),
+        CellKind::Or3 => inputs[0].or(inputs[1]).or(inputs[2]),
+        CellKind::Nand3 => inputs[0].and(inputs[1]).and(inputs[2]).not(),
+        CellKind::Nor3 => inputs[0].or(inputs[1]).or(inputs[2]).not(),
+        CellKind::Mux2 => inputs[2].mux(inputs[0], inputs[1]),
+        CellKind::Aoi21 => inputs[0].and(inputs[1]).or(inputs[2]).not(),
+        CellKind::Oai21 => inputs[0].or(inputs[1]).and(inputs[2]).not(),
+        _ => unreachable!("sequential kinds rejected above"),
+    }
+}
+
+/// Lanes where an asynchronous control forces the cell's state to `0` —
+/// the word form of [`async_override`](crate::eval::async_override).
+pub fn async_override_zero_lanes(kind: CellKind, inputs: &[LaneWord]) -> u64 {
+    match kind {
+        CellKind::Dffr | CellKind::Dffre => inputs[2].defined_zero(),
+        _ => 0,
+    }
+}
+
+/// Word-level [`next_state`](crate::eval::next_state): the state a
+/// sequential cell captures at a rising edge, for all 64 lanes at once.
+///
+/// Hold paths return the encoded state, so a scalar `Z` state decodes as
+/// `X` (the collapse is unobservable in engine runs, which never hold `Z`).
+///
+/// # Panics
+///
+/// Panics if `kind` is combinational.
+pub fn next_state_word(kind: CellKind, inputs: &[LaneWord], state: LaneWord) -> LaneWord {
+    assert!(kind.is_sequential(), "next_state_word called on {kind}");
+    let captured = match kind {
+        CellKind::Dff | CellKind::Dffr => inputs[1],
+        CellKind::Dffe => inputs[2].select(inputs[1], state),
+        CellKind::Dffre => inputs[3].select(inputs[1], state),
+        CellKind::Latch => inputs[0].select(inputs[1], state),
+        CellKind::SramBit | CellKind::DramBit | CellKind::RadHardBit => {
+            inputs[1].select(inputs[2], state)
+        }
+        _ => unreachable!("combinational kinds rejected above"),
+    };
+    // The async override dominates the captured value, exactly as the
+    // scalar rule checks it first.
+    captured.force_zero(async_override_zero_lanes(kind, inputs))
+}
+
+/// Broadcasts a word's lane-0 bit across all 64 lanes.
+fn bcast(bit: u64) -> u64 {
+    (bit & 1).wrapping_neg()
+}
+
+/// Lanes (excluding lane 0) whose decoded value differs from lane 0.
+fn diff_from_lane0(w: LaneWord) -> u64 {
+    ((w.val ^ bcast(w.val)) | (w.unk ^ bcast(w.unk))) & !1
+}
+
+/// The 64-lane bit-parallel levelized simulator.
+///
+/// Implements [`Engine`] with broadcast semantics: [`poke`](Engine::poke),
+/// [`set_cell_state`](Engine::set_cell_state), [`restore`](Engine::restore)
+/// and [`schedule_fault`](Engine::schedule_fault) act on every lane, while
+/// [`peek`](Engine::peek) and [`cell_state`](Engine::cell_state) read the
+/// golden lane 0. Per-lane faults go through
+/// [`schedule_fault_in_lane`](BitParallelEngine::schedule_fault_in_lane),
+/// and per-lane observation through
+/// [`lanes_differing_from_golden`](BitParallelEngine::lanes_differing_from_golden)
+/// and [`peek_lane`](BitParallelEngine::peek_lane).
+///
+/// Snapshots are [`EngineState::Levelized`] of the golden lane, so golden
+/// checkpoints taken by a scalar [`LevelizedEngine`](crate::LevelizedEngine)
+/// broadcast-restore into a batch and vice versa.
+#[derive(Debug)]
+pub struct BitParallelEngine<'a> {
+    netlist: &'a FlatNetlist,
+    clock: NetId,
+    order: Vec<CellId>,
+    nets: Vec<LaneWord>,
+    state: Vec<LaneWord>,
+    /// Per-net lane mask of active cycle-wide SET disturbances.
+    inverted: Vec<u64>,
+    /// Faults applied to every lane (from broadcast scheduling / restore).
+    faults: Vec<Fault>,
+    /// Faults applied to a single lane each.
+    lane_faults: Vec<(usize, Fault)>,
+    cycle: u64,
+    /// Golden-lane toggle activity (matches the scalar engine's counter).
+    activity: Vec<u64>,
+    /// Word evaluations performed (one covers a cell for all 64 lanes).
+    word_evals: u64,
+    /// Full evaluation sweeps performed.
+    sweeps: u64,
+    /// Snapshot restores performed.
+    restores: u64,
+}
+
+impl<'a> BitParallelEngine<'a> {
+    /// Creates an engine for `netlist` clocked by the primary input
+    /// `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] for combinational loops and
+    /// [`SimError::NotAnInput`] when `clock` is not a primary input.
+    pub fn new(netlist: &'a FlatNetlist, clock: NetId) -> Result<Self, SimError> {
+        let lv = netlist.levelize().map_err(SimError::Netlist)?;
+        if netlist.net(clock).driver != Some(Driver::PrimaryInput) {
+            return Err(SimError::NotAnInput(netlist.net(clock).name.clone()));
+        }
+        let mut order = lv.order;
+        let depth = lv.cell_depth;
+        order.sort_by_key(|c| (depth[c.index()], c.0));
+        let mut engine = BitParallelEngine {
+            netlist,
+            clock,
+            order,
+            nets: vec![LaneWord::UNKNOWN; netlist.nets().len()],
+            state: vec![LaneWord::UNKNOWN; netlist.cells().len()],
+            inverted: vec![0; netlist.nets().len()],
+            faults: Vec::new(),
+            lane_faults: Vec::new(),
+            cycle: 0,
+            activity: vec![0; netlist.nets().len()],
+            word_evals: 0,
+            sweeps: 0,
+            restores: 0,
+        };
+        engine.nets[clock.index()] = LaneWord::ZERO;
+        engine.propagate();
+        Ok(engine)
+    }
+
+    /// Word evaluations performed so far (the batch work proxy: one word
+    /// evaluation covers a cell for all 64 lanes).
+    pub fn word_evals(&self) -> u64 {
+        self.word_evals
+    }
+
+    /// Schedules a fault that fires in `lane` only (1–63; lane 0 stays
+    /// golden).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is 0 (the golden lane) or ≥ [`LANES`].
+    pub fn schedule_fault_in_lane(&mut self, lane: usize, fault: Fault) {
+        assert!(
+            (1..LANES).contains(&lane),
+            "lane {lane} outside 1..{LANES} (lane 0 is the golden lane)"
+        );
+        self.lane_faults.push((lane, fault));
+    }
+
+    /// Lanes (excluding lane 0) whose current value of `net` differs from
+    /// the golden lane — the soft-error detector, evaluated without
+    /// materialising per-lane traces.
+    pub fn lanes_differing_from_golden(&self, net: NetId) -> u64 {
+        diff_from_lane0(self.nets[net.index()])
+    }
+
+    /// Lanes (excluding lane 0) that differ from the golden lane in any
+    /// net value, any sequential state, any active SET disturbance, or
+    /// that still have a pending lane fault. A zero result means every
+    /// fault lane has re-converged with the golden run — the batch
+    /// early-stop condition.
+    pub fn diverged_lanes(&self) -> u64 {
+        let mut d = 0u64;
+        for &w in &self.nets {
+            d |= diff_from_lane0(w);
+        }
+        for &w in &self.state {
+            d |= diff_from_lane0(w);
+        }
+        for &m in &self.inverted {
+            d |= (m ^ bcast(m)) & !1;
+        }
+        for &(lane, _) in &self.lane_faults {
+            d |= 1 << lane;
+        }
+        d
+    }
+
+    /// Current value of `net` in one lane.
+    pub fn peek_lane(&self, net: NetId, lane: usize) -> Logic {
+        self.nets[net.index()].get(lane)
+    }
+
+    /// Stored state of a sequential cell in one lane.
+    pub fn cell_state_lane(&self, cell: CellId, lane: usize) -> Logic {
+        self.state[cell.index()].get(lane)
+    }
+
+    /// Samples the current values of `nets` in one lane.
+    pub fn sample_lane(&self, nets: &[NetId], lane: usize) -> Vec<Logic> {
+        nets.iter().map(|&n| self.peek_lane(n, lane)).collect()
+    }
+
+    fn set_net(&mut self, net: NetId, w: LaneWord) {
+        // Golden-lane activity mirrors the scalar engine's toggle counter.
+        if self.nets[net.index()].diff(w) & 1 != 0 {
+            self.activity[net.index()] += 1;
+        }
+        self.nets[net.index()] = w;
+    }
+
+    fn input_words(&self, cell: CellId, buf: &mut [LaneWord; MAX_INPUTS]) -> usize {
+        let inputs = &self.netlist.cell(cell).inputs;
+        for (b, n) in buf.iter_mut().zip(inputs.iter()) {
+            *b = self.nets[n.index()];
+        }
+        inputs.len()
+    }
+
+    /// One full evaluation sweep of the combinational netlist, all lanes
+    /// at once.
+    fn propagate(&mut self) {
+        self.sweeps += 1;
+        for i in 0..self.order.len() {
+            let cell = self.order[i];
+            let kind = self.netlist.cell(cell).kind;
+            let mut buf = [LaneWord::ZERO; MAX_INPUTS];
+            let n = self.input_words(cell, &mut buf);
+            let mut out = eval_comb_word(kind, &buf[..n]);
+            let net = self.netlist.cell(cell).output;
+            let inv = self.inverted[net.index()];
+            if inv != 0 {
+                out = out.disturb(inv);
+            }
+            self.set_net(net, out);
+            self.word_evals += 1;
+        }
+    }
+
+    /// Applies asynchronous controls (e.g. active-low reset) until stable,
+    /// per lane.
+    fn async_fixpoint(&mut self) {
+        for _ in 0..ASYNC_FIXPOINT_LIMIT {
+            let mut changed = false;
+            for (id, cell) in self.netlist.iter_cells() {
+                if !cell.kind.is_sequential() {
+                    continue;
+                }
+                let mut buf = [LaneWord::ZERO; MAX_INPUTS];
+                let n = self.input_words(id, &mut buf);
+                let forced = async_override_zero_lanes(cell.kind, &buf[..n]);
+                // Only lanes whose state actually changes update the Q net,
+                // matching the scalar `state != forced` guard.
+                let st = self.state[id.index()];
+                let diff = forced & (st.val | st.unk);
+                if diff != 0 {
+                    self.state[id.index()] = st.force_zero(diff);
+                    let q = cell.output;
+                    let cur = self.nets[q.index()];
+                    self.set_net(q, cur.force_zero(diff));
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+            self.propagate();
+        }
+    }
+
+    fn apply_fault(&mut self, fault: Fault, lanes: u64) {
+        match fault {
+            Fault::Seu(f) => {
+                self.state[f.cell.index()] = self.state[f.cell.index()].disturb(lanes);
+            }
+            Fault::Set(f) => {
+                self.inverted[f.net.index()] |= lanes;
+            }
+        }
+    }
+}
+
+impl Engine for BitParallelEngine<'_> {
+    fn name(&self) -> &'static str {
+        "bit-parallel"
+    }
+
+    fn netlist(&self) -> &FlatNetlist {
+        self.netlist
+    }
+
+    fn poke(&mut self, net: NetId, value: Logic) {
+        assert_ne!(net, self.clock, "the clock is driven by the engine");
+        assert_eq!(
+            self.netlist.net(net).driver,
+            Some(Driver::PrimaryInput),
+            "poke target `{}` is not a primary input",
+            self.netlist.net(net).name
+        );
+        assert_ne!(
+            value,
+            Logic::Z,
+            "the bit-parallel engine cannot represent Z (poke X instead)"
+        );
+        self.set_net(net, LaneWord::splat(value));
+    }
+
+    fn peek(&self, net: NetId) -> Logic {
+        self.nets[net.index()].get(0)
+    }
+
+    fn set_cell_state(&mut self, cell: CellId, value: Logic) {
+        assert!(
+            self.netlist.cell(cell).kind.is_sequential(),
+            "cell `{}` holds no state",
+            self.netlist.cell_full_name(cell)
+        );
+        assert_ne!(
+            value,
+            Logic::Z,
+            "the bit-parallel engine cannot represent Z (set X instead)"
+        );
+        self.state[cell.index()] = LaneWord::splat(value);
+        let q = self.netlist.cell(cell).output;
+        self.set_net(q, LaneWord::splat(value));
+        self.propagate();
+    }
+
+    fn cell_state(&self, cell: CellId) -> Logic {
+        self.state[cell.index()].get(0)
+    }
+
+    fn schedule_fault(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Snapshots the golden lane as a levelized-engine state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any lane has diverged from lane 0 or a lane fault is
+    /// pending — a diverged batch has no single-lane representation.
+    fn snapshot(&self) -> EngineState {
+        assert_eq!(
+            self.diverged_lanes(),
+            0,
+            "cannot snapshot a bit-parallel engine whose lanes have diverged"
+        );
+        EngineState::Levelized(LevelizedState::from_parts(
+            self.nets.iter().map(|w| w.get(0)).collect(),
+            self.state.iter().map(|w| w.get(0)).collect(),
+            self.inverted.iter().map(|&m| m & 1 == 1).collect(),
+            self.faults.clone(),
+            self.cycle,
+            self.activity.clone(),
+            self.word_evals,
+        ))
+    }
+
+    /// Broadcasts a levelized snapshot (e.g. a golden-run checkpoint taken
+    /// by the scalar engine) into every lane.
+    fn restore(&mut self, state: &EngineState) {
+        let EngineState::Levelized(s) = state else {
+            panic!("bit-parallel engine cannot restore a non-levelized snapshot");
+        };
+        assert_eq!(
+            s.values().len(),
+            self.netlist.nets().len(),
+            "snapshot was taken on a different netlist"
+        );
+        for (w, &v) in self.nets.iter_mut().zip(s.values()) {
+            assert_ne!(v, Logic::Z, "snapshot holds a Z the lanes cannot represent");
+            *w = LaneWord::splat(v);
+        }
+        for (w, &v) in self.state.iter_mut().zip(s.state()) {
+            assert_ne!(v, Logic::Z, "snapshot holds a Z the lanes cannot represent");
+            *w = LaneWord::splat(v);
+        }
+        for (m, &inv) in self.inverted.iter_mut().zip(s.inverted()) {
+            *m = if inv { !0 } else { 0 };
+        }
+        self.faults = s.faults().to_vec();
+        self.lane_faults.clear();
+        self.cycle = s.cycle();
+        self.activity = s.activity().to_vec();
+        self.restores += 1;
+    }
+
+    fn step_cycle(&mut self) {
+        // 1. Rising edge: every sequential cell captures from the settled
+        //    values, all lanes at once (see LevelizedEngine::step_cycle for
+        //    the phase rationale — the two must stay in lockstep).
+        let mut captured: Vec<(CellId, LaneWord)> = Vec::new();
+        for (id, cell) in self.netlist.iter_cells() {
+            if cell.kind.is_sequential() {
+                let mut buf = [LaneWord::ZERO; MAX_INPUTS];
+                let n = self.input_words(id, &mut buf);
+                let ns = next_state_word(cell.kind, &buf[..n], self.state[id.index()]);
+                captured.push((id, ns));
+            }
+        }
+        for (id, ns) in captured {
+            self.state[id.index()] = ns;
+        }
+
+        // 2. Faults for this cycle: broadcast faults hit every lane, lane
+        //    faults their single lane. SEUs flip post-capture state; SETs
+        //    force their net for the remainder of the cycle.
+        let current = self.cycle;
+        let mut remaining = Vec::new();
+        for fault in std::mem::take(&mut self.faults) {
+            if fault.cycle() != current {
+                remaining.push(fault);
+                continue;
+            }
+            self.apply_fault(fault, !0);
+        }
+        self.faults = remaining;
+        let mut lane_remaining = Vec::new();
+        for (lane, fault) in std::mem::take(&mut self.lane_faults) {
+            if fault.cycle() != current {
+                lane_remaining.push((lane, fault));
+                continue;
+            }
+            self.apply_fault(fault, 1u64 << lane);
+        }
+        self.lane_faults = lane_remaining;
+
+        // 3. Drive Q outputs (a SET on a Q net disturbs the driven lanes
+        //    without corrupting the stored state) and settle the logic.
+        for (id, cell) in self.netlist.iter_cells() {
+            if cell.kind.is_sequential() {
+                let q = cell.output;
+                let mut v = self.state[id.index()];
+                let inv = self.inverted[q.index()];
+                if inv != 0 {
+                    v = v.disturb(inv);
+                }
+                self.set_net(q, v);
+            }
+        }
+        // SETs on input-driven nets (no combinational driver).
+        for i in 0..self.inverted.len() {
+            let inv = self.inverted[i];
+            if inv != 0 {
+                let net = NetId(i as u32);
+                if matches!(self.netlist.net(net).driver, Some(Driver::PrimaryInput)) {
+                    let v = self.nets[i].disturb(inv);
+                    self.set_net(net, v);
+                }
+            }
+        }
+        self.propagate();
+        self.async_fixpoint();
+
+        // 4. Release this cycle's SET disturbances.
+        for m in self.inverted.iter_mut() {
+            *m = 0;
+        }
+        self.cycle += 1;
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn activity(&self) -> &[u64] {
+        &self.activity
+    }
+
+    fn telemetry(&self) -> EngineTelemetry {
+        EngineTelemetry {
+            events_processed: 0,
+            cells_evaluated: 0,
+            delta_cycles: self.sweeps,
+            wheel_advances: 0,
+            restores: self.restores,
+            word_evals: self.word_evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_comb, next_state};
+    use crate::value::ALL_LOGIC;
+    use ssresf_netlist::cell::ALL_CELL_KINDS;
+
+    /// Scalar results can carry `Z` through hold paths; the lanes collapse
+    /// it to `X` (identically treated by every operator).
+    fn z_to_x(v: Logic) -> Logic {
+        if v == Logic::Z {
+            Logic::X
+        } else {
+            v
+        }
+    }
+
+    /// All `arity`-long combinations over the 4-state domain.
+    fn combos(arity: usize) -> Vec<Vec<Logic>> {
+        let mut out = vec![vec![]];
+        for _ in 0..arity {
+            out = out
+                .into_iter()
+                .flat_map(|c: Vec<Logic>| {
+                    ALL_LOGIC.iter().map(move |&v| {
+                        let mut c = c.clone();
+                        c.push(v);
+                        c
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    /// Packs `rows[lane][pin]` into per-pin words, cycling rows so every
+    /// lane is populated.
+    fn pack(rows: &[Vec<Logic>], arity: usize) -> Vec<LaneWord> {
+        let mut words = vec![LaneWord::ZERO; arity];
+        for lane in 0..LANES {
+            let row = &rows[lane % rows.len()];
+            for (pin, w) in words.iter_mut().enumerate() {
+                w.set_lane(lane, row[pin]);
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn splat_get_set_roundtrip() {
+        for v in ALL_LOGIC {
+            let w = LaneWord::splat(v);
+            assert_eq!(w.val & w.unk, 0, "canonical invariant");
+            for lane in [0, 1, 31, 63] {
+                assert_eq!(w.get(lane), z_to_x(v));
+            }
+        }
+        let mut w = LaneWord::ZERO;
+        w.set_lane(5, Logic::One);
+        w.set_lane(6, Logic::X);
+        assert_eq!(w.get(5), Logic::One);
+        assert_eq!(w.get(6), Logic::X);
+        assert_eq!(w.get(7), Logic::Zero);
+        w.set_lane(5, Logic::Zero);
+        assert_eq!(w.get(5), Logic::Zero);
+    }
+
+    #[test]
+    fn binary_operators_match_scalar_on_all_pairs() {
+        let rows = combos(2);
+        let words = pack(&rows, 2);
+        let (a, b) = (words[0], words[1]);
+        for (op_word, op_scalar) in [
+            (a.and(b), Logic::and as fn(Logic, Logic) -> Logic),
+            (a.or(b), Logic::or),
+            (a.xor(b), Logic::xor),
+        ] {
+            assert_eq!(op_word.val & op_word.unk, 0, "canonical invariant");
+            for lane in 0..LANES {
+                let row = &rows[lane % rows.len()];
+                assert_eq!(
+                    op_word.get(lane),
+                    z_to_x(op_scalar(row[0], row[1])),
+                    "lane {lane}: {} op {}",
+                    row[0],
+                    row[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn not_mux_select_disturb_match_scalar() {
+        let rows1 = combos(1);
+        let w = pack(&rows1, 1)[0];
+        let n = w.not();
+        assert_eq!(n.val & n.unk, 0);
+        for lane in 0..LANES {
+            let v = rows1[lane % rows1.len()][0];
+            assert_eq!(n.get(lane), z_to_x(v.not()));
+        }
+
+        let rows3 = combos(3);
+        let words = pack(&rows3, 3);
+        let (d0, d1, s) = (words[0], words[1], words[2]);
+        let m = s.mux(d0, d1);
+        assert_eq!(m.val & m.unk, 0);
+        let sel = s.select(d1, d0);
+        assert_eq!(sel.val & sel.unk, 0);
+        for lane in 0..LANES {
+            let row = &rows3[lane % rows3.len()];
+            assert_eq!(
+                m.get(lane),
+                z_to_x(row[2].mux(row[0], row[1])),
+                "mux lane {lane}: d0={} d1={} s={}",
+                row[0],
+                row[1],
+                row[2]
+            );
+            // select is the strict-X enable rule from next_state.
+            let expected = match row[2] {
+                Logic::One => z_to_x(row[1]),
+                Logic::Zero => z_to_x(row[0]),
+                _ => Logic::X,
+            };
+            assert_eq!(sel.get(lane), expected, "select lane {lane}");
+        }
+
+        // disturb applies the scalar rule only on masked lanes.
+        let mask = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let d = w.disturb(mask);
+        assert_eq!(d.val & d.unk, 0);
+        for lane in 0..LANES {
+            let v = rows1[lane % rows1.len()][0];
+            let expected = if mask >> lane & 1 == 1 {
+                crate::eval::disturb(v)
+            } else {
+                z_to_x(v)
+            };
+            assert_eq!(d.get(lane), expected, "disturb lane {lane}");
+        }
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_for_every_comb_kind_on_all_lanes() {
+        for &kind in ALL_CELL_KINDS {
+            if !kind.is_combinational() {
+                continue;
+            }
+            let arity = kind.num_inputs();
+            let rows = combos(arity);
+            let words = pack(&rows, arity);
+            let out = eval_comb_word(kind, &words);
+            assert_eq!(out.val & out.unk, 0, "{kind}: canonical invariant");
+            for lane in 0..LANES {
+                let row = &rows[lane % rows.len().max(1)];
+                assert_eq!(
+                    out.get(lane),
+                    z_to_x(eval_comb(kind, row)),
+                    "{kind} lane {lane} inputs {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_next_state_matches_scalar_for_every_seq_kind_on_all_lanes() {
+        for &kind in ALL_CELL_KINDS {
+            if !kind.is_sequential() {
+                continue;
+            }
+            let arity = kind.num_inputs();
+            // Inputs plus the held state, exhaustive over the 4-state
+            // domain, in 64-lane chunks.
+            let rows = combos(arity + 1);
+            for chunk in rows.chunks(LANES) {
+                let inputs: Vec<Vec<Logic>> = chunk.iter().map(|r| r[..arity].to_vec()).collect();
+                let words = pack(&inputs, arity);
+                let mut state = LaneWord::ZERO;
+                for lane in 0..LANES {
+                    state.set_lane(lane, chunk[lane % chunk.len()][arity]);
+                }
+                let out = next_state_word(kind, &words, state);
+                assert_eq!(out.val & out.unk, 0, "{kind}: canonical invariant");
+                for lane in 0..LANES {
+                    let row = &chunk[lane % chunk.len()];
+                    assert_eq!(
+                        out.get(lane),
+                        z_to_x(next_state(kind, &row[..arity], row[arity])),
+                        "{kind} lane {lane} inputs {:?} state {}",
+                        &row[..arity],
+                        row[arity]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "golden lane")]
+    fn lane_zero_fault_is_rejected() {
+        use ssresf_netlist::{CellKind, Design, ModuleBuilder, PortDir};
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("t");
+        let clk = mb.port("clk", PortDir::Input);
+        let d = mb.port("d", PortDir::Input);
+        let q = mb.port("q", PortDir::Output);
+        mb.cell("u_ff", CellKind::Dff, &[clk, d], &[q]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        let flat = design.flatten().unwrap();
+        let clk = flat.net_by_name("clk").unwrap();
+        let mut engine = BitParallelEngine::new(&flat, clk).unwrap();
+        engine.schedule_fault_in_lane(
+            0,
+            Fault::Seu(crate::inject::SeuFault {
+                cell: flat.cell_by_name("u_ff").unwrap(),
+                cycle: 0,
+                offset: 0.0,
+            }),
+        );
+    }
+}

@@ -71,6 +71,11 @@ pub struct EngineTelemetry {
     pub wheel_advances: u64,
     /// Snapshot restores performed on this engine.
     pub restores: u64,
+    /// 64-lane word evaluations performed by a bit-parallel engine. One
+    /// word evaluation covers a cell for every lane at once, so for batched
+    /// runs this is the work proxy comparable against a scalar engine's
+    /// `cells_evaluated`.
+    pub word_evals: u64,
 }
 
 impl EngineTelemetry {
@@ -81,6 +86,7 @@ impl EngineTelemetry {
         self.delta_cycles += other.delta_cycles;
         self.wheel_advances += other.wheel_advances;
         self.restores += other.restores;
+        self.word_evals += other.word_evals;
     }
 
     /// Fieldwise saturating difference (`self - earlier`), for isolating
@@ -94,6 +100,7 @@ impl EngineTelemetry {
             delta_cycles: self.delta_cycles.saturating_sub(earlier.delta_cycles),
             wheel_advances: self.wheel_advances.saturating_sub(earlier.wheel_advances),
             restores: self.restores.saturating_sub(earlier.restores),
+            word_evals: self.word_evals.saturating_sub(earlier.word_evals),
         }
     }
 }

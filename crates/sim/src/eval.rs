@@ -38,6 +38,23 @@ pub fn eval_comb(kind: CellKind, inputs: &[Logic]) -> Logic {
     }
 }
 
+/// The value a single-event disturbance drives a node to: defined values
+/// invert; undefined nodes are disturbed to a defined high (a particle
+/// strike deposits charge, so even an `X`/`Z` node ends up at a definite
+/// level).
+///
+/// Shared by every engine: the levelized and oracle engines apply it to
+/// cycle-widened SET pulses and SEU state flips, the event-driven engine to
+/// `ForceInvert`/`Flip` events, and the bit-parallel engine in word form
+/// ([`LaneWord::disturb`](crate::bitparallel::LaneWord::disturb)).
+pub fn disturb(v: Logic) -> Logic {
+    match v {
+        Logic::Zero => Logic::One,
+        Logic::One => Logic::Zero,
+        Logic::X | Logic::Z => Logic::One,
+    }
+}
+
 /// A deliberately wrong gate-evaluation rule, used by the conformance
 /// subsystem's mutation smoke tests: an engine built with a mutant must be
 /// caught by the differential runner and shrunk to a tiny counterexample.
@@ -283,5 +300,17 @@ mod tests {
     #[should_panic(expected = "sequential")]
     fn eval_comb_rejects_sequential() {
         let _ = eval_comb(CellKind::Dff, &[L0, L0]);
+    }
+
+    #[test]
+    fn disturb_covers_all_four_values() {
+        assert_eq!(disturb(Logic::Zero), Logic::One);
+        assert_eq!(disturb(Logic::One), Logic::Zero);
+        assert_eq!(disturb(Logic::X), Logic::One);
+        assert_eq!(disturb(Logic::Z), Logic::One);
+        // A disturbance always yields a defined level.
+        for v in ALL_LOGIC {
+            assert!(disturb(v).is_defined());
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! distinguishes SET simulation from cycle-accurate approximations.
 
 use crate::engine::{Engine, EngineState, EngineTelemetry};
-use crate::eval::{async_override, eval_comb, next_state};
+use crate::eval::{async_override, disturb, eval_comb, next_state};
 use crate::inject::Fault;
 use crate::trace::{WaveSignal, WaveTrace};
 use crate::value::Logic;
@@ -345,12 +345,7 @@ impl<'a> EventDrivenEngine<'a> {
                 self.apply_net(net, out, true);
             }
             Action::ForceInvert(net) => {
-                let disturbed = match self.values[net.index()] {
-                    Logic::Zero => Logic::One,
-                    Logic::One => Logic::Zero,
-                    // An undefined node is disturbed to a defined high.
-                    Logic::X | Logic::Z => Logic::One,
-                };
+                let disturbed = disturb(self.values[net.index()]);
                 self.forced[net.index()] = Some(disturbed);
                 self.apply_net(net, disturbed, false);
             }
@@ -374,12 +369,7 @@ impl<'a> EventDrivenEngine<'a> {
                 }
             }
             Action::Flip(cell) => {
-                let flipped = match self.state[cell.index()] {
-                    Logic::Zero => Logic::One,
-                    Logic::One => Logic::Zero,
-                    // An upset deposits charge: undefined state becomes high.
-                    Logic::X | Logic::Z => Logic::One,
-                };
+                let flipped = disturb(self.state[cell.index()]);
                 self.state[cell.index()] = flipped;
                 let q = self.netlist.cell(cell).output;
                 self.apply_net(q, flipped, true);
@@ -558,6 +548,7 @@ impl Engine for EventDrivenEngine<'_> {
             delta_cycles: self.delta_cycles,
             wheel_advances: self.wheel_advances,
             restores: self.restores,
+            word_evals: 0,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! approximation); golden runs match the event-driven engine exactly.
 
 use crate::engine::{Engine, EngineState, EngineTelemetry};
-use crate::eval::{async_override, eval_comb, next_state};
+use crate::eval::{async_override, disturb, eval_comb, next_state};
 use crate::inject::Fault;
 use crate::value::Logic;
 use crate::SimError;
@@ -16,16 +16,6 @@ use ssresf_netlist::{CellId, FlatNetlist, NetId};
 
 /// Iteration bound for the asynchronous-control fixpoint.
 const ASYNC_FIXPOINT_LIMIT: usize = 16;
-
-/// The value a single-event transient drives a node to: defined values
-/// invert; undefined nodes are disturbed to a defined high.
-fn disturb(v: Logic) -> Logic {
-    match v {
-        Logic::Zero => Logic::One,
-        Logic::One => Logic::Zero,
-        Logic::X | Logic::Z => Logic::One,
-    }
-}
 
 /// Snapshot of a [`LevelizedEngine`]'s dynamic state. The levelized engine
 /// is memoryless between cycles apart from net values, sequential state and
@@ -53,6 +43,51 @@ impl LevelizedState {
             && self.state == other.state
             && self.inverted == other.inverted
             && self.faults == other.faults
+    }
+
+    // Component accessors and a constructor for the bit-parallel engine,
+    // which broadcasts a levelized snapshot across its lanes and emits one
+    // from its golden lane (the two engines share cycle-resolution
+    // semantics, so their snapshots are interchangeable).
+
+    pub(crate) fn values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    pub(crate) fn state(&self) -> &[Logic] {
+        &self.state
+    }
+
+    pub(crate) fn inverted(&self) -> &[bool] {
+        &self.inverted
+    }
+
+    pub(crate) fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    pub(crate) fn activity(&self) -> &[u64] {
+        &self.activity
+    }
+
+    pub(crate) fn from_parts(
+        values: Vec<Logic>,
+        state: Vec<Logic>,
+        inverted: Vec<bool>,
+        faults: Vec<Fault>,
+        cycle: u64,
+        activity: Vec<u64>,
+        evals: u64,
+    ) -> Self {
+        LevelizedState {
+            values,
+            state,
+            inverted,
+            faults,
+            cycle,
+            activity,
+            evals,
+        }
     }
 }
 
@@ -284,12 +319,7 @@ impl Engine for LevelizedEngine<'_> {
             }
             match fault {
                 Fault::Seu(f) => {
-                    let flipped = match self.state[f.cell.index()] {
-                        Logic::Zero => Logic::One,
-                        Logic::One => Logic::Zero,
-                        Logic::X | Logic::Z => Logic::One,
-                    };
-                    self.state[f.cell.index()] = flipped;
+                    self.state[f.cell.index()] = disturb(self.state[f.cell.index()]);
                 }
                 Fault::Set(f) => {
                     self.inverted[f.net.index()] = true;
@@ -347,6 +377,7 @@ impl Engine for LevelizedEngine<'_> {
             delta_cycles: self.sweeps,
             wheel_advances: 0,
             restores: self.restores,
+            word_evals: 0,
         }
     }
 }

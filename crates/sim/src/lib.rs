@@ -48,6 +48,7 @@
 //! # }
 //! ```
 
+pub mod bitparallel;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -60,9 +61,10 @@ pub mod trace;
 pub mod value;
 pub mod vcd;
 
+pub use bitparallel::{BitParallelEngine, LaneWord, LANES};
 pub use engine::{Engine, EngineState, EngineTelemetry};
 pub use error::SimError;
-pub use eval::{eval_comb, eval_comb_with_mutant, EvalMutant};
+pub use eval::{disturb, eval_comb, eval_comb_with_mutant, EvalMutant};
 pub use event::{EventDrivenEngine, EventDrivenState};
 pub use inject::{Fault, Force, SetFault, SeuFault};
 pub use levelized::{LevelizedEngine, LevelizedState};

@@ -21,7 +21,7 @@
 //! catch a real semantic bug (mutation smoke testing).
 
 use crate::engine::{Engine, EngineState, EngineTelemetry};
-use crate::eval::{async_override, eval_comb_with_mutant, next_state, EvalMutant};
+use crate::eval::{async_override, disturb, eval_comb_with_mutant, next_state, EvalMutant};
 use crate::inject::Fault;
 use crate::value::Logic;
 use crate::SimError;
@@ -32,17 +32,6 @@ use ssresf_netlist::{CellId, FlatNetlist, NetId};
 /// Iteration bound for the asynchronous-control fixpoint (matches the
 /// levelized engine's bound).
 const ASYNC_FIXPOINT_LIMIT: usize = 16;
-
-/// The value a single-event transient drives a node to (same rule as the
-/// levelized engine): defined values invert; undefined nodes are disturbed
-/// to a defined high.
-fn disturb(v: Logic) -> Logic {
-    match v {
-        Logic::Zero => Logic::One,
-        Logic::One => Logic::Zero,
-        Logic::X | Logic::Z => Logic::One,
-    }
-}
 
 /// Finds a cycle in the combinational cell graph, returning one net on it.
 ///
@@ -459,6 +448,7 @@ impl Engine for OracleEngine<'_> {
             delta_cycles: self.sweeps,
             wheel_advances: 0,
             restores: self.restores,
+            word_evals: 0,
         }
     }
 }
