@@ -24,6 +24,7 @@ fn bench_clustering(c: &mut Criterion) {
                             layer_depth: 3,
                             seed: 1,
                             max_iters: 64,
+                            threads: 0,
                         },
                     )
                     .expect("clustering succeeds")

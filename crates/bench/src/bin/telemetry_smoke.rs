@@ -32,12 +32,15 @@ const EXPECTED_COUNTERS: &[&str] = &[
     "campaign.early_stop.truncations",
     "campaign.engine.word_evals",
     "campaign.work.total",
+    "svm.kernel_cache.hits",
+    "svm.kernel_cache.misses",
 ];
 const EXPECTED_GAUGES: &[&str] = &[
     "pipeline.cells",
     "pipeline.clusters",
     "pipeline.sampled_cells",
     "pipeline.predictions",
+    "pipeline.predict_throughput_per_second",
     "campaign.threads",
     "campaign.throughput_per_second",
 ];
@@ -51,7 +54,7 @@ const EXPECTED_TIMINGS: &[&str] = &[
     "stage.svm_train",
     "stage.predict",
 ];
-const EXPECTED_HISTOGRAMS: &[&str] = &["campaign.work_per_injection"];
+const EXPECTED_HISTOGRAMS: &[&str] = &["campaign.work_per_injection", "svm.smo_iterations"];
 
 #[derive(Default)]
 struct PhaseLog(Mutex<Vec<ProgressPhase>>);

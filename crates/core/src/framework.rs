@@ -222,9 +222,12 @@ impl Ssresf {
     /// `hooks.metrics` receives a per-stage timing breakdown
     /// (`stage.clustering`, `stage.sampling`, `stage.golden`,
     /// `stage.injections`, `stage.ser`, `stage.features`,
-    /// `stage.svm_train`, `stage.predict`), pipeline gauges and the full
-    /// campaign counter set; `hooks.progress` receives campaign progress
-    /// reports. Hooks never change results.
+    /// `stage.svm_train`, `stage.predict`), pipeline gauges (including the
+    /// `pipeline.predict_throughput_per_second` prediction rate), the full
+    /// campaign counter set, the SMO solver's kernel-cache counters
+    /// (`svm.kernel_cache.hits` / `svm.kernel_cache.misses`) and an
+    /// `svm.smo_iterations` histogram; `hooks.progress` receives campaign
+    /// progress reports. Hooks never change results.
     ///
     /// # Errors
     ///
@@ -267,10 +270,16 @@ impl Ssresf {
 
         // 5–7. Feature engineering and SVM training on the sampled cells.
         // Per-cell error statistics are built once and reused, instead of
-        // rescanning all records for every sampled cell.
+        // rescanning all records for every sampled cell. Per-cell feature
+        // extraction is independent, so it fans out across the configured
+        // worker threads with results kept in cell order.
         let started = Instant::now();
         let extractor = FeatureExtractor::new(netlist)?;
-        let features = extractor.extract(Some(&campaign.golden_activity));
+        let cell_ids: Vec<CellId> = netlist.iter_cells().map(|(id, _)| id).collect();
+        let features =
+            ssresf_mlcore::parallel_map(&cell_ids, self.config.sensitivity.threads, |_, &id| {
+                extractor.extract_cell(id, Some(&campaign.golden_activity))
+            });
         let cell_stats = campaign.per_cell_stats();
         let labels: Vec<(CellId, bool)> = sample
             .all_cells()
@@ -299,7 +308,7 @@ impl Ssresf {
 
         // 8. Whole-netlist prediction (the fast path replacing simulation).
         let started = Instant::now();
-        let predictions = classifier.classify_all(&features);
+        let predictions = classifier.classify_all_with(&features, self.config.sensitivity.threads);
         timing.predict = stage("stage.predict", started.elapsed());
 
         let mut class_counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
@@ -327,6 +336,17 @@ impl Ssresf {
             metrics.gauge_set("pipeline.clusters", clustering.clusters as f64);
             metrics.gauge_set("pipeline.sampled_cells", sample.len() as f64);
             metrics.gauge_set("pipeline.predictions", predictions.len() as f64);
+            let solver = &sensitivity_report.solver;
+            metrics.counter_add("svm.kernel_cache.hits", solver.kernel_cache_hits);
+            metrics.counter_add("svm.kernel_cache.misses", solver.kernel_cache_misses);
+            metrics.observe("svm.smo_iterations", solver.iterations as f64);
+            let predict_secs = timing.predict.as_secs_f64();
+            let throughput = if predict_secs > 0.0 {
+                predictions.len() as f64 / predict_secs
+            } else {
+                0.0
+            };
+            metrics.gauge_set("pipeline.predict_throughput_per_second", throughput);
         }
 
         Ok(Analysis {

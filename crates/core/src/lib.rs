@@ -55,7 +55,9 @@ pub use campaign::{
     faults_for_cell, run_campaign, run_campaign_with, CampaignConfig, CampaignOutcome,
     CampaignTelemetry, CellErrorStats, InjectionRecord,
 };
-pub use clustering::{cluster_cells, hier_distance, Clustering, ClusteringConfig};
+pub use clustering::{
+    cluster_cells, cluster_cells_reference, hier_distance, Clustering, ClusteringConfig,
+};
 pub use error::SsresfError;
 pub use framework::{
     scaled_chip_xsect, Analysis, LabelRule, Ssresf, SsresfConfig, Timing, MAX_SPEEDUP,

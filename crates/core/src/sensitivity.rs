@@ -9,8 +9,9 @@
 use crate::error::SsresfError;
 use serde::{Deserialize, Serialize};
 use ssresf_mlcore::{
-    cross_val_score, forward_selection, grid_search, roc_curve, BinaryMetrics, Dataset, KFold,
-    Kernel, RocCurve, SelectionCurve, StandardScaler, SvmModel, SvmParams,
+    cross_val_score_with, forward_selection_with, grid_search_with, parallel_map, roc_curve,
+    BinaryMetrics, Dataset, KFold, Kernel, MlError, RocCurve, SelectionCurve, StandardScaler,
+    SvmModel, SvmParams, TrainStats,
 };
 use ssresf_netlist::{CellFeatures, CellId};
 use std::time::{Duration, Instant};
@@ -34,6 +35,11 @@ pub struct SensitivityConfig {
     pub balance_classes: bool,
     /// Seed for fold shuffling.
     pub seed: u64,
+    /// Worker threads for cross-validation, grid search, feature selection
+    /// and whole-netlist prediction (0 = all cores). Results are
+    /// bit-identical for every thread count.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for SensitivityConfig {
@@ -46,6 +52,7 @@ impl Default for SensitivityConfig {
             max_features: 6,
             balance_classes: true,
             seed: 4,
+            threads: 0,
         }
     }
 }
@@ -72,12 +79,26 @@ impl TrainedSensitivity {
         self.decision(raw_features) >= 0.0
     }
 
-    /// Classifies every cell's feature record.
+    /// Classifies every cell's feature record (single-threaded; see
+    /// [`TrainedSensitivity::classify_all_with`]).
     pub fn classify_all(&self, features: &[CellFeatures]) -> Vec<(CellId, bool)> {
-        features
-            .iter()
-            .map(|f| (f.cell, self.classify(&f.values)))
-            .collect()
+        self.classify_all_with(features, 1)
+    }
+
+    /// [`TrainedSensitivity::classify_all`] chunked across up to `threads`
+    /// worker threads (0 = all cores); results keep input order, so the
+    /// output is identical for every thread count.
+    pub fn classify_all_with(
+        &self,
+        features: &[CellFeatures],
+        threads: usize,
+    ) -> Vec<(CellId, bool)> {
+        parallel_map(features, threads, |_, f| (f.cell, self.classify(&f.values)))
+    }
+
+    /// Solver diagnostics of the final fitted SVM.
+    pub fn train_stats(&self) -> &TrainStats {
+        self.model.train_stats()
     }
 
     /// The feature columns the model consumes (post-standardization).
@@ -101,6 +122,9 @@ pub struct SensitivityReport {
     pub grid: Option<(f64, f64, f64)>,
     /// Wall-clock training time (selection + search + final fit).
     pub training_time: Duration,
+    /// SMO solver diagnostics of the final fit (iterations, kernel-cache
+    /// hits/misses, shrink rounds).
+    pub solver: TrainStats,
 }
 
 /// Trains the sensitivity classifier from labeled sampled cells.
@@ -164,8 +188,14 @@ pub fn train_sensitivity(
 
     // Optional forward feature selection (Fig. 5).
     let (columns, selection) = if config.feature_selection {
-        let curve = forward_selection(&full, &base_svm, &folds, config.max_features)
-            .map_err(SsresfError::Ml)?;
+        let curve = forward_selection_with(
+            &full,
+            &base_svm,
+            &folds,
+            config.max_features,
+            config.threads,
+        )
+        .map_err(SsresfError::Ml)?;
         (curve.best_features().to_vec(), Some(curve))
     } else {
         ((0..full.width()).collect(), None)
@@ -174,11 +204,12 @@ pub fn train_sensitivity(
 
     // Optional (C, γ) grid search.
     let (params, grid) = if config.grid_search {
-        let result = grid_search(
+        let result = grid_search_with(
             &data,
             ssresf_mlcore::gridsearch::DEFAULT_C_GRID,
             ssresf_mlcore::gridsearch::DEFAULT_GAMMA_GRID,
             &folds,
+            config.threads,
         )
         .map_err(SsresfError::Ml)?;
         (
@@ -195,29 +226,44 @@ pub fn train_sensitivity(
         (base_svm, None)
     };
 
-    // Held-out predictions for the Table-II metrics and Fig.-6 ROC.
+    // Held-out predictions for the Table-II metrics and Fig.-6 ROC, one
+    // fold per job; per-fold outputs are concatenated in fold order, so the
+    // metrics are identical for every thread count.
+    let splits = folds.split(&data).map_err(SsresfError::Ml)?;
+    let fold_outputs = parallel_map(&splits, config.threads, |_, (train_idx, test_idx)| {
+        let train = data.subset(train_idx);
+        if !train.has_both_classes() || test_idx.is_empty() {
+            return Ok::<_, MlError>(None);
+        }
+        let model = SvmModel::train(&train, &params)?;
+        let mut truth = Vec::with_capacity(test_idx.len());
+        let mut scores = Vec::with_capacity(test_idx.len());
+        for &i in test_idx {
+            truth.push(data.labels()[i]);
+            scores.push(model.decision(data.row(i)));
+        }
+        Ok(Some((truth, scores)))
+    });
     let mut truth = Vec::new();
     let mut predicted = Vec::new();
     let mut scores = Vec::new();
-    for (train_idx, test_idx) in folds.split(&data).map_err(SsresfError::Ml)? {
-        let train = data.subset(&train_idx);
-        if !train.has_both_classes() || test_idx.is_empty() {
-            continue;
-        }
-        let model = SvmModel::train(&train, &params).map_err(SsresfError::Ml)?;
-        for &i in &test_idx {
-            truth.push(data.labels()[i]);
-            let d = model.decision(data.row(i));
-            scores.push(d);
-            predicted.push(if d >= 0.0 { 1i8 } else { -1 });
+    for fold in fold_outputs {
+        if let Some((fold_truth, fold_scores)) = fold.map_err(SsresfError::Ml)? {
+            for (t, d) in fold_truth.into_iter().zip(fold_scores) {
+                truth.push(t);
+                scores.push(d);
+                predicted.push(if d >= 0.0 { 1i8 } else { -1 });
+            }
         }
     }
     let metrics = BinaryMetrics::from_predictions(&truth, &predicted);
     let roc = roc_curve(&truth, &scores);
-    let cv_accuracy = cross_val_score(&data, &params, &folds).map_err(SsresfError::Ml)?;
+    let cv_accuracy =
+        cross_val_score_with(&data, &params, &folds, config.threads).map_err(SsresfError::Ml)?;
 
     // Final model on all labeled data.
     let model = SvmModel::train(&data, &params).map_err(SsresfError::Ml)?;
+    let solver = *model.train_stats();
 
     Ok((
         TrainedSensitivity {
@@ -232,6 +278,7 @@ pub fn train_sensitivity(
             selection,
             grid,
             training_time: started.elapsed(),
+            solver,
         },
     ))
 }
@@ -282,6 +329,19 @@ mod tests {
             .filter(|((_, p), (_, t))| p == t)
             .count();
         assert!(correct as f64 / labels.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn reports_solver_stats_and_threaded_classification_matches() {
+        let (features, labels) = synthetic(40);
+        let (model, report) =
+            train_sensitivity(&features, &labels, &SensitivityConfig::default()).unwrap();
+        assert!(report.solver.iterations > 0);
+        assert_eq!(report.solver, *model.train_stats());
+        let serial = model.classify_all(&features);
+        for threads in [2usize, 8] {
+            assert_eq!(serial, model.classify_all_with(&features, threads));
+        }
     }
 
     #[test]

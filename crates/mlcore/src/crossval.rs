@@ -74,7 +74,8 @@ impl KFold {
     }
 }
 
-/// Mean cross-validated accuracy of an SVM with the given parameters.
+/// Mean cross-validated accuracy of an SVM with the given parameters
+/// (single-threaded; see [`cross_val_score_with`]).
 ///
 /// Folds whose training split degenerates to a single class are skipped; if
 /// every fold degenerates an error is returned.
@@ -83,20 +84,46 @@ impl KFold {
 ///
 /// Propagates splitter and training errors.
 pub fn cross_val_score(data: &Dataset, params: &SvmParams, folds: &KFold) -> Result<f64, MlError> {
+    cross_val_score_with(data, params, folds, 1)
+}
+
+/// [`cross_val_score`] fanned out across up to `threads` worker threads
+/// (0 = all cores), one fold per job.
+///
+/// Each fold trains and scores independently; per-fold accuracies are
+/// reduced in fold order, so the result is bit-identical for every thread
+/// count.
+///
+/// # Errors
+///
+/// Propagates splitter and training errors (the first error in fold order
+/// wins deterministically).
+pub fn cross_val_score_with(
+    data: &Dataset,
+    params: &SvmParams,
+    folds: &KFold,
+    threads: usize,
+) -> Result<f64, MlError> {
     let splits = folds.split(data)?;
+    let fold_scores =
+        crate::parallel::parallel_map(&splits, threads, |_, (train_idx, test_idx)| {
+            let train = data.subset(train_idx);
+            if !train.has_both_classes() || test_idx.is_empty() {
+                return Ok(None);
+            }
+            let model = SvmModel::train(&train, params)?;
+            let test = data.subset(test_idx);
+            let predicted = model.predict_batch(test.features());
+            let metrics = BinaryMetrics::from_predictions(test.labels(), &predicted);
+            Ok(Some(metrics.accuracy()))
+        });
     let mut total = 0.0;
     let mut counted = 0usize;
-    for (train_idx, test_idx) in splits {
-        let train = data.subset(&train_idx);
-        if !train.has_both_classes() || test_idx.is_empty() {
-            continue;
+    for fold in fold_scores {
+        if let Some(accuracy) = fold? {
+            total += accuracy;
+            counted += 1;
         }
-        let model = SvmModel::train(&train, params)?;
-        let test = data.subset(&test_idx);
-        let predicted = model.predict_batch(test.features());
-        let metrics = BinaryMetrics::from_predictions(test.labels(), &predicted);
-        total += metrics.accuracy();
-        counted += 1;
     }
     if counted == 0 {
         return Err(MlError::Degenerate(
@@ -176,6 +203,18 @@ mod tests {
         let score =
             cross_val_score(&data, &SvmParams::default(), &KFold::new(5, 0).unwrap()).unwrap();
         assert!(score > 0.95, "score = {score}");
+    }
+
+    #[test]
+    fn cv_score_is_thread_count_invariant() {
+        let data = blob(24, 6);
+        let folds = KFold::new(5, 0).unwrap();
+        let serial = cross_val_score(&data, &SvmParams::default(), &folds).unwrap();
+        for threads in [2usize, 8] {
+            let threaded =
+                cross_val_score_with(&data, &SvmParams::default(), &folds, threads).unwrap();
+            assert_eq!(serial.to_bits(), threaded.to_bits(), "threads = {threads}");
+        }
     }
 
     #[test]

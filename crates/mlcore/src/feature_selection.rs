@@ -40,7 +40,7 @@ impl SelectionCurve {
 }
 
 /// Runs greedy forward selection up to `max_features` (clamped to the
-/// dataset width).
+/// dataset width). Single-threaded; see [`forward_selection_with`].
 ///
 /// # Errors
 ///
@@ -51,6 +51,25 @@ pub fn forward_selection(
     params: &SvmParams,
     folds: &KFold,
     max_features: usize,
+) -> Result<SelectionCurve, MlError> {
+    forward_selection_with(data, params, folds, max_features, 1)
+}
+
+/// [`forward_selection`] with each round's candidate evaluations fanned
+/// out across up to `threads` worker threads (0 = all cores).
+///
+/// Candidate scores are reduced in column order with strict improvement,
+/// matching the serial scan bit-for-bit on every thread count.
+///
+/// # Errors
+///
+/// Same as [`forward_selection`].
+pub fn forward_selection_with(
+    data: &Dataset,
+    params: &SvmParams,
+    folds: &KFold,
+    max_features: usize,
+    threads: usize,
 ) -> Result<SelectionCurve, MlError> {
     if !data.has_both_classes() {
         return Err(MlError::Degenerate(
@@ -63,15 +82,17 @@ pub fn forward_selection(
     let mut scores = Vec::new();
 
     while selected.len() < limit {
+        let candidates: Vec<usize> = (0..width).filter(|c| !selected.contains(c)).collect();
+        let candidate_scores =
+            crate::parallel::parallel_map(&candidates, threads, |_, &candidate| {
+                let mut columns = selected.clone();
+                columns.push(candidate);
+                let view = data.select_columns(&columns);
+                cross_val_score(&view, params, folds)
+            });
         let mut best: Option<(usize, f64)> = None;
-        for candidate in 0..width {
-            if selected.contains(&candidate) {
-                continue;
-            }
-            let mut columns = selected.clone();
-            columns.push(candidate);
-            let view = data.select_columns(&columns);
-            let score = cross_val_score(&view, params, folds)?;
+        for (&candidate, score) in candidates.iter().zip(candidate_scores) {
+            let score = score?;
             let better = match best {
                 None => true,
                 Some((_, s)) => score > s,

@@ -43,16 +43,19 @@ pub mod feature_selection;
 pub mod gridsearch;
 pub mod kernel;
 pub mod metrics;
+pub mod parallel;
 pub mod preprocess;
+mod smo;
 pub mod svm;
 
 pub use baseline::{KnnClassifier, LogisticParams, LogisticRegression};
-pub use crossval::{cross_val_score, FoldIndices, KFold};
+pub use crossval::{cross_val_score, cross_val_score_with, FoldIndices, KFold};
 pub use dataset::Dataset;
 pub use error::MlError;
-pub use feature_selection::{forward_selection, SelectionCurve};
-pub use gridsearch::{grid_search, GridSearchResult};
+pub use feature_selection::{forward_selection, forward_selection_with, SelectionCurve};
+pub use gridsearch::{grid_search, grid_search_with, GridSearchResult};
 pub use kernel::Kernel;
 pub use metrics::{roc_curve, BinaryMetrics, RocCurve};
+pub use parallel::{max_threads, parallel_map, resolve_threads};
 pub use preprocess::{clean_rows, MinMaxScaler, StandardScaler};
-pub use svm::{SvmModel, SvmParams};
+pub use svm::{SmoSolver, SvmModel, SvmParams, TrainStats};

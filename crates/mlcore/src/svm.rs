@@ -3,9 +3,23 @@
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::kernel::Kernel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::parallel::parallel_map;
+use crate::smo;
+pub use crate::smo::TrainStats;
 use serde::{Deserialize, Serialize};
+
+/// Which SMO solver [`SvmModel::train`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmoSolver {
+    /// Maximal-violating-pair working-set selection with an LRU kernel-row
+    /// cache and active-set shrinking (the fast path; deterministic without
+    /// randomness).
+    #[default]
+    WorkingSet,
+    /// The original random-partner simplified SMO with a precomputed n×n
+    /// kernel matrix, kept as the differential-testing baseline.
+    Simplified,
+}
 
 /// Hyper-parameters for [`SvmModel::train`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -16,15 +30,24 @@ pub struct SvmParams {
     pub kernel: Kernel,
     /// KKT violation tolerance.
     pub tol: f64,
-    /// Convergence: passes over the data without an update.
+    /// Convergence: passes over the data without an update (simplified
+    /// solver only).
     pub max_passes: u32,
-    /// Hard iteration cap (full sweeps).
+    /// Hard iteration cap: full sweeps for the simplified solver, pair
+    /// updates per sample for the working-set solver.
     pub max_iters: u32,
-    /// RNG seed for the SMO partner-selection heuristic.
+    /// RNG seed for the simplified solver's partner-selection heuristic.
+    /// The working-set solver is deterministic by construction and ignores
+    /// it, so models are reproducible under either solver.
     pub seed: u64,
     /// Multiplier on `C` for +1-labeled samples (class weighting for
     /// imbalanced data; 1.0 = unweighted).
     pub positive_weight: f64,
+    /// Which SMO solver to run.
+    pub solver: SmoSolver,
+    /// Kernel-row LRU cache capacity for the working-set solver, in rows
+    /// (each row is `n` doubles). Clamped to at least 2 internally.
+    pub cache_rows: usize,
 }
 
 impl Default for SvmParams {
@@ -37,6 +60,8 @@ impl Default for SvmParams {
             max_iters: 2_000,
             seed: 42,
             positive_weight: 1.0,
+            solver: SmoSolver::default(),
+            cache_rows: 256,
         }
     }
 }
@@ -46,12 +71,14 @@ impl SvmParams {
     ///
     /// # Errors
     ///
-    /// Returns [`MlError::Param`] for non-positive `c`/`tol` or zero pass
-    /// and iteration budgets.
+    /// Returns [`MlError::Param`] for non-positive `c`/`tol`, zero pass
+    /// and iteration budgets, or invalid kernel hyper-parameters (see
+    /// [`Kernel::validate`]).
     pub fn validate(&self) -> Result<(), MlError> {
         if !(self.c > 0.0 && self.c.is_finite()) {
             return Err(MlError::Param(format!("C = {} must be positive", self.c)));
         }
+        self.kernel.validate()?;
         if !(self.tol > 0.0 && self.tol.is_finite()) {
             return Err(MlError::Param(format!(
                 "tol = {} must be positive",
@@ -72,16 +99,27 @@ impl SvmParams {
 }
 
 /// A trained support-vector classifier.
+///
+/// Besides the support vectors the model stores two prediction
+/// accelerators: for linear kernels the support expansion is collapsed
+/// into a single weight vector (`decision` is O(d) instead of
+/// O(n_sv · d)), and for every kernel the support-vector squared norms are
+/// precomputed so each kernel evaluation needs only a dot product.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvmModel {
     support_x: Vec<Vec<f64>>,
     support_coeff: Vec<f64>, // alpha_i * y_i
+    support_norms: Vec<f64>, // ‖sv_i‖²
+    /// Collapsed `Σ coeff_i · sv_i` for linear kernels.
+    linear_w: Option<Vec<f64>>,
     bias: f64,
     kernel: Kernel,
+    stats: TrainStats,
 }
 
 impl SvmModel {
-    /// Trains a C-SVC on `data` with the SMO algorithm.
+    /// Trains a C-SVC on `data` with the configured SMO solver
+    /// (working-set by default; see [`SmoSolver`]).
     ///
     /// # Errors
     ///
@@ -99,23 +137,8 @@ impl SvmModel {
             ));
         }
 
-        // Precompute the kernel matrix (training sets in SSRESF are the
-        // sampled fault lists — hundreds to a few thousand rows).
         let x = data.features();
         let y: Vec<f64> = data.labels().iter().map(|&l| f64::from(l)).collect();
-        let mut k = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in i..n {
-                let v = params.kernel.eval(&x[i], &x[j]);
-                k[i * n + j] = v;
-                k[j * n + i] = v;
-            }
-        }
-        let kij = |i: usize, j: usize| k[i * n + j];
-
-        let mut alpha = vec![0.0f64; n];
-        let mut b = 0.0f64;
-        let mut rng = StdRng::seed_from_u64(params.seed);
         // Per-sample box constraint: weighted C for the positive class.
         let c_of: Vec<f64> = y
             .iter()
@@ -127,87 +150,11 @@ impl SvmModel {
                 }
             })
             .collect();
-        let tol = params.tol;
 
-        let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
-            let mut sum = b;
-            for j in 0..n {
-                if alpha[j] != 0.0 {
-                    sum += alpha[j] * y[j] * kij(i, j);
-                }
-            }
-            sum
+        let (alpha, bias, stats) = match params.solver {
+            SmoSolver::WorkingSet => smo::solve_working_set(x, &y, &c_of, params),
+            SmoSolver::Simplified => smo::solve_simplified(x, &y, &c_of, params),
         };
-
-        let mut passes = 0u32;
-        let mut iters = 0u32;
-        while passes < params.max_passes && iters < params.max_iters {
-            let mut changed = 0usize;
-            for i in 0..n {
-                let e_i = f(&alpha, b, i) - y[i];
-                let violates = (y[i] * e_i < -tol && alpha[i] < c_of[i])
-                    || (y[i] * e_i > tol && alpha[i] > 0.0);
-                if !violates {
-                    continue;
-                }
-                let mut j = rng.gen_range(0..n - 1);
-                if j >= i {
-                    j += 1;
-                }
-                let e_j = f(&alpha, b, j) - y[j];
-                let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
-                // Box constraints with per-sample C (weighted classes).
-                let (low, high) = if (y[i] - y[j]).abs() > f64::EPSILON {
-                    (
-                        (a_j_old - a_i_old).max(0.0),
-                        (c_of[j].min(c_of[i] + a_j_old - a_i_old)).max(0.0),
-                    )
-                } else {
-                    (
-                        (a_i_old + a_j_old - c_of[i]).max(0.0),
-                        (a_i_old + a_j_old).min(c_of[j]),
-                    )
-                };
-                if high - low < 1e-12 {
-                    continue;
-                }
-                let eta = 2.0 * kij(i, j) - kij(i, i) - kij(j, j);
-                if eta >= 0.0 {
-                    continue;
-                }
-                let mut a_j = a_j_old - y[j] * (e_i - e_j) / eta;
-                a_j = a_j.clamp(low, high);
-                if (a_j - a_j_old).abs() < 1e-7 {
-                    continue;
-                }
-                let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
-                alpha[i] = a_i;
-                alpha[j] = a_j;
-
-                let b1 = b
-                    - e_i
-                    - y[i] * (a_i - a_i_old) * kij(i, i)
-                    - y[j] * (a_j - a_j_old) * kij(i, j);
-                let b2 = b
-                    - e_j
-                    - y[i] * (a_i - a_i_old) * kij(i, j)
-                    - y[j] * (a_j - a_j_old) * kij(j, j);
-                b = if a_i > 0.0 && a_i < c_of[i] {
-                    b1
-                } else if a_j > 0.0 && a_j < c_of[j] {
-                    b2
-                } else {
-                    (b1 + b2) / 2.0
-                };
-                changed += 1;
-            }
-            if changed == 0 {
-                passes += 1;
-            } else {
-                passes = 0;
-            }
-            iters += 1;
-        }
 
         let mut support_x = Vec::new();
         let mut support_coeff = Vec::new();
@@ -217,16 +164,59 @@ impl SvmModel {
                 support_coeff.push(alpha[i] * y[i]);
             }
         }
+        let support_norms: Vec<f64> = support_x
+            .iter()
+            .map(|sv| sv.iter().map(|v| v * v).sum())
+            .collect();
+        let linear_w = match params.kernel {
+            Kernel::Linear => {
+                let width = data.width();
+                let mut w = vec![0.0f64; width];
+                for (sv, &coeff) in support_x.iter().zip(&support_coeff) {
+                    for (wk, &vk) in w.iter_mut().zip(sv) {
+                        *wk += coeff * vk;
+                    }
+                }
+                Some(w)
+            }
+            _ => None,
+        };
         Ok(SvmModel {
             support_x,
             support_coeff,
-            bias: b,
+            support_norms,
+            linear_w,
+            bias,
             kernel: params.kernel,
+            stats,
         })
     }
 
     /// Signed decision value for one sample (positive ⇒ class +1).
     pub fn decision(&self, x: &[f64]) -> f64 {
+        if let Some(w) = &self.linear_w {
+            let dot: f64 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+            return self.bias + dot;
+        }
+        let norm_x: f64 = x.iter().map(|v| v * v).sum();
+        let mut sum = self.bias;
+        for ((sv, &coeff), &norm_sv) in self
+            .support_x
+            .iter()
+            .zip(&self.support_coeff)
+            .zip(&self.support_norms)
+        {
+            let dot: f64 = sv.iter().zip(x).map(|(a, b)| a * b).sum();
+            sum += coeff * self.kernel.eval_dot(dot, norm_sv, norm_x);
+        }
+        sum
+    }
+
+    /// Reference decision value summing full kernel evaluations over the
+    /// support vectors — the pre-optimization prediction path, kept for
+    /// differential tests and benchmarks against [`decision`](Self::decision).
+    #[doc(hidden)]
+    pub fn decision_reference(&self, x: &[f64]) -> f64 {
         let mut sum = self.bias;
         for (sv, &coeff) in self.support_x.iter().zip(&self.support_coeff) {
             sum += coeff * self.kernel.eval(sv, x);
@@ -248,20 +238,40 @@ impl SvmModel {
         rows.iter().map(|r| self.predict(r)).collect()
     }
 
+    /// Predicts a batch across up to `threads` scoped worker threads
+    /// (0 = all cores). Output is identical to [`predict_batch`]
+    /// (and therefore to every other thread count).
+    pub fn predict_batch_with(&self, rows: &[Vec<f64>], threads: usize) -> Vec<i8> {
+        parallel_map(rows, threads, |_, row| self.predict(row))
+    }
+
     /// Number of support vectors retained.
     pub fn num_support_vectors(&self) -> usize {
         self.support_x.len()
+    }
+
+    /// The support vectors and their `α_i y_i` coefficients.
+    pub fn support_vectors(&self) -> (&[Vec<f64>], &[f64]) {
+        (&self.support_x, &self.support_coeff)
     }
 
     /// The kernel the model was trained with.
     pub fn kernel(&self) -> Kernel {
         self.kernel
     }
+
+    /// Deterministic solver counters from training (iterations, kernel
+    /// cache hits/misses, shrink rounds).
+    pub fn train_stats(&self) -> &TrainStats {
+        &self.stats
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn blob_dataset(n_per_class: usize, separation: f64, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -439,6 +449,127 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn both_solvers_agree_on_separable_data() {
+        let data = blob_dataset(25, 2.0, 13);
+        for solver in [SmoSolver::WorkingSet, SmoSolver::Simplified] {
+            let model = SvmModel::train(
+                &data,
+                &SvmParams {
+                    solver,
+                    ..SvmParams::default()
+                },
+            )
+            .unwrap();
+            for (row, &label) in data.features().iter().zip(data.labels()) {
+                assert_eq!(model.predict(row), label, "{solver:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_reports_cache_and_iteration_stats() {
+        let data = blob_dataset(30, 1.0, 17);
+        let model = SvmModel::train(&data, &SvmParams::default()).unwrap();
+        let stats = model.train_stats();
+        assert!(stats.iterations > 0);
+        assert!(stats.kernel_cache_misses > 0);
+        assert!(
+            stats.kernel_cache_hits > 0,
+            "working-set SMO revisits violators; the row cache must hit"
+        );
+    }
+
+    #[test]
+    fn tiny_cache_still_converges_to_the_same_model() {
+        let data = blob_dataset(20, 1.2, 19);
+        let full = SvmModel::train(
+            &data,
+            &SvmParams {
+                cache_rows: 4096,
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        let tiny = SvmModel::train(
+            &data,
+            &SvmParams {
+                cache_rows: 2,
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        // Cache size changes only hit/miss counters, never the solution.
+        assert_eq!(full.support_vectors(), tiny.support_vectors());
+        assert_eq!(full.bias, tiny.bias);
+        assert!(tiny.train_stats().kernel_cache_misses > full.train_stats().kernel_cache_misses);
+    }
+
+    #[test]
+    fn fast_decision_matches_reference_path() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.8 },
+            Kernel::Poly {
+                gamma: 0.5,
+                coef0: 1.0,
+                degree: 3,
+            },
+        ] {
+            let data = blob_dataset(20, 1.0, 29);
+            let model = SvmModel::train(
+                &data,
+                &SvmParams {
+                    kernel,
+                    ..SvmParams::default()
+                },
+            )
+            .unwrap();
+            for _ in 0..50 {
+                let q = vec![rng.gen::<f64>() * 3.0 - 0.5, rng.gen::<f64>() * 3.0 - 0.5];
+                let fast = model.decision(&q);
+                let reference = model.decision_reference(&q);
+                assert!(
+                    (fast - reference).abs() < 1e-9,
+                    "{kernel:?}: {fast} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_with_is_thread_count_invariant() {
+        let data = blob_dataset(25, 1.5, 31);
+        let model = SvmModel::train(&data, &SvmParams::default()).unwrap();
+        let queries: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64 / 100.0, (i % 7) as f64 * 0.2])
+            .collect();
+        let serial = model.predict_batch(&queries);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                model.predict_batch_with(&queries, threads),
+                serial,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_kernel_params_at_train_time() {
+        let data = blob_dataset(5, 2.0, 1);
+        assert!(matches!(
+            SvmModel::train(
+                &data,
+                &SvmParams {
+                    kernel: Kernel::Rbf { gamma: -1.0 },
+                    ..SvmParams::default()
+                }
+            ),
+            Err(MlError::Param(_))
+        ));
     }
 
     #[test]

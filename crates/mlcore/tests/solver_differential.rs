@@ -1,0 +1,133 @@
+//! Differential pinning of the working-set SMO solver against the
+//! simplified baseline it replaced.
+//!
+//! Both solvers optimize the same dual problem, so on held-out data their
+//! accuracies must agree within one percent — the end-to-end acceptance
+//! budget of the fast ML path. Datasets are fuzzed over dimensionality,
+//! class overlap and class imbalance, across all three kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssresf_mlcore::{BinaryMetrics, Dataset, Kernel, SmoSolver, SvmModel, SvmParams};
+
+/// Two Gaussian-ish blobs separated by `separation`, with a `pos_fraction`
+/// share of +1 labels.
+fn fuzz_dataset(
+    rng: &mut StdRng,
+    n: usize,
+    dims: usize,
+    separation: f64,
+    pos_fraction: f64,
+) -> Dataset {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let positive = rng.gen::<f64>() < pos_fraction;
+        let base = if positive { separation } else { 0.0 };
+        x.push(
+            (0..dims)
+                .map(|_| base + rng.gen::<f64>() * 2.0 - 1.0)
+                .collect(),
+        );
+        y.push(if positive { 1i8 } else { -1 });
+    }
+    Dataset::new(x, y).unwrap()
+}
+
+fn accuracy(model: &SvmModel, test: &Dataset) -> f64 {
+    let predicted = model.predict_batch(test.features());
+    BinaryMetrics::from_predictions(test.labels(), &predicted).accuracy()
+}
+
+/// Fuzz matrix: (seed, dims, separation, positive fraction, kernel).
+fn fuzz_cases() -> Vec<(u64, usize, f64, f64, Kernel)> {
+    vec![
+        (1, 2, 2.5, 0.5, Kernel::Rbf { gamma: 0.5 }),
+        (2, 4, 2.0, 0.3, Kernel::Rbf { gamma: 0.25 }),
+        (3, 3, 1.5, 0.5, Kernel::Linear),
+        (4, 6, 2.5, 0.2, Kernel::Linear),
+        (
+            5,
+            2,
+            2.0,
+            0.7,
+            Kernel::Poly {
+                gamma: 0.5,
+                coef0: 1.0,
+                degree: 2,
+            },
+        ),
+        (6, 5, 1.8, 0.4, Kernel::Rbf { gamma: 1.0 }),
+    ]
+}
+
+#[test]
+fn working_set_accuracy_matches_simplified_within_one_percent() {
+    for (seed, dims, separation, pos_fraction, kernel) in fuzz_cases() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let train = fuzz_dataset(&mut rng, 160, dims, separation, pos_fraction);
+        let test = fuzz_dataset(&mut rng, 400, dims, separation, pos_fraction);
+        if !train.has_both_classes() || !test.has_both_classes() {
+            panic!("fuzz case {seed} degenerated to a single class");
+        }
+        let working_set = SvmModel::train(
+            &train,
+            &SvmParams {
+                kernel,
+                solver: SmoSolver::WorkingSet,
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        let simplified = SvmModel::train(
+            &train,
+            &SvmParams {
+                kernel,
+                solver: SmoSolver::Simplified,
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        let ws_acc = accuracy(&working_set, &test);
+        let simple_acc = accuracy(&simplified, &test);
+        assert!(
+            (ws_acc - simple_acc).abs() <= 0.0101,
+            "case {seed}: working-set {ws_acc:.4} vs simplified {simple_acc:.4}"
+        );
+    }
+}
+
+#[test]
+fn working_set_is_deterministic_across_runs_and_cache_sizes() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let train = fuzz_dataset(&mut rng, 120, 3, 1.5, 0.4);
+    let base = SvmParams {
+        kernel: Kernel::Rbf { gamma: 0.5 },
+        ..SvmParams::default()
+    };
+    let reference = SvmModel::train(&train, &base).unwrap();
+    // Same params → bit-identical model; a tiny cache changes hit/miss
+    // counts but never the solution.
+    let again = SvmModel::train(&train, &base).unwrap();
+    assert_eq!(reference, again);
+    let tiny_cache = SvmModel::train(
+        &train,
+        &SvmParams {
+            cache_rows: 2,
+            ..base
+        },
+    )
+    .unwrap();
+    let probe: Vec<Vec<f64>> = (0..50)
+        .map(|i| vec![i as f64 * 0.05, 1.0 - i as f64 * 0.03, 0.2])
+        .collect();
+    for row in &probe {
+        assert_eq!(
+            reference.decision(row).to_bits(),
+            tiny_cache.decision(row).to_bits()
+        );
+    }
+    assert!(
+        tiny_cache.train_stats().kernel_cache_misses >= reference.train_stats().kernel_cache_misses
+    );
+}

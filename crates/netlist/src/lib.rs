@@ -54,7 +54,7 @@ pub use features::{CellFeatures, FeatureExtractor, ModuleClass, STRUCTURAL_FEATU
 pub use flat::{CellId, FlatCell, FlatNet, FlatNetlist, NetId};
 pub use generate::{CircuitSpec, GateSpec, GENERATOR_KINDS};
 pub use harden::HardeningReport;
-pub use path::{HierPath, PathId, PathInterner};
+pub use path::{HierPath, LayerSignatures, PathId, PathInterner, ABSENT_LAYER};
 pub use stats::NetlistStats;
 
 /// Identifier of a module within a [`Design`].

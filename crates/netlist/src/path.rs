@@ -159,6 +159,83 @@ impl PathInterner {
             .map(|(i, p)| (p.clone(), PathId(i as u32)))
             .collect();
     }
+
+    /// Encodes every interned path as a fixed-width layer signature of
+    /// interned segment ids (see [`LayerSignatures`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn layer_signatures(&self, depth: usize) -> LayerSignatures {
+        assert!(depth > 0, "signature depth must be at least 1");
+        let mut segment_ids: HashMap<&str, u32> = HashMap::new();
+        let mut sigs = Vec::with_capacity(self.paths.len() * depth);
+        for path in &self.paths {
+            for layer in 1..=depth {
+                let id = match path.layer(layer) {
+                    Some(segment) => {
+                        let next = segment_ids.len() as u32;
+                        assert!(next < ABSENT_LAYER, "more than u32::MAX - 1 segment names");
+                        *segment_ids.entry(segment).or_insert(next)
+                    }
+                    None => ABSENT_LAYER,
+                };
+                sigs.push(id);
+            }
+        }
+        LayerSignatures { depth, sigs }
+    }
+}
+
+/// Signature id marking a layer past the end of a path.
+///
+/// Real segment ids are interned densely from 0, so `u32::MAX` can never
+/// collide with one.
+pub const ABSENT_LAYER: u32 = u32::MAX;
+
+/// Fixed-width integer encodings of every path in a [`PathInterner`].
+///
+/// Path `p`'s signature is `depth` interned segment ids: slot `l` (0-based)
+/// holds a global id for `p.layer(l + 1)`, or [`ABSENT_LAYER`] when the path
+/// is shallower. Segment ids are interned across the whole interner, so for
+/// any two paths `a`, `b` and any slot `l < depth`:
+///
+/// `sig(a)[l] == sig(b)[l]  ⟺  a.layer(l + 1) == b.layer(l + 1)`
+///
+/// This turns the paper's Eq.-1 layer-by-layer string comparison into a few
+/// integer compares, and makes the signature itself a dedup key: two paths
+/// share a signature exactly when they agree on the first `depth` layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSignatures {
+    depth: usize,
+    sigs: Vec<u32>,
+}
+
+impl LayerSignatures {
+    /// Signature width (the clustering `LN`).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of encoded paths.
+    pub fn len(&self) -> usize {
+        self.sigs.len() / self.depth
+    }
+
+    /// Whether no path was encoded.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The signature slice for one path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from the interner this was built from.
+    pub fn of(&self, id: PathId) -> &[u32] {
+        let start = id.index() * self.depth;
+        &self.sigs[start..start + self.depth]
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +277,55 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(interner.len(), 2);
         assert_eq!(interner.resolve(a).dotted(), "cpu");
+    }
+
+    #[test]
+    fn signature_equality_matches_layer_comparison() {
+        let mut interner = PathInterner::new();
+        let paths = [
+            HierPath::root(),
+            HierPath::from_segments(["cpu"]),
+            HierPath::from_segments(["cpu", "alu"]),
+            HierPath::from_segments(["cpu", "alu", "adder"]),
+            HierPath::from_segments(["cpu", "lsu"]),
+            HierPath::from_segments(["bus", "alu"]),
+        ];
+        let ids: Vec<PathId> = paths.iter().map(|p| interner.intern(p.clone())).collect();
+        for depth in [1usize, 2, 3, 5] {
+            let sigs = interner.layer_signatures(depth);
+            assert_eq!(sigs.depth(), depth);
+            assert_eq!(sigs.len(), paths.len());
+            for (a, &ia) in paths.iter().zip(&ids) {
+                for (b, &ib) in paths.iter().zip(&ids) {
+                    for slot in 0..depth {
+                        assert_eq!(
+                            sigs.of(ia)[slot] == sigs.of(ib)[slot],
+                            a.layer(slot + 1) == b.layer(slot + 1),
+                            "depth {depth}, slot {slot}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_mark_absent_layers() {
+        let mut interner = PathInterner::new();
+        let shallow = interner.intern(HierPath::from_segments(["cpu"]));
+        let deep = interner.intern(HierPath::from_segments(["cpu", "alu"]));
+        let sigs = interner.layer_signatures(3);
+        assert_eq!(sigs.of(shallow)[0], sigs.of(deep)[0]);
+        assert_eq!(sigs.of(shallow)[1], ABSENT_LAYER);
+        assert_ne!(sigs.of(deep)[1], ABSENT_LAYER);
+        assert_eq!(sigs.of(shallow)[2], ABSENT_LAYER);
+        assert_eq!(sigs.of(deep)[2], ABSENT_LAYER);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature depth")]
+    fn zero_depth_signatures_panic() {
+        PathInterner::new().layer_signatures(0);
     }
 
     #[test]

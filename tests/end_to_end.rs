@@ -122,6 +122,7 @@ fn clustering_tracks_soc_hierarchy() {
             layer_depth: 1,
             seed: 5,
             max_iters: 32,
+            threads: 0,
         },
     )
     .unwrap();

@@ -1,0 +1,90 @@
+//! Thread-count equivalence of the fast ML path.
+//!
+//! Every parallel stage (clustering, cross-validation, grid search,
+//! feature selection, whole-netlist prediction) reduces its results in a
+//! fixed order, so 1, 2 and 8 worker threads must produce bit-identical
+//! clusterings, models and predictions.
+
+use ssresf::sensitivity::{train_sensitivity, SensitivityConfig};
+use ssresf::{cluster_cells, ClusteringConfig};
+use ssresf_netlist::{CellFeatures, CellId, FeatureExtractor, FlatNetlist};
+use ssresf_socgen::{build_soc, SocConfig};
+
+fn soc_netlist() -> FlatNetlist {
+    let soc = build_soc(&SocConfig::table1()[0]).unwrap();
+    soc.design.flatten().unwrap()
+}
+
+/// Structural features for every cell, labeled by fanout against the
+/// median — deterministic, both classes present, no campaign needed.
+fn labeled_features(netlist: &FlatNetlist) -> (Vec<CellFeatures>, Vec<(CellId, bool)>) {
+    let extractor = FeatureExtractor::new(netlist).unwrap();
+    let features = extractor.extract(None);
+    let mut fanouts: Vec<f64> = features.iter().map(|f| f.values[0]).collect();
+    fanouts.sort_by(f64::total_cmp);
+    let median = fanouts[fanouts.len() / 2];
+    let labels: Vec<(CellId, bool)> = features
+        .iter()
+        .take(80)
+        .map(|f| (f.cell, f.values[0] > median))
+        .collect();
+    assert!(labels.iter().any(|&(_, s)| s) && labels.iter().any(|&(_, s)| !s));
+    (features, labels)
+}
+
+#[test]
+fn clustering_is_identical_across_thread_counts() {
+    let netlist = soc_netlist();
+    let serial = cluster_cells(
+        &netlist,
+        &ClusteringConfig {
+            threads: 1,
+            ..ClusteringConfig::default()
+        },
+    )
+    .unwrap();
+    for threads in [2usize, 8] {
+        let threaded = cluster_cells(
+            &netlist,
+            &ClusteringConfig {
+                threads,
+                ..ClusteringConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, threaded, "threads = {threads}");
+    }
+}
+
+#[test]
+fn training_and_prediction_are_identical_across_thread_counts() {
+    let netlist = soc_netlist();
+    let (features, labels) = labeled_features(&netlist);
+    let config = |threads: usize| SensitivityConfig {
+        folds: 3,
+        grid_search: true,
+        feature_selection: true,
+        max_features: 3,
+        threads,
+        ..SensitivityConfig::default()
+    };
+    let (serial_model, serial_report) = train_sensitivity(&features, &labels, &config(1)).unwrap();
+    let serial_predictions = serial_model.classify_all_with(&features, 1);
+    for threads in [2usize, 8] {
+        let (model, report) = train_sensitivity(&features, &labels, &config(threads)).unwrap();
+        // The trained pipeline (scaler + columns + SVM) must match bit for
+        // bit; reports match except the wall-clock training time.
+        assert_eq!(serial_model, model, "threads = {threads}");
+        assert_eq!(serial_report.metrics, report.metrics);
+        assert_eq!(
+            serial_report.cv_accuracy.to_bits(),
+            report.cv_accuracy.to_bits()
+        );
+        assert_eq!(serial_report.roc, report.roc);
+        assert_eq!(serial_report.selection, report.selection);
+        assert_eq!(serial_report.grid, report.grid);
+        assert_eq!(serial_report.solver, report.solver);
+        let predictions = model.classify_all_with(&features, threads);
+        assert_eq!(serial_predictions, predictions, "threads = {threads}");
+    }
+}
