@@ -1,0 +1,140 @@
+//! Perf-regression gate over the committed benchmark baselines.
+//!
+//! Compares freshly regenerated `BENCH_*.json` reports against a baseline
+//! directory (normally the numbers committed at the repository root) and
+//! fails when a tracked headline metric drops below `baseline x tolerance`
+//! (default tolerance 0.9, i.e. a >10% regression). Prints a markdown
+//! before/after table on stdout so CI can append it to the job summary.
+//!
+//! ```text
+//! bench_check --baseline <dir> --current <dir> [--tolerance 0.9]
+//! ```
+//!
+//! Tracked metrics (all higher-is-better):
+//! - `BENCH_bitparallel.json` / `eval_reduction` — the wide-lane batching
+//!   kernel's per-injection gate-evaluation reduction;
+//! - `BENCH_bitparallel.json` / `wall_clock_ratio` — its end-to-end
+//!   campaign speedup (informational: reported but never gating, since
+//!   wall clock is hardware-dependent);
+//! - `BENCH_mlpath.json` / `speedup` — the working-set SMO fast ML path's
+//!   training+prediction speedup.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Metric {
+    file: &'static str,
+    key: &'static str,
+    /// Regressions in non-gating metrics are reported but never fail the
+    /// check (wall-clock numbers depend on the runner's hardware).
+    gating: bool,
+}
+
+const METRICS: &[Metric] = &[
+    Metric {
+        file: "BENCH_bitparallel.json",
+        key: "eval_reduction",
+        gating: true,
+    },
+    Metric {
+        file: "BENCH_bitparallel.json",
+        key: "wall_clock_ratio",
+        gating: false,
+    },
+    Metric {
+        file: "BENCH_mlpath.json",
+        key: "speedup",
+        gating: true,
+    },
+];
+
+fn load_metric(dir: &Path, file: &str, key: &str) -> Result<f64, String> {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value =
+        ssresf_json::parse(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))?;
+    value
+        .get(key)
+        .and_then(ssresf_json::Value::as_f64)
+        .ok_or_else(|| format!("{}: missing numeric key {key:?}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut baseline_dir = PathBuf::from(".");
+    let mut current_dir = PathBuf::from(".");
+    let mut tolerance = 0.9f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_dir = PathBuf::from(take("--baseline")),
+            "--current" => current_dir = PathBuf::from(take("--current")),
+            "--tolerance" => {
+                tolerance = take("--tolerance")
+                    .parse()
+                    .expect("--tolerance expects a float")
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: \
+                     bench_check --baseline <dir> --current <dir> [--tolerance 0.9]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("### Bench regression check (tolerance {tolerance:.2})");
+    println!();
+    println!("| metric | baseline | current | ratio | status |");
+    println!("| --- | ---: | ---: | ---: | --- |");
+    let mut failed = false;
+    for metric in METRICS {
+        let label = format!("{} `{}`", metric.file, metric.key);
+        let current = match load_metric(&current_dir, metric.file, metric.key) {
+            Ok(v) => v,
+            Err(e) => {
+                // A missing *current* number means the bench did not run
+                // or dropped the key: always a failure.
+                println!("| {label} | — | — | — | MISSING: {e} |");
+                failed = true;
+                continue;
+            }
+        };
+        let baseline = match load_metric(&baseline_dir, metric.file, metric.key) {
+            Ok(v) => v,
+            Err(e) => {
+                // A missing baseline is a new metric, not a regression.
+                println!("| {label} | — | {current:.2} | — | NEW ({e}) |");
+                continue;
+            }
+        };
+        let ratio = current / baseline.max(f64::MIN_POSITIVE);
+        let regressed = current < baseline * tolerance;
+        let status = match (regressed, metric.gating) {
+            (false, _) => "ok",
+            (true, true) => {
+                failed = true;
+                "REGRESSED"
+            }
+            (true, false) => "regressed (non-gating)",
+        };
+        println!("| {label} | {baseline:.2} | {current:.2} | {ratio:.3}x | {status} |");
+    }
+    println!();
+    if failed {
+        println!(
+            "**FAIL**: a gating metric regressed more than {:.0}% below its \
+             committed baseline.",
+            (1.0 - tolerance) * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("**PASS**: all gating metrics within tolerance of the committed baselines.");
+        ExitCode::SUCCESS
+    }
+}

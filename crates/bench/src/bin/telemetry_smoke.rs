@@ -105,9 +105,12 @@ fn check_keys(doc: &ssresf_json::Value, section: &str, expected: &[&str]) {
 }
 
 /// Bit-parallel batched campaigns publish their own key set: the
-/// `campaign.batch_occupancy` histogram and a nonzero
-/// `campaign.engine.word_evals` counter, and the deterministic export must
-/// stay byte-stable across repeat runs.
+/// `campaign.batch_occupancy` histogram, a nonzero
+/// `campaign.engine.word_evals` counter, and the
+/// `campaign.batch.collapsed_faults` / `campaign.batch.lane_refills`
+/// counters (present even when zero, so the batched key set is stable
+/// across configs). The deterministic export must stay byte-stable across
+/// repeat runs — including on the wide collapse+refill path.
 fn check_batched(netlist: &ssresf_netlist::FlatNetlist) {
     let dut =
         Dut::from_conventions(netlist).unwrap_or_else(|e| fail(&format!("batched: no DUT: {e}")));
@@ -117,7 +120,7 @@ fn check_batched(netlist: &ssresf_netlist::FlatNetlist) {
         .step_by(11)
         .take(16)
         .collect();
-    let config = CampaignConfig {
+    let base = CampaignConfig {
         workload: Workload {
             reset_cycles: 3,
             run_cycles: 40,
@@ -127,30 +130,58 @@ fn check_batched(netlist: &ssresf_netlist::FlatNetlist) {
         threads: 2,
         ..CampaignConfig::default()
     };
-    let mut exports = Vec::with_capacity(2);
-    for repeat in 0..2 {
-        let metrics = MetricsRegistry::new();
-        let outcome = run_campaign_with(&dut, &cells, &config, &Instrument::with_metrics(&metrics))
-            .unwrap_or_else(|e| fail(&format!("batched: campaign run {repeat} failed: {e}")));
-        if outcome.telemetry.engine.word_evals == 0 {
-            fail("batched: campaign reported zero word evaluations");
+    let wide = CampaignConfig {
+        batch_lanes: 256,
+        collapse_faults: true,
+        lane_refill: true,
+        ..base
+    };
+    for (label, config) in [("64-lane", &base), ("256-lane collapse+refill", &wide)] {
+        let mut exports = Vec::with_capacity(2);
+        for repeat in 0..2 {
+            let metrics = MetricsRegistry::new();
+            let outcome =
+                run_campaign_with(&dut, &cells, config, &Instrument::with_metrics(&metrics))
+                    .unwrap_or_else(|e| {
+                        fail(&format!(
+                            "batched/{label}: campaign run {repeat} failed: {e}"
+                        ))
+                    });
+            if outcome.telemetry.engine.word_evals == 0 {
+                fail(&format!(
+                    "batched/{label}: campaign reported zero word evaluations"
+                ));
+            }
+            exports.push(metrics.to_json_deterministic().to_string_pretty());
         }
-        exports.push(metrics.to_json_deterministic().to_string_pretty());
-    }
-    if exports[0] != exports[1] {
-        fail("batched: deterministic metrics export differs across repeat runs");
-    }
-    let doc = ssresf_json::parse(&exports[0])
-        .unwrap_or_else(|e| fail(&format!("batched: export is not valid JSON: {e}")));
-    check_keys(&doc, "counters", &["campaign.engine.word_evals"]);
-    check_keys(&doc, "histograms", &["campaign.batch_occupancy"]);
-    let word_evals = doc
-        .get("counters")
-        .and_then(|c| c.get("campaign.engine.word_evals"))
-        .and_then(ssresf_json::Value::as_u64)
-        .unwrap_or(0);
-    if word_evals == 0 {
-        fail("batched: exported campaign.engine.word_evals is zero");
+        if exports[0] != exports[1] {
+            fail(&format!(
+                "batched/{label}: deterministic metrics export differs across repeat runs"
+            ));
+        }
+        let doc = ssresf_json::parse(&exports[0])
+            .unwrap_or_else(|e| fail(&format!("batched/{label}: export is not valid JSON: {e}")));
+        check_keys(
+            &doc,
+            "counters",
+            &[
+                "campaign.engine.word_evals",
+                "campaign.batch.collapsed_faults",
+                "campaign.batch.lane_refills",
+            ],
+        );
+        check_keys(&doc, "histograms", &["campaign.batch_occupancy"]);
+        let counter = |key: &str| {
+            doc.get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(ssresf_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        if counter("campaign.engine.word_evals") == 0 {
+            fail(&format!(
+                "batched/{label}: exported campaign.engine.word_evals is zero"
+            ));
+        }
     }
 }
 
@@ -178,6 +209,16 @@ fn main() {
     check_keys(&doc, "gauges", EXPECTED_GAUGES);
     check_keys(&doc, "timings_s", EXPECTED_TIMINGS);
     check_keys(&doc, "histograms", EXPECTED_HISTOGRAMS);
+    // Batch-only keys must stay out of scalar-mode exports so the key set
+    // keeps distinguishing the two campaign paths.
+    for key in [
+        "campaign.batch.collapsed_faults",
+        "campaign.batch.lane_refills",
+    ] {
+        if doc.get("counters").and_then(|c| c.get(key)).is_some() {
+            fail(&format!("scalar-mode export leaked batch-only key `{key}`"));
+        }
+    }
 
     check_batched(&netlist);
 

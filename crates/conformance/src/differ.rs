@@ -486,8 +486,10 @@ fn check_campaigns(scenario: &Scenario, flat: &FlatNetlist) -> Result<(), String
 }
 
 /// 8. Bit-parallel batched campaigns — from scratch, under checkpointed
-///    fast-forward, and with early stop — must produce records byte-identical
-///    to a scratch scalar levelized campaign over the same fault targets.
+///    fast-forward, with early stop, at every supported lane width
+///    (64/256/512), and with fault-list collapsing plus early lane
+///    retirement — must produce records byte-identical to a scratch scalar
+///    levelized campaign over the same fault targets.
 fn check_batched_campaign(scenario: &Scenario, flat: &FlatNetlist) -> Result<(), String> {
     let dut = Dut::from_conventions(flat).map_err(|e| format!("batched: no DUT: {e}"))?;
     let mut cells: Vec<CellId> = scenario
@@ -514,18 +516,30 @@ fn check_batched_campaign(scenario: &Scenario, flat: &FlatNetlist) -> Result<(),
     };
     let scalar = run_campaign(&dut, &cells, &base)
         .map_err(|e| format!("batched: scalar reference run failed: {e}"))?;
-    for (label, interval, early_stop) in [
-        ("scratch", 0, false),
-        ("checkpointed", scenario.checkpoint_interval, false),
-        ("early-stop", scenario.checkpoint_interval, true),
+    // Each width runs a plain scratch config and the full fast path
+    // (checkpointed + early-stop + collapsing + lane refill); width 64
+    // additionally covers checkpointing and early stop in isolation.
+    let ckpt = scenario.checkpoint_interval;
+    for (label, batch_lanes, interval, early_stop, collapse_faults, lane_refill) in [
+        ("scratch/64", 64, 0, false, false, false),
+        ("checkpointed/64", 64, ckpt, false, false, false),
+        ("early-stop/64", 64, ckpt, true, false, false),
+        ("collapse-refill/64", 64, ckpt, true, true, true),
+        ("scratch/256", 256, 0, false, false, false),
+        ("collapse-refill/256", 256, ckpt, true, true, true),
+        ("scratch/512", 512, 0, false, false, false),
+        ("collapse-refill/512", 512, ckpt, true, true, true),
     ] {
         let batched = run_campaign(
             &dut,
             &cells,
             &CampaignConfig {
                 batching: true,
+                batch_lanes,
                 checkpoint_interval: interval,
                 early_stop,
+                collapse_faults,
+                lane_refill,
                 ..base
             },
         )

@@ -18,11 +18,11 @@
 
 use crate::error::SsresfError;
 use crate::progress::{CampaignProgress, Instrument, ProgressPhase, WorkerUtilization};
-use crate::workload::{Dut, EngineKind, Workload};
+use crate::workload::{Dut, EngineKind, GoldenRun, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use ssresf_netlist::CellId;
+use ssresf_netlist::{CellId, CellKind, FlatNetlist};
 use ssresf_radiation::{PulseWidthModel, RadiationEnvironment};
 use ssresf_sim::{CycleTrace, EngineTelemetry, Fault, SetFault, SeuFault};
 use std::collections::BTreeMap;
@@ -57,18 +57,44 @@ pub struct CampaignConfig {
     /// records are bit-identical either way.
     #[serde(default)]
     pub early_stop: bool,
-    /// Pack up to 63 fault instances per bit-parallel batch
-    /// ([`Dut::run_batch`]) instead of simulating them one scalar run at a
-    /// time. Requires [`EngineKind::Levelized`] — the event-driven engine
-    /// resolves sub-cycle SET timing that cannot be lane-packed. Records
-    /// are bit-identical to scalar-mode records for the same seed and
-    /// config, across any thread count.
+    /// Pack fault instances into bit-parallel batches ([`Dut::run_batch`])
+    /// instead of simulating them one scalar run at a time. Requires
+    /// [`EngineKind::Levelized`] — the event-driven engine resolves
+    /// sub-cycle SET timing that cannot be lane-packed. Records are
+    /// bit-identical to scalar-mode records for the same seed and config,
+    /// across any thread count.
     #[serde(default)]
     pub batching: bool,
+    /// Lanes per bit-parallel batch: one of
+    /// [`ssresf_sim::SUPPORTED_LANE_COUNTS`] (64/256/512, i.e. `LaneWord`
+    /// chunk widths 1/4/8). One lane always carries the golden run, so a
+    /// batch packs up to `batch_lanes - 1` faults. Only meaningful with
+    /// [`batching`](CampaignConfig::batching).
+    #[serde(default = "default_batch_lanes")]
+    pub batch_lanes: usize,
+    /// Collapse equivalent faults onto one representative lane: SEUs on
+    /// the same flip-flop bit and cycle, and SETs whose nets reach the
+    /// same point through single-fanout buffer chains on the same cycle,
+    /// share one simulated lane; the verdict scatters back to every
+    /// collapsed record. Exact (not approximate) under the levelized
+    /// cycle-wide fault semantics, so records stay bit-identical. Requires
+    /// [`batching`](CampaignConfig::batching).
+    #[serde(default)]
+    pub collapse_faults: bool,
+    /// Retire lanes early and refill them mid-sweep from the pending fault
+    /// queue ([`Dut::run_batch_queue`]) instead of idling retired lanes
+    /// until the batch-wide stop. Records stay bit-identical. Requires
+    /// [`batching`](CampaignConfig::batching).
+    #[serde(default)]
+    pub lane_refill: bool,
 }
 
 fn default_checkpoint_interval() -> u64 {
     10
+}
+
+fn default_batch_lanes() -> usize {
+    ssresf_sim::WORD_LANES
 }
 
 impl Default for CampaignConfig {
@@ -84,6 +110,9 @@ impl Default for CampaignConfig {
             checkpoint_interval: default_checkpoint_interval(),
             early_stop: false,
             batching: false,
+            batch_lanes: default_batch_lanes(),
+            collapse_faults: false,
+            lane_refill: false,
         }
     }
 }
@@ -111,6 +140,14 @@ pub struct CampaignTelemetry {
     pub checkpoint_restores: u64,
     /// Injection runs whose simulated tail was truncated by early stop.
     pub early_stop_truncations: u64,
+    /// Faults answered by an equivalence-class representative lane instead
+    /// of a lane of their own (fault-list collapsing).
+    #[serde(default)]
+    pub collapsed_faults: u64,
+    /// Retired lanes rewritten mid-sweep with a fresh pending fault
+    /// (queued batching).
+    #[serde(default)]
+    pub lane_refills: u64,
 }
 
 /// Per-cell injection statistics (see
@@ -263,6 +300,243 @@ struct JobResult {
     early_stopped: bool,
 }
 
+/// Per-worker statistics the batched path reports beyond its job results.
+#[derive(Default, Clone, Copy)]
+struct BatchChunkStats {
+    collapsed: u64,
+    refills: u64,
+}
+
+/// Precomputed canonical SET sites for fault-list collapsing.
+///
+/// Collapsing is only ever applied to *exactly* equivalent faults — faults
+/// that provably produce identical engine state on every cycle under the
+/// levelized (cycle-accurate) fault semantics, so the scattered-back
+/// records stay bit-identical to running every fault in its own lane:
+///
+/// - SEUs on the same sequential cell and cycle: `disturb` ignores the
+///   sub-cycle offset entirely.
+/// - SETs on the same cycle whose nets reach the same point through
+///   single-fanout `Buf` chains: the levelized engine models a SET as a
+///   cycle-wide inversion of the net, and an inversion on a buffer's
+///   *only* input is observable solely as the same inversion on the
+///   buffer's output — including under unknowns, since `Buf` propagates
+///   `X` unchanged. Inverter chains are deliberately left alone: `Buf` is
+///   the one cell whose transfer function is the identity, which keeps the
+///   dominance argument a two-line proof instead of a per-kind case split.
+struct CollapseIndex {
+    /// For each net: the far end of its single-fanout `Buf` chain, or the
+    /// net itself when no such chain leaves it.
+    canonical_net: Vec<u32>,
+}
+
+impl CollapseIndex {
+    fn build(netlist: &FlatNetlist) -> Self {
+        let nets = netlist.nets();
+        let mut is_po = vec![false; nets.len()];
+        for &po in netlist.primary_outputs() {
+            is_po[po.index()] = true;
+        }
+        // One hop down a candidate chain: the net must not be observable
+        // (a primary output), must feed exactly one input pin, and that
+        // pin must belong to a `Buf`.
+        let step = |n: usize| -> Option<usize> {
+            if is_po[n] || nets[n].loads.len() != 1 {
+                return None;
+            }
+            let reader = netlist.cell(nets[n].loads[0].0);
+            (reader.kind == CellKind::Buf).then(|| reader.output.index())
+        };
+        let mut canonical: Vec<u32> = (0..nets.len() as u32).collect();
+        for (n, slot) in canonical.iter_mut().enumerate() {
+            let mut cur = n;
+            // The flattened netlist is acyclic through combinational
+            // cells, so the walk terminates.
+            while let Some(next) = step(cur) {
+                cur = next;
+            }
+            *slot = cur as u32;
+        }
+        Self {
+            canonical_net: canonical,
+        }
+    }
+
+    /// Equivalence-class key: faults with equal keys are interchangeable
+    /// in a batch lane.
+    fn key(&self, fault: &Fault) -> (u8, u32, u64) {
+        match fault {
+            Fault::Seu(f) => (0, f.cell.0, f.cycle),
+            Fault::Set(f) => (1, self.canonical_net[f.net.index()], f.cycle),
+        }
+    }
+}
+
+/// Partitions `order` (indices into a job slice, already `(cycle, index)`
+/// sorted) into equivalence classes. Returns parallel vectors: the
+/// representative job index per class (first member in sorted order, so
+/// the list stays cycle-sorted) and every member of each class.
+fn collapse_classes(
+    jobs: &[(CellId, Fault)],
+    order: &[usize],
+    collapse: Option<&CollapseIndex>,
+) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let Some(index) = collapse else {
+        return (order.to_vec(), order.iter().map(|&i| vec![i]).collect());
+    };
+    let mut class_of: BTreeMap<(u8, u32, u64), usize> = BTreeMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for &i in order {
+        match class_of.entry(index.key(&jobs[i].1)) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                members[*e.get()].push(i);
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(reps.len());
+                reps.push(i);
+                members.push(vec![i]);
+            }
+        }
+    }
+    (reps, members)
+}
+
+/// Runs one worker's job chunk through the bit-parallel batched path at
+/// compile-time lane width `W` (64·`W` lanes), with optional fault-list
+/// collapsing and early-lane-retirement refilling. Results scatter back
+/// into `mine` at each job's original slot, so record order — and the
+/// records themselves — stay identical to scalar mode.
+#[allow(clippy::too_many_arguments)]
+fn run_batched_chunk<const W: usize>(
+    dut: &Dut<'_>,
+    config: &CampaignConfig,
+    golden_run: &GoldenRun,
+    collapse: Option<&CollapseIndex>,
+    job_chunk: &[(CellId, Fault)],
+    mine: &mut [Option<JobResult>],
+    cancel: &AtomicBool,
+    note_done: &dyn Fn(bool),
+    jobs_done: &mut usize,
+    occupancy: &mut Vec<u64>,
+) -> Result<BatchChunkStats, SsresfError> {
+    // Sorting by fault cycle lets batch-mates share one fast-forward
+    // checkpoint and makes equivalence classes contiguous.
+    let mut by_cycle: Vec<usize> = (0..job_chunk.len()).collect();
+    by_cycle.sort_by_key(|&i| (job_chunk[i].1.cycle(), i));
+    let (reps, members) = collapse_classes(job_chunk, &by_cycle, collapse);
+    let mut stats = BatchChunkStats {
+        collapsed: (job_chunk.len() - reps.len()) as u64,
+        refills: 0,
+    };
+
+    // Writes one simulated verdict back to every member of its class,
+    // splitting the batch-shared work evenly via the (k, per, rem) counter
+    // so per-injection work sums stay exact.
+    let scatter = |mine: &mut [Option<JobResult>],
+                   class: usize,
+                   soft_error: bool,
+                   divergences: usize,
+                   engine: EngineTelemetry,
+                   resumed_from: Option<u64>,
+                   early_stopped: bool,
+                   k: &mut u64,
+                   per: u64,
+                   rem: u64,
+                   jobs_done: &mut usize| {
+        for &i in &members[class] {
+            let (cell, fault) = job_chunk[i];
+            mine[i] = Some(JobResult {
+                record: InjectionRecord {
+                    cell,
+                    fault,
+                    soft_error,
+                    divergences,
+                },
+                work: per + u64::from(*k < rem),
+                engine: if *k == 0 {
+                    engine
+                } else {
+                    EngineTelemetry::default()
+                },
+                resumed_from,
+                early_stopped,
+            });
+            *k += 1;
+            *jobs_done += 1;
+            note_done(soft_error);
+        }
+    };
+
+    if config.lane_refill {
+        // One queued run retires lanes the moment their verdict is final
+        // and refills them mid-sweep, so the whole chunk is a single
+        // (multi-sweep) engine session.
+        if cancel.load(Ordering::Relaxed) {
+            return Ok(stats);
+        }
+        let faults: Vec<Fault> = reps.iter().map(|&i| job_chunk[i].1).collect();
+        let out = dut.run_batch_queue::<W>(&config.workload, &faults, golden_run)?;
+        occupancy.extend(out.occupancy.iter().copied());
+        stats.refills = out.refills;
+        let n = job_chunk.len() as u64;
+        let per = out.work / n;
+        let rem = out.work % n;
+        let mut k = 0u64;
+        for (class, fault_outcome) in out.faults.iter().enumerate() {
+            scatter(
+                mine,
+                class,
+                fault_outcome.soft_error,
+                fault_outcome.divergences,
+                out.engine,
+                fault_outcome.resumed_from,
+                fault_outcome.early_stopped,
+                &mut k,
+                per,
+                rem,
+                jobs_done,
+            );
+        }
+    } else {
+        // Fixed-size batches of class representatives (lane 0 stays
+        // golden, so a batch carries up to `64·W - 1` faults).
+        let classes: Vec<usize> = (0..reps.len()).collect();
+        for batch_classes in classes.chunks(W * ssresf_sim::WORD_LANES - 1) {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let faults: Vec<Fault> = batch_classes
+                .iter()
+                .map(|&c| job_chunk[reps[c]].1)
+                .collect();
+            let batch =
+                dut.run_batch::<W>(&config.workload, &faults, golden_run, config.early_stop)?;
+            occupancy.push(batch_classes.len() as u64);
+            let n: u64 = batch_classes.iter().map(|&c| members[c].len() as u64).sum();
+            let per = batch.work / n;
+            let rem = batch.work % n;
+            let mut k = 0u64;
+            for (&class, lane) in batch_classes.iter().zip(batch.lanes.iter()) {
+                scatter(
+                    mine,
+                    class,
+                    lane.soft_error,
+                    lane.divergences,
+                    batch.engine,
+                    batch.resumed_from,
+                    batch.early_stopped,
+                    &mut k,
+                    per,
+                    rem,
+                    jobs_done,
+                );
+            }
+        }
+    }
+    Ok(stats)
+}
+
 /// [`run_campaign`] with observability hooks attached.
 ///
 /// `hooks.progress` receives a `Start` report after the golden run, a
@@ -295,6 +569,20 @@ pub fn run_campaign_with(
         return Err(SsresfError::Config(
             "batching requires the levelized engine: the event-driven engine \
              resolves sub-cycle SET timing that cannot be lane-packed"
+                .into(),
+        ));
+    }
+    if config.batching && !ssresf_sim::SUPPORTED_LANE_COUNTS.contains(&config.batch_lanes) {
+        return Err(SsresfError::Config(format!(
+            "batch_lanes must be one of {:?}, got {}",
+            ssresf_sim::SUPPORTED_LANE_COUNTS,
+            config.batch_lanes
+        )));
+    }
+    if !config.batching && (config.collapse_faults || config.lane_refill) {
+        return Err(SsresfError::Config(
+            "collapse_faults and lane_refill are batching optimizations and \
+             require batching"
                 .into(),
         ));
     }
@@ -355,6 +643,13 @@ pub fn run_campaign_with(
 
     let mut worker_stats: Vec<WorkerUtilization> = Vec::new();
     let mut batch_occupancy: Vec<u64> = Vec::new();
+    let mut collapsed_faults = 0u64;
+    let mut lane_refills = 0u64;
+    // Shared by every worker; cheap to build (one pass over the netlist).
+    let collapse_index = config
+        .collapse_faults
+        .then(|| CollapseIndex::build(dut.netlist()));
+    let collapse = collapse_index.as_ref();
     std::thread::scope(|scope| {
         let mut remaining: &mut [Option<JobResult>] = &mut results;
         let chunk = jobs.len().div_ceil(threads).max(1);
@@ -396,61 +691,30 @@ pub fn run_campaign_with(
                         *guard = Some(e);
                     }
                 };
+                let mut stats = BatchChunkStats::default();
                 if config.batching {
-                    // Group this worker's jobs into up-to-63-lane batches.
-                    // Sorting by fault cycle lets batch-mates share one
-                    // fast-forward checkpoint; results scatter back to their
-                    // original slots, so the record order (and therefore the
-                    // records themselves) is identical to scalar mode.
-                    let mut by_cycle: Vec<usize> = (0..job_chunk.len()).collect();
-                    by_cycle.sort_by_key(|&i| (job_chunk[i].1.cycle(), i));
-                    for lanes in by_cycle.chunks(ssresf_sim::LANES - 1) {
-                        if cancel.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let faults: Vec<Fault> = lanes.iter().map(|&i| job_chunk[i].1).collect();
-                        match dut.run_batch(
-                            &config.workload,
-                            &faults,
-                            golden_run,
-                            config.early_stop,
-                        ) {
-                            Ok(batch) => {
-                                occupancy.push(lanes.len() as u64);
-                                // Split the shared word-eval work evenly so
-                                // per-injection sums stay exact.
-                                let n = lanes.len() as u64;
-                                let per = batch.work / n;
-                                let rem = (batch.work % n) as usize;
-                                for (k, (&i, lane)) in
-                                    lanes.iter().zip(batch.lanes.iter()).enumerate()
-                                {
-                                    let (cell, fault) = job_chunk[i];
-                                    mine[i] = Some(JobResult {
-                                        record: InjectionRecord {
-                                            cell,
-                                            fault,
-                                            soft_error: lane.soft_error,
-                                            divergences: lane.divergences,
-                                        },
-                                        work: per + u64::from(k < rem),
-                                        engine: if k == 0 {
-                                            batch.engine
-                                        } else {
-                                            EngineTelemetry::default()
-                                        },
-                                        resumed_from: batch.resumed_from,
-                                        early_stopped: batch.early_stopped,
-                                    });
-                                    jobs_done += 1;
-                                    note_done(lane.soft_error);
-                                }
-                            }
-                            Err(e) => {
-                                fail(e);
-                                break;
-                            }
-                        }
+                    // Dispatch the configured lane count to a compile-time
+                    // width so the hot loops stay monomorphized over
+                    // fixed-size chunk arrays.
+                    let run = match config.batch_lanes {
+                        256 => run_batched_chunk::<4>,
+                        512 => run_batched_chunk::<8>,
+                        _ => run_batched_chunk::<1>,
+                    };
+                    match run(
+                        dut,
+                        config,
+                        golden_run,
+                        collapse,
+                        job_chunk,
+                        mine,
+                        cancel,
+                        &note_done,
+                        &mut jobs_done,
+                        &mut occupancy,
+                    ) {
+                        Ok(s) => stats = s,
+                        Err(e) => fail(e),
                     }
                 } else {
                     for ((cell, fault), slot) in job_chunk.iter().zip(mine.iter_mut()) {
@@ -499,13 +763,16 @@ pub fn run_campaign_with(
                         busy: worker_started.elapsed(),
                     },
                     occupancy,
+                    stats,
                 )
             }));
         }
         for handle in handles {
-            let (stats, occupancy) = handle.join().expect("campaign worker panicked");
+            let (stats, occupancy, chunk_stats) = handle.join().expect("campaign worker panicked");
             worker_stats.push(stats);
             batch_occupancy.extend(occupancy);
+            collapsed_faults += chunk_stats.collapsed;
+            lane_refills += chunk_stats.refills;
         }
     });
 
@@ -519,6 +786,8 @@ pub fn run_campaign_with(
         engine: golden.outcome.engine,
         checkpoint_restores: 0,
         early_stop_truncations: 0,
+        collapsed_faults,
+        lane_refills,
     };
     for slot in results {
         let result = slot.expect("worker completed without error");
@@ -557,6 +826,7 @@ pub fn run_campaign_with(
             threads,
             &worker_stats,
             &batch_occupancy,
+            config.batching,
         );
     }
 
@@ -591,6 +861,7 @@ fn record_campaign_metrics(
     threads: usize,
     worker_stats: &[WorkerUtilization],
     batch_occupancy: &[u64],
+    batching: bool,
 ) {
     metrics.counter_add("campaign.injections.total", records.len() as u64);
     metrics.counter_add(
@@ -623,6 +894,15 @@ fn record_campaign_metrics(
         telemetry.early_stop_truncations,
     );
     metrics.counter_add("campaign.work.total", total_work);
+    // Batched-mode-only counters: emitted even when zero so the batched
+    // key set is stable across configs, but absent in scalar mode.
+    if batching {
+        metrics.counter_add(
+            "campaign.batch.collapsed_faults",
+            telemetry.collapsed_faults,
+        );
+        metrics.counter_add("campaign.batch.lane_refills", telemetry.lane_refills);
+    }
     for &work in work_per_injection {
         metrics.observe("campaign.work_per_injection", work as f64);
     }
@@ -1135,6 +1415,236 @@ mod tests {
             stopped.total_work,
             plain.total_work
         );
+    }
+
+    /// Regression test: a batch mixing early- and late-cycle faults must
+    /// not early-stop before the late fault's injection cycle. The gate in
+    /// [`Dut::run_batch`] waits for the latest fault cycle; without it,
+    /// the cycle-2 upset here re-converges (and the whole batch state
+    /// equals golden) long before cycle 40, and the second fault would
+    /// never fire.
+    #[test]
+    fn batched_early_stop_waits_for_late_faults_in_mixed_batches() {
+        let flat = shift_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let workload = Workload {
+            reset_cycles: 2,
+            run_cycles: 60,
+        };
+        let golden = dut
+            .run_golden_with_checkpoints(EngineKind::Levelized, &workload, 5)
+            .unwrap();
+        let seu = |name: &str, cycle: u64| {
+            let (id, _) = flat.iter_cells().find(|(_, c)| c.name == name).unwrap();
+            Fault::Seu(SeuFault {
+                cell: id,
+                cycle,
+                offset: 0.5,
+            })
+        };
+        let faults = [seu("u_sh_0", 2), seu("u_sh_2", 40)];
+        let batch = dut
+            .run_batch::<1>(&workload, &faults, &golden, true)
+            .unwrap();
+        // Both upsets hit observable shift stages; the second lane can
+        // only report one if its cycle-40 injection actually ran.
+        assert!(batch.lanes[0].soft_error);
+        assert!(batch.lanes[1].soft_error);
+        // The tail after the late upset flushes is still truncated.
+        assert!(batch.early_stopped);
+        // And each lane's verdict matches running its fault alone.
+        for (i, fault) in faults.iter().enumerate() {
+            let solo = dut
+                .run_batch::<1>(&workload, std::slice::from_ref(fault), &golden, false)
+                .unwrap();
+            assert_eq!(batch.lanes[i].divergences, solo.lanes[0].divergences);
+        }
+    }
+
+    #[test]
+    fn collapsing_and_refill_keep_records_identical_across_widths() {
+        // The shift register re-converges after an upset flushes, so
+        // retired lanes actually free up for refilling (a counter would
+        // diverge forever and never retire a lane).
+        let flat = shift_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        // 5 cells x 20 injections = 100 jobs: more than 63, so the 64-lane
+        // queued path must refill retired lanes; a 0..30 cycle range over
+        // 20 draws per cell makes same-site collisions (and therefore
+        // collapsing) near-certain under the fixed seed.
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 30,
+            },
+            injections_per_cell: 20,
+            engine: EngineKind::Levelized,
+            checkpoint_interval: 5,
+            ..CampaignConfig::default()
+        };
+        let scalar = run_campaign(&dut, &cells, &CampaignConfig { threads: 1, ..base }).unwrap();
+        let mut saw_collapse = false;
+        let mut saw_refill = false;
+        for batch_lanes in ssresf_sim::SUPPORTED_LANE_COUNTS {
+            for (collapse_faults, lane_refill) in [(true, false), (false, true), (true, true)] {
+                for threads in [1usize, 3] {
+                    let fast = run_campaign(
+                        &dut,
+                        &cells,
+                        &CampaignConfig {
+                            batching: true,
+                            batch_lanes,
+                            collapse_faults,
+                            lane_refill,
+                            threads,
+                            ..base
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        scalar.records, fast.records,
+                        "lanes={batch_lanes} collapse={collapse_faults} \
+                         refill={lane_refill} threads={threads}"
+                    );
+                    assert_eq!(scalar.golden, fast.golden);
+                    saw_collapse |= fast.telemetry.collapsed_faults > 0;
+                    saw_refill |= fast.telemetry.lane_refills > 0;
+                    if !collapse_faults {
+                        assert_eq!(fast.telemetry.collapsed_faults, 0);
+                    }
+                    if !lane_refill {
+                        assert_eq!(fast.telemetry.lane_refills, 0);
+                    }
+                }
+            }
+        }
+        assert!(saw_collapse, "no equivalent faults ever collapsed");
+        assert!(saw_refill, "the queued path never refilled a retired lane");
+    }
+
+    /// A toggler feeding a two-buffer chain into a capture flop: SETs
+    /// anywhere on the chain are exactly equivalent to a SET on the chain
+    /// end, so they collapse to one lane per cycle.
+    fn buffer_chain_netlist() -> FlatNetlist {
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("bufchain");
+        let clk = mb.port("clk", PortDir::Input);
+        let rst_n = mb.port("rst_n", PortDir::Input);
+        let q0 = mb.port("q0", PortDir::Output);
+        let tap = mb.port("tap", PortDir::Output);
+        let nq = mb.net("nq");
+        mb.cell("u_inv", CellKind::Inv, &[q0], &[nq]).unwrap();
+        mb.cell("u_ff", CellKind::Dffr, &[clk, nq, rst_n], &[q0])
+            .unwrap();
+        let c1 = mb.net("c1");
+        let c2 = mb.net("c2");
+        mb.cell("u_buf_0", CellKind::Buf, &[q0], &[c1]).unwrap();
+        mb.cell("u_buf_1", CellKind::Buf, &[c1], &[c2]).unwrap();
+        mb.cell("u_cap", CellKind::Dffr, &[clk, c2, rst_n], &[tap])
+            .unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        design.flatten().unwrap()
+    }
+
+    #[test]
+    fn collapse_index_canonicalizes_buffer_chains() {
+        let flat = buffer_chain_netlist();
+        let index = CollapseIndex::build(&flat);
+        let net = |name: &str| flat.net_by_name(name).unwrap();
+        // c1 feeds only u_buf_1, so it canonicalizes to the chain end c2.
+        assert_eq!(index.canonical_net[net("c1").index()], net("c2").0);
+        // c2 feeds a flop, not a buffer: it is its own canonical site.
+        assert_eq!(index.canonical_net[net("c2").index()], net("c2").0);
+        // q0 is a primary output (and fans out to two cells): observable
+        // sites never collapse into their readers.
+        assert_eq!(index.canonical_net[net("q0").index()], net("q0").0);
+        // SETs across the chain on the same cycle share one key; cycles
+        // keep classes apart.
+        let set = |name: &str, cycle: u64| {
+            Fault::Set(SetFault {
+                net: net(name),
+                cycle,
+                offset: 0.25,
+                width: 0.5,
+            })
+        };
+        assert_eq!(index.key(&set("c1", 3)), index.key(&set("c2", 3)));
+        assert_ne!(index.key(&set("c1", 3)), index.key(&set("c2", 4)));
+    }
+
+    #[test]
+    fn buffer_chain_sets_collapse_and_match_scalar_records() {
+        let flat = buffer_chain_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        // Only the two buffers: 2 cells x 2 SETs over a 2-cycle window all
+        // share the canonical site c2, so at most two classes (one per
+        // cycle) survive out of 4 jobs — at least 2 faults must collapse.
+        let cells: Vec<CellId> = flat
+            .iter_cells()
+            .filter(|(_, c)| c.name.starts_with("u_buf_"))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(cells.len(), 2);
+        let base = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 2,
+            },
+            injections_per_cell: 2,
+            engine: EngineKind::Levelized,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let scalar = run_campaign(&dut, &cells, &base).unwrap();
+        let collapsed = run_campaign(
+            &dut,
+            &cells,
+            &CampaignConfig {
+                batching: true,
+                collapse_faults: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(scalar.records, collapsed.records);
+        assert!(collapsed.telemetry.collapsed_faults >= 2);
+    }
+
+    #[test]
+    fn unsupported_batch_lanes_rejected() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let config = CampaignConfig {
+            engine: EngineKind::Levelized,
+            batching: true,
+            batch_lanes: 128,
+            ..CampaignConfig::default()
+        };
+        assert!(matches!(
+            run_campaign(&dut, &cells, &config),
+            Err(SsresfError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn collapse_and_refill_require_batching() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        for (collapse_faults, lane_refill) in [(true, false), (false, true)] {
+            let config = CampaignConfig {
+                collapse_faults,
+                lane_refill,
+                ..CampaignConfig::default()
+            };
+            assert!(matches!(
+                run_campaign(&dut, &cells, &config),
+                Err(SsresfError::Config(_))
+            ));
+        }
     }
 
     #[test]

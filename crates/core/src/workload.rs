@@ -11,8 +11,9 @@ use serde::{Deserialize, Serialize};
 use ssresf_netlist::{FlatNetlist, NetId};
 use ssresf_sim::{
     BitParallelEngine, CycleTrace, Engine, EngineState, EngineTelemetry, EventDrivenEngine, Fault,
-    LevelizedEngine, Logic, SetFault, SeuFault, LANES,
+    LaneMask, LevelizedEngine, Logic, SetFault, SeuFault, WORD_LANES,
 };
+use std::collections::VecDeque;
 
 /// Which simulation engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -95,6 +96,40 @@ pub struct BatchOutcome {
     pub resumed_from: Option<u64>,
     /// Whether early stop truncated the batch's simulated tail.
     pub early_stopped: bool,
+}
+
+/// Per-fault observation of a queued batched run
+/// ([`Dut::run_batch_queue`]): a [`LaneOutcome`] plus the fast-forward and
+/// truncation facts of the sweep segment that carried the fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedFaultOutcome {
+    /// Whether the lane's primary outputs ever differed from the golden
+    /// lane.
+    pub soft_error: bool,
+    /// Number of (cycle, signal) divergences against the golden lane.
+    pub divergences: usize,
+    /// The golden checkpoint cycle the fault's sweep fast-forwarded from.
+    pub resumed_from: Option<u64>,
+    /// Whether the lane retired (verdict final) before the workload end.
+    pub early_stopped: bool,
+}
+
+/// Outcome of one queued bit-parallel run ([`Dut::run_batch_queue`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQueueOutcome {
+    /// One observation per queued fault, in input order.
+    pub faults: Vec<QueuedFaultOutcome>,
+    /// Word evaluations spent across all sweeps (excluding fast-forwarded
+    /// prefixes).
+    pub work: u64,
+    /// Aggregated engine-level counters over all sweeps.
+    pub engine: EngineTelemetry,
+    /// Faults carried per sweep, including mid-sweep refills (the batch
+    /// occupancy histogram input).
+    pub occupancy: Vec<u64>,
+    /// Mid-sweep lane refills performed (retired lanes rewritten with a
+    /// fresh pending fault).
+    pub refills: u64,
 }
 
 /// A golden-run engine snapshot taken at a post-reset cycle boundary.
@@ -279,10 +314,10 @@ impl<'a> Dut<'a> {
         }
     }
 
-    /// Runs up to [`LANES`]` - 1` faulty instances in one bit-parallel
-    /// sweep: lane 0 replays the golden run, lane `i + 1` carries
-    /// `faults[i]`, and the whole batch shares one netlist evaluation per
-    /// cycle.
+    /// Runs up to `W * 64 - 1` faulty instances in one bit-parallel sweep:
+    /// lane 0 replays the golden run, lane `i + 1` carries `faults[i]`,
+    /// and the whole batch shares one netlist evaluation per cycle. `W` is
+    /// the lane-word chunk count (1/4/8 for 64/256/512 lanes).
     ///
     /// Per-lane observations are bit-identical to what a scalar
     /// [`Dut::resume`] with the single fault would yield through a
@@ -292,7 +327,10 @@ impl<'a> Dut<'a> {
     /// (the checkpoints must come from a levelized golden run), and with
     /// `early_stop` it terminates at the first checkpoint boundary past
     /// the last fault cycle where *every* lane has re-converged with the
-    /// golden run.
+    /// golden run. The early-stop gate waits for the **latest** fault
+    /// cycle in the batch, so mixing early- and late-cycle faults can
+    /// never truncate a later fault's injection window (the regression
+    /// test for this lives in the campaign module).
     ///
     /// # Errors
     ///
@@ -300,21 +338,22 @@ impl<'a> Dut<'a> {
     ///
     /// # Panics
     ///
-    /// Panics when `faults` is empty or exceeds [`LANES`]` - 1`, when
+    /// Panics when `faults` is empty or exceeds `W * 64 - 1`, when
     /// `golden` does not cover `workload.run_cycles`, or if the golden
     /// lane ever disagrees with the golden trace (an engine bug, never
     /// silent data corruption).
-    pub fn run_batch(
+    pub fn run_batch<const W: usize>(
         &self,
         workload: &Workload,
         faults: &[Fault],
         golden: &GoldenRun,
         early_stop: bool,
     ) -> Result<BatchOutcome, SsresfError> {
+        let lanes = W * WORD_LANES;
         assert!(
-            (1..LANES).contains(&faults.len()),
+            (1..lanes).contains(&faults.len()),
             "a batch carries 1..={} faults, got {}",
-            LANES - 1,
+            lanes - 1,
             faults.len()
         );
         let golden_rows = &golden.outcome.trace.rows;
@@ -323,7 +362,7 @@ impl<'a> Dut<'a> {
             workload.run_cycles as usize,
             "golden trace does not cover the workload"
         );
-        let mut engine = BitParallelEngine::new(self.netlist, self.clock)?;
+        let mut engine = BitParallelEngine::<W>::new(self.netlist, self.clock)?;
 
         let first_fault = faults.iter().map(Fault::cycle).min().unwrap_or(0);
         let resumed_from = match golden.nearest_checkpoint(first_fault) {
@@ -339,29 +378,13 @@ impl<'a> Dut<'a> {
         let resumed_at = engine.word_evals();
         let telemetry_base = engine.telemetry();
 
-        let offset = if self.reset.is_some() {
-            workload.reset_cycles
-        } else {
-            0
-        };
         for (i, fault) in faults.iter().enumerate() {
-            let shifted = match *fault {
-                Fault::Seu(f) => Fault::Seu(SeuFault {
-                    cycle: f.cycle + offset,
-                    ..f
-                }),
-                Fault::Set(f) => Fault::Set(SetFault {
-                    cycle: f.cycle + offset,
-                    ..f
-                }),
-            };
-            engine.schedule_fault_in_lane(i + 1, shifted);
+            engine.schedule_fault_in_lane(i + 1, self.shift_fault(workload, fault));
         }
 
         let (outputs, _) = self.observed_outputs();
-        // Lanes carrying faults; avoids the undefined `1 << 64` for a full
-        // 63-fault batch.
-        let fault_mask = (1..=faults.len()).fold(0u64, |m, l| m | (1 << l));
+        // Lanes carrying faults (lane 0 stays golden).
+        let fault_mask = LaneMask::<W>::fault_lanes(faults.len());
         let mut divergences = vec![0usize; faults.len()];
         let last_fault = faults.iter().map(Fault::cycle).max().unwrap_or(0);
         let mut early_stopped = false;
@@ -377,14 +400,10 @@ impl<'a> Dut<'a> {
                     row[j],
                     "golden lane diverged from the golden trace at cycle {done}"
                 );
-                let mut lanes = engine.lanes_differing_from_golden(net) & fault_mask;
-                while lanes != 0 {
-                    let lane = lanes.trailing_zeros() as usize;
-                    divergences[lane - 1] += 1;
-                    lanes &= lanes - 1;
-                }
+                let diff = engine.lanes_differing_from_golden(net) & fault_mask;
+                diff.for_each_lane(|lane| divergences[lane - 1] += 1);
             }
-            if early_stop && done > last_fault && engine.diverged_lanes() == 0 {
+            if early_stop && done > last_fault && engine.diverged_lanes().none() {
                 let converged = golden
                     .checkpoint_at(done)
                     .is_some_and(|reference| engine.snapshot().converged_with(reference.state()));
@@ -410,6 +429,192 @@ impl<'a> Dut<'a> {
             resumed_from,
             early_stopped,
         })
+    }
+
+    /// Runs an arbitrarily long fault queue through bit-parallel sweeps
+    /// with early lane retirement: as soon as a lane's fault has fired and
+    /// the lane has re-converged with the golden lane, its verdict is
+    /// final — the lane retires and is rewritten mid-sweep with the next
+    /// pending fault whose injection cycle has not yet passed. Pending
+    /// faults that cannot be refilled into the current sweep (their cycle
+    /// already passed) seed the next sweep, which fast-forwards from the
+    /// latest golden checkpoint at or before its earliest fault.
+    ///
+    /// A sweep ends as soon as every lane has retired, so queued runs are
+    /// implicitly early-stopping. Per-fault observations are nevertheless
+    /// bit-identical to [`Dut::run_batch`] and to scalar [`Dut::resume`]
+    /// runs: a lane only retires when its full engine state equals the
+    /// golden lane's, which (lane 0 being deterministic) proves the
+    /// remaining cycles diverge nowhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `faults` is empty, when `golden` does not cover
+    /// `workload.run_cycles`, or if the golden lane ever disagrees with
+    /// the golden trace.
+    pub fn run_batch_queue<const W: usize>(
+        &self,
+        workload: &Workload,
+        faults: &[Fault],
+        golden: &GoldenRun,
+    ) -> Result<BatchQueueOutcome, SsresfError> {
+        let lanes = W * WORD_LANES;
+        assert!(!faults.is_empty(), "a queued batch needs at least 1 fault");
+        let golden_rows = &golden.outcome.trace.rows;
+        assert_eq!(
+            golden_rows.len(),
+            workload.run_cycles as usize,
+            "golden trace does not cover the workload"
+        );
+        let (outputs, _) = self.observed_outputs();
+
+        // Pending faults in (cycle, input index) order; stays sorted as
+        // refills always remove the earliest eligible entry.
+        let mut order: Vec<usize> = (0..faults.len()).collect();
+        order.sort_by_key(|&i| (faults[i].cycle(), i));
+        let mut pending: VecDeque<usize> = order.into();
+
+        let mut outcomes: Vec<Option<QueuedFaultOutcome>> = vec![None; faults.len()];
+        let mut divergences = vec![0usize; faults.len()];
+        let mut work = 0u64;
+        let mut telemetry = EngineTelemetry::default();
+        let mut occupancy = Vec::new();
+        let mut refills = 0u64;
+
+        while let Some(&head) = pending.front() {
+            let mut engine = BitParallelEngine::<W>::new(self.netlist, self.clock)?;
+            let resumed_from = match golden.nearest_checkpoint(faults[head].cycle()) {
+                Some(start) => {
+                    engine.restore(start.state());
+                    Some(start.cycle)
+                }
+                None => {
+                    self.setup(&mut engine, workload);
+                    None
+                }
+            };
+            let resumed_at = engine.word_evals();
+            let telemetry_base = engine.telemetry();
+            let start_cycle = resumed_from.unwrap_or(0);
+
+            // Fill the fault lanes from the queue front (every pending
+            // fault's cycle is at least the checkpoint cycle).
+            let mut owner: Vec<Option<usize>> = vec![None; lanes];
+            let mut owned = LaneMask::<W>::EMPTY;
+            let mut carried = 0u64;
+            for (lane, slot) in owner.iter_mut().enumerate().skip(1) {
+                let Some(idx) = pending.pop_front() else {
+                    break;
+                };
+                engine.schedule_fault_in_lane(lane, self.shift_fault(workload, &faults[idx]));
+                *slot = Some(idx);
+                owned.set(lane);
+                carried += 1;
+            }
+
+            for done in (start_cycle + 1)..=workload.run_cycles {
+                engine.step_cycle();
+                let row = &golden_rows[(done - 1) as usize];
+                for (j, &net) in outputs.iter().enumerate() {
+                    assert_eq!(
+                        engine.peek(net),
+                        row[j],
+                        "golden lane diverged from the golden trace at cycle {done}"
+                    );
+                    let diff = engine.lanes_differing_from_golden(net) & owned;
+                    diff.for_each_lane(|lane| {
+                        divergences[owner[lane].expect("diff only on owned lanes")] += 1;
+                    });
+                }
+
+                // Retire lanes whose verdict is final: the fault has fired
+                // (no pending lane fault — a pending fault marks the lane
+                // diverged) and the lane's full state equals the golden
+                // lane's, so no further divergence is possible.
+                let diverged = engine.diverged_lanes();
+                for (lane, slot) in owner.iter_mut().enumerate().skip(1) {
+                    let Some(idx) = *slot else { continue };
+                    if faults[idx].cycle() >= done || diverged.get(lane) {
+                        continue;
+                    }
+                    outcomes[idx] = Some(QueuedFaultOutcome {
+                        soft_error: divergences[idx] > 0,
+                        divergences: divergences[idx],
+                        resumed_from,
+                        early_stopped: done < workload.run_cycles,
+                    });
+                    *slot = None;
+                    owned.clear(lane);
+                    // Refill with the earliest pending fault still
+                    // injectable this sweep (cycle not yet passed).
+                    let pos = pending.partition_point(|&i| faults[i].cycle() < done);
+                    if pos < pending.len() {
+                        let next = pending.remove(pos).expect("pos is in range");
+                        engine.schedule_fault_in_lane(
+                            lane,
+                            self.shift_fault(workload, &faults[next]),
+                        );
+                        *slot = Some(next);
+                        owned.set(lane);
+                        carried += 1;
+                        refills += 1;
+                    }
+                }
+                if owned.none() {
+                    // Every lane retired and nothing is refillable: the
+                    // sweep is over.
+                    break;
+                }
+            }
+
+            // Lanes still active at the workload end get their verdict now.
+            for &idx in owner.iter().flatten() {
+                outcomes[idx] = Some(QueuedFaultOutcome {
+                    soft_error: divergences[idx] > 0,
+                    divergences: divergences[idx],
+                    resumed_from,
+                    early_stopped: false,
+                });
+            }
+            work += engine.word_evals() - resumed_at;
+            telemetry.accumulate(engine.telemetry().since(telemetry_base));
+            occupancy.push(carried);
+        }
+
+        Ok(BatchQueueOutcome {
+            faults: outcomes
+                .into_iter()
+                .map(|o| o.expect("every queued fault fires before the workload ends"))
+                .collect(),
+            work,
+            engine: telemetry,
+            occupancy,
+            refills,
+        })
+    }
+
+    /// A fault with its workload-relative cycle shifted into absolute
+    /// engine cycles.
+    fn shift_fault(&self, workload: &Workload, fault: &Fault) -> Fault {
+        let offset = if self.reset.is_some() {
+            workload.reset_cycles
+        } else {
+            0
+        };
+        match *fault {
+            Fault::Seu(f) => Fault::Seu(SeuFault {
+                cycle: f.cycle + offset,
+                ..f
+            }),
+            Fault::Set(f) => Fault::Set(SetFault {
+                cycle: f.cycle + offset,
+                ..f
+            }),
+        }
     }
 
     /// Reset sequence plus post-reset memory-image load — the state every
@@ -438,23 +643,8 @@ impl<'a> Dut<'a> {
     /// Schedules `faults` with their workload-relative cycles shifted into
     /// absolute engine cycles.
     fn schedule_shifted<E: Engine>(&self, engine: &mut E, workload: &Workload, faults: &[Fault]) {
-        let offset = if self.reset.is_some() {
-            workload.reset_cycles
-        } else {
-            0
-        };
         for fault in faults {
-            let shifted = match *fault {
-                Fault::Seu(f) => Fault::Seu(SeuFault {
-                    cycle: f.cycle + offset,
-                    ..f
-                }),
-                Fault::Set(f) => Fault::Set(SetFault {
-                    cycle: f.cycle + offset,
-                    ..f
-                }),
-            };
-            engine.schedule_fault(shifted);
+            engine.schedule_fault(self.shift_fault(workload, fault));
         }
     }
 

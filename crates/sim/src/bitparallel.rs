@@ -1,15 +1,25 @@
-//! Bit-parallel batched fault simulation — the PPSFP-style 64-lane kernel.
+//! Bit-parallel batched fault simulation — the PPSFP-style wide-lane kernel.
 //!
 //! Classic fault simulators get their orders-of-magnitude wins from packing
 //! many fault instances into machine words and evaluating the netlist once
 //! for all of them. [`BitParallelEngine`] does exactly that: lane 0 carries
-//! the golden (fault-free) run and lanes 1–63 carry up to 63 independent
+//! the golden (fault-free) run and the remaining lanes carry independent
 //! fault instances, all sharing one levelized evaluation sweep per cycle.
+//!
+//! # Width parametrization
+//!
+//! The lane count is a compile-time parameter: `LaneWord<W>` holds `W`
+//! 64-bit chunks per plane, so `W = 1/4/8` gives 64/256/512 lanes (see
+//! [`SUPPORTED_LANE_COUNTS`]). The chunked representation is portable
+//! Rust — every operator is a fixed-trip-count loop over `[u64; W]` that
+//! LLVM auto-vectorizes into SSE/AVX/NEON lanes on its own, without any
+//! `core::arch` intrinsics, `unsafe`, or per-target code paths.
 //!
 //! # Two-plane encoding
 //!
 //! Each net (and each sequential cell's state) holds a [`LaneWord`]: a
-//! `val` plane and an `unk` plane of 64 bits each. Lane `i` decodes as
+//! `val` plane and an `unk` plane of `W * 64` bits each. Lane `i` decodes
+//! as
 //!
 //! | `val` bit | `unk` bit | value |
 //! |-----------|-----------|-------|
@@ -25,15 +35,15 @@
 //! Every [`eval_comb`](crate::eval::eval_comb) kind has a word-level
 //! implementation ([`eval_comb_word`]) built from the Kleene operators on
 //! [`LaneWord`]; SEU flips and cycle-widened SET pulses become per-lane
-//! mask operations ([`LaneWord::disturb`]); soft-error detection is a
-//! per-lane divergence mask against lane 0
+//! mask operations ([`LaneWord::disturb`] over a [`LaneMask`]); soft-error
+//! detection is a per-lane divergence mask against lane 0
 //! ([`BitParallelEngine::lanes_differing_from_golden`]) — no per-lane
 //! traces are ever materialised.
 //!
 //! The engine mirrors [`LevelizedEngine`](crate::LevelizedEngine)
-//! cycle-for-cycle and lane-for-lane: a batched run is bit-identical to 63
-//! scalar levelized runs, which the conformance subsystem verifies
-//! differentially.
+//! cycle-for-cycle and lane-for-lane: a batched run at any width is
+//! bit-identical to the corresponding scalar levelized runs, which the
+//! conformance subsystem verifies differentially.
 
 use crate::engine::{Engine, EngineState, EngineTelemetry};
 use crate::inject::Fault;
@@ -42,10 +52,18 @@ use crate::value::Logic;
 use crate::SimError;
 use ssresf_netlist::flat::Driver;
 use ssresf_netlist::{CellId, CellKind, FlatNetlist, NetId};
+use std::array;
 
-/// Lanes per word: lane 0 is the golden lane, lanes `1..LANES` carry
-/// fault instances.
-pub const LANES: usize = 64;
+/// Lanes per 64-bit chunk of a [`LaneWord`] plane.
+pub const WORD_LANES: usize = 64;
+
+/// Lanes of the default-width (`W = 1`) engine; lane 0 is the golden lane,
+/// lanes `1..LANES` carry fault instances.
+pub const LANES: usize = WORD_LANES;
+
+/// Lane counts with a monomorphized engine behind them (`W = 1/4/8`).
+/// Campaign-level width validation and dispatch use this list.
+pub const SUPPORTED_LANE_COUNTS: [usize; 3] = [64, 256, 512];
 
 /// Iteration bound for the asynchronous-control fixpoint (matches the
 /// levelized engine's bound).
@@ -54,27 +72,158 @@ const ASYNC_FIXPOINT_LIMIT: usize = 16;
 /// Widest cell input list (`Dffre`: CLK, D, RSTN, EN).
 const MAX_INPUTS: usize = 4;
 
-/// 64 four-state logic values in two bit-planes (see the module docs for
-/// the encoding). All operators are lane-wise Kleene logic agreeing with
-/// the scalar [`Logic`] operators.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LaneWord {
-    /// Defined-one plane.
-    pub val: u64,
-    /// Unknown plane (`X`).
-    pub unk: u64,
+/// A per-lane bitmask over `W * 64` lanes: fault targeting, divergence
+/// reporting and disturbance masks all speak this type, so a mask can
+/// never be applied at the wrong width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneMask<const W: usize = 1>(pub [u64; W]);
+
+impl<const W: usize> LaneMask<W> {
+    /// Lanes represented by this mask.
+    pub const LANES: usize = W * WORD_LANES;
+    /// No lanes set.
+    pub const EMPTY: LaneMask<W> = LaneMask([0; W]);
+    /// Every lane set (including lane 0).
+    pub const ALL: LaneMask<W> = LaneMask([!0; W]);
+
+    /// A mask with only `lane` set.
+    pub fn bit(lane: usize) -> LaneMask<W> {
+        let mut m = LaneMask::EMPTY;
+        m.set(lane);
+        m
+    }
+
+    /// The fault lanes `1..=n` (lane 0 stays golden).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not below the lane count.
+    pub fn fault_lanes(n: usize) -> LaneMask<W> {
+        assert!(
+            n < Self::LANES,
+            "{n} fault lanes exceed {}",
+            Self::LANES - 1
+        );
+        let mut m = LaneMask::EMPTY;
+        for lane in 1..=n {
+            m.set(lane);
+        }
+        m
+    }
+
+    /// Sets `lane`.
+    pub fn set(&mut self, lane: usize) {
+        debug_assert!(lane < Self::LANES);
+        self.0[lane / WORD_LANES] |= 1u64 << (lane % WORD_LANES);
+    }
+
+    /// Clears `lane`.
+    pub fn clear(&mut self, lane: usize) {
+        debug_assert!(lane < Self::LANES);
+        self.0[lane / WORD_LANES] &= !(1u64 << (lane % WORD_LANES));
+    }
+
+    /// Whether `lane` is set.
+    pub fn get(self, lane: usize) -> bool {
+        debug_assert!(lane < Self::LANES);
+        (self.0[lane / WORD_LANES] >> (lane % WORD_LANES)) & 1 == 1
+    }
+
+    /// Whether any lane is set.
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&w| w != 0)
+    }
+
+    /// Whether no lane is set.
+    pub fn none(self) -> bool {
+        !self.any()
+    }
+
+    /// Number of set lanes.
+    pub fn count(self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Calls `f` with each set lane index, in ascending order.
+    pub fn for_each_lane(self, mut f: impl FnMut(usize)) {
+        for (k, &chunk) in self.0.iter().enumerate() {
+            let mut bits = chunk;
+            while bits != 0 {
+                f(k * WORD_LANES + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
 }
 
-impl LaneWord {
+impl<const W: usize> Default for LaneMask<W> {
+    fn default() -> Self {
+        LaneMask::EMPTY
+    }
+}
+
+impl<const W: usize> std::ops::BitOr for LaneMask<W> {
+    type Output = LaneMask<W>;
+    fn bitor(self, rhs: LaneMask<W>) -> LaneMask<W> {
+        LaneMask(array::from_fn(|k| self.0[k] | rhs.0[k]))
+    }
+}
+
+impl<const W: usize> std::ops::BitOrAssign for LaneMask<W> {
+    fn bitor_assign(&mut self, rhs: LaneMask<W>) {
+        for (a, b) in self.0.iter_mut().zip(rhs.0) {
+            *a |= b;
+        }
+    }
+}
+
+impl<const W: usize> std::ops::BitAnd for LaneMask<W> {
+    type Output = LaneMask<W>;
+    fn bitand(self, rhs: LaneMask<W>) -> LaneMask<W> {
+        LaneMask(array::from_fn(|k| self.0[k] & rhs.0[k]))
+    }
+}
+
+/// `W * 64` four-state logic values in two chunked bit-planes (see the
+/// module docs for the encoding). All operators are lane-wise Kleene logic
+/// agreeing with the scalar [`Logic`] operators; every inner loop has a
+/// fixed trip count of `W`, so the compiler vectorizes them without
+/// target-specific intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneWord<const W: usize = 1> {
+    /// Defined-one plane.
+    pub val: [u64; W],
+    /// Unknown plane (`X`).
+    pub unk: [u64; W],
+}
+
+impl<const W: usize> Default for LaneWord<W> {
+    fn default() -> Self {
+        LaneWord::ZERO
+    }
+}
+
+impl<const W: usize> LaneWord<W> {
+    /// Lanes per word.
+    pub const LANES: usize = W * WORD_LANES;
     /// All lanes `0`.
-    pub const ZERO: LaneWord = LaneWord { val: 0, unk: 0 };
+    pub const ZERO: LaneWord<W> = LaneWord {
+        val: [0; W],
+        unk: [0; W],
+    };
     /// All lanes `1`.
-    pub const ONE: LaneWord = LaneWord { val: !0, unk: 0 };
+    pub const ONE: LaneWord<W> = LaneWord {
+        val: [!0; W],
+        unk: [0; W],
+    };
     /// All lanes `X`.
-    pub const UNKNOWN: LaneWord = LaneWord { val: 0, unk: !0 };
+    pub const UNKNOWN: LaneWord<W> = LaneWord {
+        val: [0; W],
+        unk: [!0; W],
+    };
 
     /// Broadcasts one scalar value into every lane (`Z` collapses to `X`).
-    pub fn splat(v: Logic) -> LaneWord {
+    pub fn splat(v: Logic) -> LaneWord<W> {
         match v {
             Logic::Zero => LaneWord::ZERO,
             Logic::One => LaneWord::ONE,
@@ -84,10 +233,11 @@ impl LaneWord {
 
     /// Decodes one lane.
     pub fn get(self, lane: usize) -> Logic {
-        debug_assert!(lane < LANES);
-        if (self.unk >> lane) & 1 == 1 {
+        debug_assert!(lane < Self::LANES);
+        let (k, b) = (lane / WORD_LANES, lane % WORD_LANES);
+        if (self.unk[k] >> b) & 1 == 1 {
             Logic::X
-        } else if (self.val >> lane) & 1 == 1 {
+        } else if (self.val[k] >> b) & 1 == 1 {
             Logic::One
         } else {
             Logic::Zero
@@ -96,72 +246,81 @@ impl LaneWord {
 
     /// Sets one lane (`Z` collapses to `X`).
     pub fn set_lane(&mut self, lane: usize, v: Logic) {
-        debug_assert!(lane < LANES);
-        let bit = 1u64 << lane;
-        self.val &= !bit;
-        self.unk &= !bit;
+        debug_assert!(lane < Self::LANES);
+        let (k, b) = (lane / WORD_LANES, lane % WORD_LANES);
+        let bit = 1u64 << b;
+        self.val[k] &= !bit;
+        self.unk[k] &= !bit;
         match v {
             Logic::Zero => {}
-            Logic::One => self.val |= bit,
-            Logic::X | Logic::Z => self.unk |= bit,
+            Logic::One => self.val[k] |= bit,
+            Logic::X | Logic::Z => self.unk[k] |= bit,
         }
     }
 
     /// Lanes holding a defined `0`.
-    pub fn defined_zero(self) -> u64 {
-        !self.val & !self.unk
+    pub fn defined_zero(self) -> LaneMask<W> {
+        LaneMask(array::from_fn(|k| !self.val[k] & !self.unk[k]))
     }
 
     /// Lane-wise negation; unknowns stay unknown.
     #[allow(clippy::should_implement_trait)]
-    pub fn not(self) -> LaneWord {
+    pub fn not(self) -> LaneWord<W> {
         LaneWord {
-            val: self.defined_zero(),
+            val: self.defined_zero().0,
             unk: self.unk,
         }
     }
 
     /// Lane-wise AND with dominance of `0`.
-    pub fn and(self, other: LaneWord) -> LaneWord {
-        let zero = self.defined_zero() | other.defined_zero();
-        let one = self.val & other.val;
-        LaneWord {
-            val: one,
-            unk: !zero & !one,
+    pub fn and(self, other: LaneWord<W>) -> LaneWord<W> {
+        let mut out = LaneWord::ZERO;
+        for k in 0..W {
+            let zero = (!self.val[k] & !self.unk[k]) | (!other.val[k] & !other.unk[k]);
+            let one = self.val[k] & other.val[k];
+            out.val[k] = one;
+            out.unk[k] = !zero & !one;
         }
+        out
     }
 
     /// Lane-wise OR with dominance of `1`.
-    pub fn or(self, other: LaneWord) -> LaneWord {
-        let one = self.val | other.val;
-        let zero = self.defined_zero() & other.defined_zero();
-        LaneWord {
-            val: one,
-            unk: !one & !zero,
+    pub fn or(self, other: LaneWord<W>) -> LaneWord<W> {
+        let mut out = LaneWord::ZERO;
+        for k in 0..W {
+            let one = self.val[k] | other.val[k];
+            let zero = (!self.val[k] & !self.unk[k]) & (!other.val[k] & !other.unk[k]);
+            out.val[k] = one;
+            out.unk[k] = !one & !zero;
         }
+        out
     }
 
     /// Lane-wise XOR; any unknown input lane yields unknown.
-    pub fn xor(self, other: LaneWord) -> LaneWord {
-        let unk = self.unk | other.unk;
-        LaneWord {
-            val: (self.val ^ other.val) & !unk,
-            unk,
+    pub fn xor(self, other: LaneWord<W>) -> LaneWord<W> {
+        let mut out = LaneWord::ZERO;
+        for k in 0..W {
+            let unk = self.unk[k] | other.unk[k];
+            out.val[k] = (self.val[k] ^ other.val[k]) & !unk;
+            out.unk[k] = unk;
         }
+        out
     }
 
     /// Multiplexer select (`self` is the select): `s ? d1 : d0`. An unknown
     /// select lane passes the common value when `d0`/`d1` agree and are
     /// defined, otherwise `X` — the word form of [`Logic::mux`].
-    pub fn mux(self, d0: LaneWord, d1: LaneWord) -> LaneWord {
-        let s1 = self.val;
-        let s0 = self.defined_zero();
-        let su = self.unk;
-        let agree = !d0.unk & !d1.unk & !(d0.val ^ d1.val);
-        LaneWord {
-            val: (s0 & d0.val) | (s1 & d1.val) | (su & agree & d0.val),
-            unk: (s0 & d0.unk) | (s1 & d1.unk) | (su & !agree),
+    pub fn mux(self, d0: LaneWord<W>, d1: LaneWord<W>) -> LaneWord<W> {
+        let mut out = LaneWord::ZERO;
+        for k in 0..W {
+            let s1 = self.val[k];
+            let s0 = !self.val[k] & !self.unk[k];
+            let su = self.unk[k];
+            let agree = !d0.unk[k] & !d1.unk[k] & !(d0.val[k] ^ d1.val[k]);
+            out.val[k] = (s0 & d0.val[k]) | (s1 & d1.val[k]) | (su & agree & d0.val[k]);
+            out.unk[k] = (s0 & d0.unk[k]) | (s1 & d1.unk[k]) | (su & !agree);
         }
+        out
     }
 
     /// Strict-X control select (`self` is the control): `c ? on_one :
@@ -170,47 +329,62 @@ impl LaneWord {
     /// [`next_state`](crate::eval::next_state) match arms, which (unlike
     /// [`mux`](LaneWord::mux)) never passes agreeing data through an `X`
     /// control.
-    pub fn select(self, on_one: LaneWord, on_zero: LaneWord) -> LaneWord {
-        let c1 = self.val;
-        let c0 = self.defined_zero();
-        LaneWord {
-            val: (c1 & on_one.val) | (c0 & on_zero.val),
-            unk: (c1 & on_one.unk) | (c0 & on_zero.unk) | self.unk,
+    pub fn select(self, on_one: LaneWord<W>, on_zero: LaneWord<W>) -> LaneWord<W> {
+        let mut out = LaneWord::ZERO;
+        for k in 0..W {
+            let c1 = self.val[k];
+            let c0 = !self.val[k] & !self.unk[k];
+            out.val[k] = (c1 & on_one.val[k]) | (c0 & on_zero.val[k]);
+            out.unk[k] = (c1 & on_one.unk[k]) | (c0 & on_zero.unk[k]) | self.unk[k];
         }
+        out
     }
 
     /// Applies the single-event disturbance rule to the lanes in `lanes`:
     /// defined values invert, undefined lanes go to a defined `1` — the
     /// word form of [`disturb`](crate::eval::disturb).
-    pub fn disturb(self, lanes: u64) -> LaneWord {
-        LaneWord {
-            val: (self.val & !lanes) | (lanes & (!self.val | self.unk)),
-            unk: self.unk & !lanes,
+    pub fn disturb(self, lanes: LaneMask<W>) -> LaneWord<W> {
+        let mut out = LaneWord::ZERO;
+        for k in 0..W {
+            let m = lanes.0[k];
+            out.val[k] = (self.val[k] & !m) | (m & (!self.val[k] | self.unk[k]));
+            out.unk[k] = self.unk[k] & !m;
         }
+        out
     }
 
     /// Forces the lanes in `lanes` to a defined `0` (async-reset override).
-    pub fn force_zero(self, lanes: u64) -> LaneWord {
-        LaneWord {
-            val: self.val & !lanes,
-            unk: self.unk & !lanes,
+    pub fn force_zero(self, lanes: LaneMask<W>) -> LaneWord<W> {
+        let mut out = LaneWord::ZERO;
+        for k in 0..W {
+            out.val[k] = self.val[k] & !lanes.0[k];
+            out.unk[k] = self.unk[k] & !lanes.0[k];
         }
+        out
     }
 
     /// Lanes whose decoded value differs between `self` and `other`.
-    pub fn diff(self, other: LaneWord) -> u64 {
-        (self.val ^ other.val) | (self.unk ^ other.unk)
+    pub fn diff(self, other: LaneWord<W>) -> LaneMask<W> {
+        LaneMask(array::from_fn(|k| {
+            (self.val[k] ^ other.val[k]) | (self.unk[k] ^ other.unk[k])
+        }))
+    }
+
+    /// Lanes with a non-canonical encoding (`val & unk != 0`); empty for
+    /// every operator result, checked by the property tests.
+    pub fn non_canonical(self) -> LaneMask<W> {
+        LaneMask(array::from_fn(|k| self.val[k] & self.unk[k]))
     }
 }
 
 /// Word-level [`eval_comb`](crate::eval::eval_comb): evaluates a
-/// combinational cell for all 64 lanes at once.
+/// combinational cell for all lanes at once.
 ///
 /// # Panics
 ///
 /// Panics if `kind` is sequential or `inputs.len()` does not match the
 /// kind's arity; both indicate an engine bug, not user error.
-pub fn eval_comb_word(kind: CellKind, inputs: &[LaneWord]) -> LaneWord {
+pub fn eval_comb_word<const W: usize>(kind: CellKind, inputs: &[LaneWord<W>]) -> LaneWord<W> {
     assert!(
         kind.is_combinational(),
         "eval_comb_word called on sequential cell {kind}"
@@ -242,15 +416,18 @@ pub fn eval_comb_word(kind: CellKind, inputs: &[LaneWord]) -> LaneWord {
 
 /// Lanes where an asynchronous control forces the cell's state to `0` —
 /// the word form of [`async_override`](crate::eval::async_override).
-pub fn async_override_zero_lanes(kind: CellKind, inputs: &[LaneWord]) -> u64 {
+pub fn async_override_zero_lanes<const W: usize>(
+    kind: CellKind,
+    inputs: &[LaneWord<W>],
+) -> LaneMask<W> {
     match kind {
         CellKind::Dffr | CellKind::Dffre => inputs[2].defined_zero(),
-        _ => 0,
+        _ => LaneMask::EMPTY,
     }
 }
 
 /// Word-level [`next_state`](crate::eval::next_state): the state a
-/// sequential cell captures at a rising edge, for all 64 lanes at once.
+/// sequential cell captures at a rising edge, for all lanes at once.
 ///
 /// Hold paths return the encoded state, so a scalar `Z` state decodes as
 /// `X` (the collapse is unobservable in engine runs, which never hold `Z`).
@@ -258,7 +435,11 @@ pub fn async_override_zero_lanes(kind: CellKind, inputs: &[LaneWord]) -> u64 {
 /// # Panics
 ///
 /// Panics if `kind` is combinational.
-pub fn next_state_word(kind: CellKind, inputs: &[LaneWord], state: LaneWord) -> LaneWord {
+pub fn next_state_word<const W: usize>(
+    kind: CellKind,
+    inputs: &[LaneWord<W>],
+    state: LaneWord<W>,
+) -> LaneWord<W> {
     assert!(kind.is_sequential(), "next_state_word called on {kind}");
     let captured = match kind {
         CellKind::Dff | CellKind::Dffr => inputs[1],
@@ -275,17 +456,25 @@ pub fn next_state_word(kind: CellKind, inputs: &[LaneWord], state: LaneWord) -> 
     captured.force_zero(async_override_zero_lanes(kind, inputs))
 }
 
-/// Broadcasts a word's lane-0 bit across all 64 lanes.
-fn bcast(bit: u64) -> u64 {
-    (bit & 1).wrapping_neg()
-}
-
 /// Lanes (excluding lane 0) whose decoded value differs from lane 0.
-fn diff_from_lane0(w: LaneWord) -> u64 {
-    ((w.val ^ bcast(w.val)) | (w.unk ^ bcast(w.unk))) & !1
+fn diff_from_lane0<const W: usize>(w: LaneWord<W>) -> LaneMask<W> {
+    let bval = (w.val[0] & 1).wrapping_neg();
+    let bunk = (w.unk[0] & 1).wrapping_neg();
+    let mut m: [u64; W] = array::from_fn(|k| (w.val[k] ^ bval) | (w.unk[k] ^ bunk));
+    m[0] &= !1;
+    LaneMask(m)
 }
 
-/// The 64-lane bit-parallel levelized simulator.
+/// Lanes (excluding lane 0) whose bit in `m` differs from lane 0's bit.
+fn mask_diff_from_lane0<const W: usize>(m: LaneMask<W>) -> LaneMask<W> {
+    let b = (m.0[0] & 1).wrapping_neg();
+    let mut d: [u64; W] = array::from_fn(|k| m.0[k] ^ b);
+    d[0] &= !1;
+    LaneMask(d)
+}
+
+/// The wide-lane bit-parallel levelized simulator: `W * 64` lanes, with
+/// `W = 1` (the 64-lane engine) as the default.
 ///
 /// Implements [`Engine`] with broadcast semantics: [`poke`](Engine::poke),
 /// [`set_cell_state`](Engine::set_cell_state), [`restore`](Engine::restore)
@@ -299,16 +488,16 @@ fn diff_from_lane0(w: LaneWord) -> u64 {
 ///
 /// Snapshots are [`EngineState::Levelized`] of the golden lane, so golden
 /// checkpoints taken by a scalar [`LevelizedEngine`](crate::LevelizedEngine)
-/// broadcast-restore into a batch and vice versa.
+/// broadcast-restore into a batch at any width and vice versa.
 #[derive(Debug)]
-pub struct BitParallelEngine<'a> {
+pub struct BitParallelEngine<'a, const W: usize = 1> {
     netlist: &'a FlatNetlist,
     clock: NetId,
     order: Vec<CellId>,
-    nets: Vec<LaneWord>,
-    state: Vec<LaneWord>,
+    nets: Vec<LaneWord<W>>,
+    state: Vec<LaneWord<W>>,
     /// Per-net lane mask of active cycle-wide SET disturbances.
-    inverted: Vec<u64>,
+    inverted: Vec<LaneMask<W>>,
     /// Faults applied to every lane (from broadcast scheduling / restore).
     faults: Vec<Fault>,
     /// Faults applied to a single lane each.
@@ -316,7 +505,7 @@ pub struct BitParallelEngine<'a> {
     cycle: u64,
     /// Golden-lane toggle activity (matches the scalar engine's counter).
     activity: Vec<u64>,
-    /// Word evaluations performed (one covers a cell for all 64 lanes).
+    /// Word evaluations performed (one covers a cell for all lanes).
     word_evals: u64,
     /// Full evaluation sweeps performed.
     sweeps: u64,
@@ -324,7 +513,10 @@ pub struct BitParallelEngine<'a> {
     restores: u64,
 }
 
-impl<'a> BitParallelEngine<'a> {
+impl<'a, const W: usize> BitParallelEngine<'a, W> {
+    /// Lanes in this engine (lane 0 is golden).
+    pub const LANES: usize = W * WORD_LANES;
+
     /// Creates an engine for `netlist` clocked by the primary input
     /// `clock`.
     ///
@@ -346,7 +538,7 @@ impl<'a> BitParallelEngine<'a> {
             order,
             nets: vec![LaneWord::UNKNOWN; netlist.nets().len()],
             state: vec![LaneWord::UNKNOWN; netlist.cells().len()],
-            inverted: vec![0; netlist.nets().len()],
+            inverted: vec![LaneMask::EMPTY; netlist.nets().len()],
             faults: Vec::new(),
             lane_faults: Vec::new(),
             cycle: 0,
@@ -361,21 +553,22 @@ impl<'a> BitParallelEngine<'a> {
     }
 
     /// Word evaluations performed so far (the batch work proxy: one word
-    /// evaluation covers a cell for all 64 lanes).
+    /// evaluation covers a cell for all lanes).
     pub fn word_evals(&self) -> u64 {
         self.word_evals
     }
 
-    /// Schedules a fault that fires in `lane` only (1–63; lane 0 stays
-    /// golden).
+    /// Schedules a fault that fires in `lane` only (lane 0 stays golden).
     ///
     /// # Panics
     ///
-    /// Panics when `lane` is 0 (the golden lane) or ≥ [`LANES`].
+    /// Panics when `lane` is 0 (the golden lane) or not below the lane
+    /// count.
     pub fn schedule_fault_in_lane(&mut self, lane: usize, fault: Fault) {
         assert!(
-            (1..LANES).contains(&lane),
-            "lane {lane} outside 1..{LANES} (lane 0 is the golden lane)"
+            (1..Self::LANES).contains(&lane),
+            "lane {lane} outside 1..{} (lane 0 is the golden lane)",
+            Self::LANES
         );
         self.lane_faults.push((lane, fault));
     }
@@ -383,17 +576,17 @@ impl<'a> BitParallelEngine<'a> {
     /// Lanes (excluding lane 0) whose current value of `net` differs from
     /// the golden lane — the soft-error detector, evaluated without
     /// materialising per-lane traces.
-    pub fn lanes_differing_from_golden(&self, net: NetId) -> u64 {
+    pub fn lanes_differing_from_golden(&self, net: NetId) -> LaneMask<W> {
         diff_from_lane0(self.nets[net.index()])
     }
 
     /// Lanes (excluding lane 0) that differ from the golden lane in any
     /// net value, any sequential state, any active SET disturbance, or
-    /// that still have a pending lane fault. A zero result means every
+    /// that still have a pending lane fault. An empty result means every
     /// fault lane has re-converged with the golden run — the batch
-    /// early-stop condition.
-    pub fn diverged_lanes(&self) -> u64 {
-        let mut d = 0u64;
+    /// early-stop condition and the lane-retirement test.
+    pub fn diverged_lanes(&self) -> LaneMask<W> {
+        let mut d = LaneMask::EMPTY;
         for &w in &self.nets {
             d |= diff_from_lane0(w);
         }
@@ -401,10 +594,10 @@ impl<'a> BitParallelEngine<'a> {
             d |= diff_from_lane0(w);
         }
         for &m in &self.inverted {
-            d |= (m ^ bcast(m)) & !1;
+            d |= mask_diff_from_lane0(m);
         }
         for &(lane, _) in &self.lane_faults {
-            d |= 1 << lane;
+            d.set(lane);
         }
         d
     }
@@ -424,15 +617,48 @@ impl<'a> BitParallelEngine<'a> {
         nets.iter().map(|&n| self.peek_lane(n, lane)).collect()
     }
 
-    fn set_net(&mut self, net: NetId, w: LaneWord) {
+    /// Rewrites a retired fault lane with the golden lane's values so it
+    /// can carry a fresh fault: copies lane 0 into `lane` for every net,
+    /// state word and disturbance mask. The caller must have verified the
+    /// lane has re-converged (see [`diverged_lanes`]
+    /// (BitParallelEngine::diverged_lanes)) — the copy is then a no-op on
+    /// the values and only resets bookkeeping drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is 0 or out of range, or when the lane still
+    /// carries a pending lane fault (retiring it would drop the fault).
+    pub fn recycle_lane(&mut self, lane: usize) {
+        assert!(
+            (1..Self::LANES).contains(&lane),
+            "lane {lane} outside 1..{} (lane 0 is the golden lane)",
+            Self::LANES
+        );
+        assert!(
+            !self.lane_faults.iter().any(|&(l, _)| l == lane),
+            "lane {lane} still has a pending fault"
+        );
+        for w in self.nets.iter_mut().chain(self.state.iter_mut()) {
+            w.set_lane(lane, w.get(0));
+        }
+        for m in self.inverted.iter_mut() {
+            if m.get(0) {
+                m.set(lane);
+            } else {
+                m.clear(lane);
+            }
+        }
+    }
+
+    fn set_net(&mut self, net: NetId, w: LaneWord<W>) {
         // Golden-lane activity mirrors the scalar engine's toggle counter.
-        if self.nets[net.index()].diff(w) & 1 != 0 {
+        if self.nets[net.index()].diff(w).0[0] & 1 != 0 {
             self.activity[net.index()] += 1;
         }
         self.nets[net.index()] = w;
     }
 
-    fn input_words(&self, cell: CellId, buf: &mut [LaneWord; MAX_INPUTS]) -> usize {
+    fn input_words(&self, cell: CellId, buf: &mut [LaneWord<W>; MAX_INPUTS]) -> usize {
         let inputs = &self.netlist.cell(cell).inputs;
         for (b, n) in buf.iter_mut().zip(inputs.iter()) {
             *b = self.nets[n.index()];
@@ -452,7 +678,7 @@ impl<'a> BitParallelEngine<'a> {
             let mut out = eval_comb_word(kind, &buf[..n]);
             let net = self.netlist.cell(cell).output;
             let inv = self.inverted[net.index()];
-            if inv != 0 {
+            if inv.any() {
                 out = out.disturb(inv);
             }
             self.set_net(net, out);
@@ -475,8 +701,9 @@ impl<'a> BitParallelEngine<'a> {
                 // Only lanes whose state actually changes update the Q net,
                 // matching the scalar `state != forced` guard.
                 let st = self.state[id.index()];
-                let diff = forced & (st.val | st.unk);
-                if diff != 0 {
+                let nonzero = LaneMask(array::from_fn(|k| st.val[k] | st.unk[k]));
+                let diff = forced & nonzero;
+                if diff.any() {
                     self.state[id.index()] = st.force_zero(diff);
                     let q = cell.output;
                     let cur = self.nets[q.index()];
@@ -491,7 +718,7 @@ impl<'a> BitParallelEngine<'a> {
         }
     }
 
-    fn apply_fault(&mut self, fault: Fault, lanes: u64) {
+    fn apply_fault(&mut self, fault: Fault, lanes: LaneMask<W>) {
         match fault {
             Fault::Seu(f) => {
                 self.state[f.cell.index()] = self.state[f.cell.index()].disturb(lanes);
@@ -503,7 +730,7 @@ impl<'a> BitParallelEngine<'a> {
     }
 }
 
-impl Engine for BitParallelEngine<'_> {
+impl<const W: usize> Engine for BitParallelEngine<'_, W> {
     fn name(&self) -> &'static str {
         "bit-parallel"
     }
@@ -564,15 +791,14 @@ impl Engine for BitParallelEngine<'_> {
     /// Panics when any lane has diverged from lane 0 or a lane fault is
     /// pending — a diverged batch has no single-lane representation.
     fn snapshot(&self) -> EngineState {
-        assert_eq!(
-            self.diverged_lanes(),
-            0,
+        assert!(
+            self.diverged_lanes().none(),
             "cannot snapshot a bit-parallel engine whose lanes have diverged"
         );
         EngineState::Levelized(LevelizedState::from_parts(
             self.nets.iter().map(|w| w.get(0)).collect(),
             self.state.iter().map(|w| w.get(0)).collect(),
-            self.inverted.iter().map(|&m| m & 1 == 1).collect(),
+            self.inverted.iter().map(|m| m.get(0)).collect(),
             self.faults.clone(),
             self.cycle,
             self.activity.clone(),
@@ -600,7 +826,7 @@ impl Engine for BitParallelEngine<'_> {
             *w = LaneWord::splat(v);
         }
         for (m, &inv) in self.inverted.iter_mut().zip(s.inverted()) {
-            *m = if inv { !0 } else { 0 };
+            *m = if inv { LaneMask::ALL } else { LaneMask::EMPTY };
         }
         self.faults = s.faults().to_vec();
         self.lane_faults.clear();
@@ -613,7 +839,7 @@ impl Engine for BitParallelEngine<'_> {
         // 1. Rising edge: every sequential cell captures from the settled
         //    values, all lanes at once (see LevelizedEngine::step_cycle for
         //    the phase rationale — the two must stay in lockstep).
-        let mut captured: Vec<(CellId, LaneWord)> = Vec::new();
+        let mut captured: Vec<(CellId, LaneWord<W>)> = Vec::new();
         for (id, cell) in self.netlist.iter_cells() {
             if cell.kind.is_sequential() {
                 let mut buf = [LaneWord::ZERO; MAX_INPUTS];
@@ -636,7 +862,7 @@ impl Engine for BitParallelEngine<'_> {
                 remaining.push(fault);
                 continue;
             }
-            self.apply_fault(fault, !0);
+            self.apply_fault(fault, LaneMask::ALL);
         }
         self.faults = remaining;
         let mut lane_remaining = Vec::new();
@@ -645,7 +871,7 @@ impl Engine for BitParallelEngine<'_> {
                 lane_remaining.push((lane, fault));
                 continue;
             }
-            self.apply_fault(fault, 1u64 << lane);
+            self.apply_fault(fault, LaneMask::bit(lane));
         }
         self.lane_faults = lane_remaining;
 
@@ -656,7 +882,7 @@ impl Engine for BitParallelEngine<'_> {
                 let q = cell.output;
                 let mut v = self.state[id.index()];
                 let inv = self.inverted[q.index()];
-                if inv != 0 {
+                if inv.any() {
                     v = v.disturb(inv);
                 }
                 self.set_net(q, v);
@@ -665,7 +891,7 @@ impl Engine for BitParallelEngine<'_> {
         // SETs on input-driven nets (no combinational driver).
         for i in 0..self.inverted.len() {
             let inv = self.inverted[i];
-            if inv != 0 {
+            if inv.any() {
                 let net = NetId(i as u32);
                 if matches!(self.netlist.net(net).driver, Some(Driver::PrimaryInput)) {
                     let v = self.nets[i].disturb(inv);
@@ -678,7 +904,7 @@ impl Engine for BitParallelEngine<'_> {
 
         // 4. Release this cycle's SET disturbances.
         for m in self.inverted.iter_mut() {
-            *m = 0;
+            *m = LaneMask::EMPTY;
         }
         self.cycle += 1;
     }
@@ -740,9 +966,9 @@ mod tests {
 
     /// Packs `rows[lane][pin]` into per-pin words, cycling rows so every
     /// lane is populated.
-    fn pack(rows: &[Vec<Logic>], arity: usize) -> Vec<LaneWord> {
+    fn pack<const W: usize>(rows: &[Vec<Logic>], arity: usize) -> Vec<LaneWord<W>> {
         let mut words = vec![LaneWord::ZERO; arity];
-        for lane in 0..LANES {
+        for lane in 0..LaneWord::<W>::LANES {
             let row = &rows[lane % rows.len()];
             for (pin, w) in words.iter_mut().enumerate() {
                 w.set_lane(lane, row[pin]);
@@ -751,42 +977,56 @@ mod tests {
         words
     }
 
-    #[test]
-    fn splat_get_set_roundtrip() {
+    /// A deterministic lane mask exercising every chunk: alternating bits
+    /// offset per chunk so neighbouring chunks differ.
+    fn stripe_mask<const W: usize>() -> LaneMask<W> {
+        LaneMask(std::array::from_fn(|k| {
+            0xAAAA_AAAA_AAAA_AAAAu64.rotate_left(k as u32)
+        }))
+    }
+
+    fn check_splat_get_set<const W: usize>() {
         for v in ALL_LOGIC {
-            let w = LaneWord::splat(v);
-            assert_eq!(w.val & w.unk, 0, "canonical invariant");
-            for lane in [0, 1, 31, 63] {
+            let w = LaneWord::<W>::splat(v);
+            assert!(w.non_canonical().none(), "canonical invariant");
+            for lane in [0, 1, 31, LaneWord::<W>::LANES - 1] {
                 assert_eq!(w.get(lane), z_to_x(v));
             }
         }
-        let mut w = LaneWord::ZERO;
+        let mut w = LaneWord::<W>::ZERO;
+        let hi = LaneWord::<W>::LANES - 2;
         w.set_lane(5, Logic::One);
-        w.set_lane(6, Logic::X);
+        w.set_lane(hi, Logic::X);
         assert_eq!(w.get(5), Logic::One);
-        assert_eq!(w.get(6), Logic::X);
+        assert_eq!(w.get(hi), Logic::X);
         assert_eq!(w.get(7), Logic::Zero);
         w.set_lane(5, Logic::Zero);
         assert_eq!(w.get(5), Logic::Zero);
     }
 
     #[test]
-    fn binary_operators_match_scalar_on_all_pairs() {
+    fn splat_get_set_roundtrip_all_widths() {
+        check_splat_get_set::<1>();
+        check_splat_get_set::<4>();
+        check_splat_get_set::<8>();
+    }
+
+    fn check_binary_ops<const W: usize>() {
         let rows = combos(2);
-        let words = pack(&rows, 2);
+        let words = pack::<W>(&rows, 2);
         let (a, b) = (words[0], words[1]);
         for (op_word, op_scalar) in [
             (a.and(b), Logic::and as fn(Logic, Logic) -> Logic),
             (a.or(b), Logic::or),
             (a.xor(b), Logic::xor),
         ] {
-            assert_eq!(op_word.val & op_word.unk, 0, "canonical invariant");
-            for lane in 0..LANES {
+            assert!(op_word.non_canonical().none(), "canonical invariant");
+            for lane in 0..LaneWord::<W>::LANES {
                 let row = &rows[lane % rows.len()];
                 assert_eq!(
                     op_word.get(lane),
                     z_to_x(op_scalar(row[0], row[1])),
-                    "lane {lane}: {} op {}",
+                    "W={W} lane {lane}: {} op {}",
                     row[0],
                     row[1]
                 );
@@ -795,29 +1035,35 @@ mod tests {
     }
 
     #[test]
-    fn not_mux_select_disturb_match_scalar() {
+    fn binary_operators_match_scalar_on_all_pairs_all_widths() {
+        check_binary_ops::<1>();
+        check_binary_ops::<4>();
+        check_binary_ops::<8>();
+    }
+
+    fn check_not_mux_select_disturb<const W: usize>() {
         let rows1 = combos(1);
-        let w = pack(&rows1, 1)[0];
+        let w = pack::<W>(&rows1, 1)[0];
         let n = w.not();
-        assert_eq!(n.val & n.unk, 0);
-        for lane in 0..LANES {
+        assert!(n.non_canonical().none());
+        for lane in 0..LaneWord::<W>::LANES {
             let v = rows1[lane % rows1.len()][0];
             assert_eq!(n.get(lane), z_to_x(v.not()));
         }
 
         let rows3 = combos(3);
-        let words = pack(&rows3, 3);
+        let words = pack::<W>(&rows3, 3);
         let (d0, d1, s) = (words[0], words[1], words[2]);
         let m = s.mux(d0, d1);
-        assert_eq!(m.val & m.unk, 0);
+        assert!(m.non_canonical().none());
         let sel = s.select(d1, d0);
-        assert_eq!(sel.val & sel.unk, 0);
-        for lane in 0..LANES {
+        assert!(sel.non_canonical().none());
+        for lane in 0..LaneWord::<W>::LANES {
             let row = &rows3[lane % rows3.len()];
             assert_eq!(
                 m.get(lane),
                 z_to_x(row[2].mux(row[0], row[1])),
-                "mux lane {lane}: d0={} d1={} s={}",
+                "W={W} mux lane {lane}: d0={} d1={} s={}",
                 row[0],
                 row[1],
                 row[2]
@@ -828,77 +1074,124 @@ mod tests {
                 Logic::Zero => z_to_x(row[0]),
                 _ => Logic::X,
             };
-            assert_eq!(sel.get(lane), expected, "select lane {lane}");
+            assert_eq!(sel.get(lane), expected, "W={W} select lane {lane}");
         }
 
         // disturb applies the scalar rule only on masked lanes.
-        let mask = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let mask = stripe_mask::<W>();
         let d = w.disturb(mask);
-        assert_eq!(d.val & d.unk, 0);
-        for lane in 0..LANES {
+        assert!(d.non_canonical().none());
+        for lane in 0..LaneWord::<W>::LANES {
             let v = rows1[lane % rows1.len()][0];
-            let expected = if mask >> lane & 1 == 1 {
+            let expected = if mask.get(lane) {
                 crate::eval::disturb(v)
             } else {
                 z_to_x(v)
             };
-            assert_eq!(d.get(lane), expected, "disturb lane {lane}");
+            assert_eq!(d.get(lane), expected, "W={W} disturb lane {lane}");
         }
     }
 
     #[test]
-    fn word_eval_matches_scalar_for_every_comb_kind_on_all_lanes() {
+    fn not_mux_select_disturb_match_scalar_all_widths() {
+        check_not_mux_select_disturb::<1>();
+        check_not_mux_select_disturb::<4>();
+        check_not_mux_select_disturb::<8>();
+    }
+
+    fn check_eval_comb_word<const W: usize>() {
         for &kind in ALL_CELL_KINDS {
             if !kind.is_combinational() {
                 continue;
             }
             let arity = kind.num_inputs();
             let rows = combos(arity);
-            let words = pack(&rows, arity);
+            let words = pack::<W>(&rows, arity);
             let out = eval_comb_word(kind, &words);
-            assert_eq!(out.val & out.unk, 0, "{kind}: canonical invariant");
-            for lane in 0..LANES {
+            assert!(out.non_canonical().none(), "{kind}: canonical invariant");
+            for lane in 0..LaneWord::<W>::LANES {
                 let row = &rows[lane % rows.len().max(1)];
                 assert_eq!(
                     out.get(lane),
                     z_to_x(eval_comb(kind, row)),
-                    "{kind} lane {lane} inputs {row:?}"
+                    "W={W} {kind} lane {lane} inputs {row:?}"
                 );
             }
         }
     }
 
     #[test]
-    fn word_next_state_matches_scalar_for_every_seq_kind_on_all_lanes() {
+    fn word_eval_matches_scalar_for_every_comb_kind_all_widths() {
+        check_eval_comb_word::<1>();
+        check_eval_comb_word::<4>();
+        check_eval_comb_word::<8>();
+    }
+
+    fn check_next_state_word<const W: usize>() {
+        let lanes = LaneWord::<W>::LANES;
         for &kind in ALL_CELL_KINDS {
             if !kind.is_sequential() {
                 continue;
             }
             let arity = kind.num_inputs();
             // Inputs plus the held state, exhaustive over the 4-state
-            // domain, in 64-lane chunks.
+            // domain, in lane-count chunks.
             let rows = combos(arity + 1);
-            for chunk in rows.chunks(LANES) {
+            for chunk in rows.chunks(lanes) {
                 let inputs: Vec<Vec<Logic>> = chunk.iter().map(|r| r[..arity].to_vec()).collect();
-                let words = pack(&inputs, arity);
-                let mut state = LaneWord::ZERO;
-                for lane in 0..LANES {
+                let words = pack::<W>(&inputs, arity);
+                let mut state = LaneWord::<W>::ZERO;
+                for lane in 0..lanes {
                     state.set_lane(lane, chunk[lane % chunk.len()][arity]);
                 }
                 let out = next_state_word(kind, &words, state);
-                assert_eq!(out.val & out.unk, 0, "{kind}: canonical invariant");
-                for lane in 0..LANES {
+                assert!(out.non_canonical().none(), "{kind}: canonical invariant");
+                for lane in 0..lanes {
                     let row = &chunk[lane % chunk.len()];
                     assert_eq!(
                         out.get(lane),
                         z_to_x(next_state(kind, &row[..arity], row[arity])),
-                        "{kind} lane {lane} inputs {:?} state {}",
+                        "W={W} {kind} lane {lane} inputs {:?} state {}",
                         &row[..arity],
                         row[arity]
                     );
                 }
             }
         }
+    }
+
+    #[test]
+    fn word_next_state_matches_scalar_for_every_seq_kind_all_widths() {
+        check_next_state_word::<1>();
+        check_next_state_word::<4>();
+        check_next_state_word::<8>();
+    }
+
+    #[test]
+    fn lane_mask_bit_iteration_and_ranges() {
+        let mut m = LaneMask::<8>::EMPTY;
+        assert!(m.none());
+        for lane in [0, 63, 64, 200, 511] {
+            m.set(lane);
+        }
+        assert!(m.any());
+        assert_eq!(m.count(), 5);
+        let mut seen = Vec::new();
+        m.for_each_lane(|l| seen.push(l));
+        assert_eq!(seen, vec![0, 63, 64, 200, 511]);
+        m.clear(200);
+        assert!(!m.get(200));
+        assert_eq!(m.count(), 4);
+
+        let f = LaneMask::<4>::fault_lanes(255);
+        assert_eq!(f.count(), 255);
+        assert!(!f.get(0), "lane 0 stays golden");
+        assert!(f.get(1) && f.get(255));
+
+        let a = LaneMask::<2>([0b1100, 0b0011]);
+        let b = LaneMask::<2>([0b1010, 0b0110]);
+        assert_eq!((a | b).0, [0b1110, 0b0111]);
+        assert_eq!((a & b).0, [0b1000, 0b0010]);
     }
 
     #[test]
@@ -915,7 +1208,7 @@ mod tests {
         design.set_top(id).unwrap();
         let flat = design.flatten().unwrap();
         let clk = flat.net_by_name("clk").unwrap();
-        let mut engine = BitParallelEngine::new(&flat, clk).unwrap();
+        let mut engine = BitParallelEngine::<1>::new(&flat, clk).unwrap();
         engine.schedule_fault_in_lane(
             0,
             Fault::Seu(crate::inject::SeuFault {

@@ -61,7 +61,9 @@ pub mod trace;
 pub mod value;
 pub mod vcd;
 
-pub use bitparallel::{BitParallelEngine, LaneWord, LANES};
+pub use bitparallel::{
+    BitParallelEngine, LaneMask, LaneWord, LANES, SUPPORTED_LANE_COUNTS, WORD_LANES,
+};
 pub use engine::{Engine, EngineState, EngineTelemetry};
 pub use error::SimError;
 pub use eval::{disturb, eval_comb, eval_comb_with_mutant, EvalMutant};

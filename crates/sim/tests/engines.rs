@@ -484,10 +484,9 @@ fn snapshots_converge_ignoring_activity_counters() {
 // Bit-parallel engine: lane-for-lane equivalence with the scalar levelized
 // engine.
 
-use ssresf_sim::BitParallelEngine;
+use ssresf_sim::{BitParallelEngine, LaneMask};
 
-#[test]
-fn bitparallel_golden_lane_matches_levelized() {
+fn golden_lane_matches_levelized_at_width<const W: usize>() {
     for seed in [1u32, 7, 99] {
         let flat = random_pipeline(seed);
         let clk = flat.net_by_name("clk").unwrap();
@@ -502,17 +501,24 @@ fn bitparallel_golden_lane_matches_levelized() {
             tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
         };
         let batched = {
-            let engine = BitParallelEngine::new(&flat, clk).unwrap();
+            let engine = BitParallelEngine::<W>::new(&flat, clk).unwrap();
             let mut tb = Testbench::new(engine);
             let mut l = Lfsr::new(seed ^ 0xbeef);
             tb.run_with_stimulus(3, 30, |_, e| drive_random_inputs(e, &inputs, &mut l))
         };
         assert!(
             scalar.matches(&batched),
-            "seed {seed}: {:?}",
+            "W={W} seed {seed}: {:?}",
             scalar.diff(&batched)
         );
     }
+}
+
+#[test]
+fn bitparallel_golden_lane_matches_levelized_all_widths() {
+    golden_lane_matches_levelized_at_width::<1>();
+    golden_lane_matches_levelized_at_width::<4>();
+    golden_lane_matches_levelized_at_width::<8>();
 }
 
 #[test]
@@ -520,7 +526,7 @@ fn bitparallel_counter_counts_and_activity_matches() {
     let flat = counter(4);
     let clk = flat.net_by_name("clk").unwrap();
 
-    let batched = BitParallelEngine::new(&flat, clk).unwrap();
+    let batched = BitParallelEngine::<1>::new(&flat, clk).unwrap();
     let mut tb = Testbench::new(batched);
     let trace = tb.run(2, 10);
     let values: Vec<u64> = trace.rows.iter().map(|r| count_value(r).unwrap()).collect();
@@ -534,9 +540,9 @@ fn bitparallel_counter_counts_and_activity_matches() {
 }
 
 /// Per-lane faults reproduce scalar single-fault runs bit-for-bit: one
-/// batched run with 63 distinct faults equals 63 scalar levelized runs.
-#[test]
-fn bitparallel_lanes_match_scalar_single_fault_runs() {
+/// batched run with distinct faults equals the same number of scalar
+/// levelized runs, at every supported lane width.
+fn lanes_match_scalar_single_fault_runs_at_width<const W: usize>(lane_stride: usize) {
     let flat = counter(4);
     let clk = flat.net_by_name("clk").unwrap();
     let rst = flat.net_by_name("rst_n").unwrap();
@@ -563,7 +569,9 @@ fn bitparallel_lanes_match_scalar_single_fault_runs() {
             }));
         }
     }
-    assert!(faults.len() <= 63);
+    // Spread the fault lanes across the word's 64-bit chunks.
+    let lanes: Vec<usize> = (0..faults.len()).map(|i| 1 + i * lane_stride).collect();
+    assert!(*lanes.last().unwrap() < W * 64);
 
     let drive = |engine: &mut dyn Engine| {
         engine.poke(rst, Logic::Zero);
@@ -572,15 +580,16 @@ fn bitparallel_lanes_match_scalar_single_fault_runs() {
         engine.poke(rst, Logic::One);
     };
 
-    let mut batch = BitParallelEngine::new(&flat, clk).unwrap();
+    let mut batch = BitParallelEngine::<W>::new(&flat, clk).unwrap();
     drive(&mut batch);
     for (i, &f) in faults.iter().enumerate() {
-        batch.schedule_fault_in_lane(i + 1, f);
+        batch.schedule_fault_in_lane(lanes[i], f);
     }
     let mut lane_rows: Vec<Vec<Vec<Logic>>> = vec![Vec::new(); faults.len() + 1];
     for _ in 0..16 {
         batch.step_cycle();
-        for (lane, rows) in lane_rows.iter_mut().enumerate() {
+        for (i, rows) in lane_rows.iter_mut().enumerate() {
+            let lane = if i == 0 { 0 } else { lanes[i - 1] };
             rows.push(batch.sample_lane(&outputs, lane));
         }
     }
@@ -591,7 +600,12 @@ fn bitparallel_lanes_match_scalar_single_fault_runs() {
         scalar.schedule_fault(f);
         for row in &lane_rows[i + 1] {
             scalar.step_cycle();
-            assert_eq!(&scalar.sample(&outputs), row, "lane {} fault {f:?}", i + 1);
+            assert_eq!(
+                &scalar.sample(&outputs),
+                row,
+                "W={W} lane {} fault {f:?}",
+                lanes[i]
+            );
         }
     }
 
@@ -605,19 +619,27 @@ fn bitparallel_lanes_match_scalar_single_fault_runs() {
 }
 
 #[test]
-fn bitparallel_divergence_tracks_fault_lanes_only() {
+fn bitparallel_lanes_match_scalar_single_fault_runs_all_widths() {
+    // 28 faults: packed into one chunk at W = 1, strided across chunks at
+    // the wider widths so cross-chunk lane bookkeeping is exercised.
+    lanes_match_scalar_single_fault_runs_at_width::<1>(1);
+    lanes_match_scalar_single_fault_runs_at_width::<4>(9);
+    lanes_match_scalar_single_fault_runs_at_width::<8>(18);
+}
+
+fn divergence_tracks_fault_lane_at_width<const W: usize>(lane: usize) {
     let flat = counter(4);
     let clk = flat.net_by_name("clk").unwrap();
     let rst = flat.net_by_name("rst_n").unwrap();
     let ff = flat.cell_by_name("u_ff_2").unwrap();
 
-    let mut batch = BitParallelEngine::new(&flat, clk).unwrap();
+    let mut batch = BitParallelEngine::<W>::new(&flat, clk).unwrap();
     batch.poke(rst, Logic::Zero);
     batch.step_cycle();
     batch.step_cycle();
     batch.poke(rst, Logic::One);
     batch.schedule_fault_in_lane(
-        5,
+        lane,
         Fault::Seu(SeuFault {
             cell: ff,
             cycle: 6,
@@ -625,18 +647,25 @@ fn bitparallel_divergence_tracks_fault_lanes_only() {
         }),
     );
     // Pending fault counts as divergence (the lane's future differs).
-    assert_eq!(batch.diverged_lanes(), 1 << 5);
+    assert_eq!(batch.diverged_lanes(), LaneMask::bit(lane));
     for _ in 0..3 {
         batch.step_cycle();
     }
-    assert_eq!(batch.diverged_lanes(), 1 << 5);
+    assert_eq!(batch.diverged_lanes(), LaneMask::bit(lane));
     for _ in 0..2 {
         batch.step_cycle();
     }
-    // Fault fired at cycle 6: lane 5 has genuinely diverged in state.
-    assert_eq!(batch.diverged_lanes(), 1 << 5);
+    // Fault fired at cycle 6: the lane has genuinely diverged in state.
+    assert_eq!(batch.diverged_lanes(), LaneMask::bit(lane));
     let q2 = flat.net_by_name("q_2").unwrap();
-    assert_eq!(batch.lanes_differing_from_golden(q2), 1 << 5);
+    assert_eq!(batch.lanes_differing_from_golden(q2), LaneMask::bit(lane));
+}
+
+#[test]
+fn bitparallel_divergence_tracks_fault_lanes_only_all_widths() {
+    divergence_tracks_fault_lane_at_width::<1>(5);
+    divergence_tracks_fault_lane_at_width::<4>(200);
+    divergence_tracks_fault_lane_at_width::<8>(450);
 }
 
 #[test]
@@ -649,18 +678,18 @@ fn bitparallel_snapshot_interop_with_levelized() {
     // Scalar checkpoint broadcast-restores into a batch...
     let mut scalar = LevelizedEngine::new(&flat, clk).unwrap();
     let (rows, snap) = run_and_snapshot(&mut scalar, rst, &outputs, 8, 20);
-    let mut batch = BitParallelEngine::new(&flat, clk).unwrap();
+    let mut batch = BitParallelEngine::<4>::new(&flat, clk).unwrap();
     batch.restore(&snap);
     assert_eq!(batch.cycle(), snap.cycle());
     for row in rows.iter().skip(8) {
         batch.step_cycle();
         assert_eq!(&batch.sample(&outputs), row);
         // All lanes carry the same (golden) values after a broadcast.
-        assert_eq!(batch.diverged_lanes(), 0);
+        assert!(batch.diverged_lanes().none());
     }
 
     // ...and a golden batch snapshot restores into a scalar engine.
-    let mut batch2 = BitParallelEngine::new(&flat, clk).unwrap();
+    let mut batch2 = BitParallelEngine::<8>::new(&flat, clk).unwrap();
     let (rows2, snap2) = run_and_snapshot(&mut batch2, rst, &outputs, 8, 20);
     assert_eq!(rows, rows2);
     let mut resumed = LevelizedEngine::new(&flat, clk).unwrap();
@@ -677,7 +706,7 @@ fn bitparallel_rejects_event_driven_snapshot() {
     let flat = counter(2);
     let clk = flat.net_by_name("clk").unwrap();
     let ev = EventDrivenEngine::new(&flat, clk).unwrap();
-    let mut bp = BitParallelEngine::new(&flat, clk).unwrap();
+    let mut bp = BitParallelEngine::<1>::new(&flat, clk).unwrap();
     bp.restore(&ev.snapshot());
 }
 
@@ -687,9 +716,9 @@ fn bitparallel_refuses_snapshot_after_divergence() {
     let flat = counter(2);
     let clk = flat.net_by_name("clk").unwrap();
     let ff = flat.cell_by_name("u_ff_0").unwrap();
-    let mut bp = BitParallelEngine::new(&flat, clk).unwrap();
+    let mut bp = BitParallelEngine::<8>::new(&flat, clk).unwrap();
     bp.schedule_fault_in_lane(
-        1,
+        300,
         Fault::Seu(SeuFault {
             cell: ff,
             cycle: 0,
@@ -703,7 +732,7 @@ fn bitparallel_refuses_snapshot_after_divergence() {
 fn bitparallel_word_evals_count_sweep_work() {
     let flat = counter(4);
     let clk = flat.net_by_name("clk").unwrap();
-    let mut bp = BitParallelEngine::new(&flat, clk).unwrap();
+    let mut bp = BitParallelEngine::<1>::new(&flat, clk).unwrap();
     let before = bp.word_evals();
     bp.step_cycle();
     let per_cycle = bp.word_evals() - before;
