@@ -1,0 +1,192 @@
+//! Mission smoke check: runs a two-segment (quiet orbit + solar flare)
+//! differential mitigation campaign twice on the smallest Table-I SoC with
+//! metrics attached, and verifies that
+//!
+//! - the deterministic metrics export is byte-identical across the runs and
+//!   carries the per-segment `mission.*` counters and per-mitigation
+//!   summary counters,
+//! - the differential report JSON (per-segment SER breakdown, SER deltas,
+//!   area costs) is byte-identical across the runs,
+//! - the TMR mitigation reports a strictly positive SER delta at its exact
+//!   hand-computable area cost.
+//!
+//! ```sh
+//! cargo run --release -p ssresf-bench --bin mission_smoke
+//! ```
+//!
+//! Exits nonzero on any violation — CI runs this as the mission gate.
+
+use ssresf::{
+    run_differential_campaign, CampaignConfig, DifferentialOutcome, EngineKind, Instrument,
+    MetricsRegistry, MitigationKind, MitigationPlan, Workload,
+};
+use ssresf_bench::quick;
+use ssresf_netlist::harden::sequential_only;
+use ssresf_netlist::CellId;
+use ssresf_radiation::MissionProfile;
+use ssresf_socgen::{build_soc, SocConfig};
+
+/// Per-segment and per-mitigation counters the instrumented differential
+/// campaign must publish (all deterministic under PR 3 telemetry rules).
+const EXPECTED_MISSION_COUNTERS: &[&str] = &[
+    "mission.segments",
+    "mission.cycles.total",
+    "mission.segment.0.injections",
+    "mission.segment.0.soft_errors",
+    "mission.segment.1.injections",
+    "mission.segment.1.soft_errors",
+    "mission.mitigation.tmr.soft_errors",
+    "mission.mitigation.tmr.masked",
+    "mission.mitigation.ff_hardening.soft_errors",
+    "mission.mitigation.ff_hardening.masked",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("mission_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn run_once(
+    netlist: &ssresf_netlist::FlatNetlist,
+    cells: &[CellId],
+    config: &CampaignConfig,
+    mission: &MissionProfile,
+    plans: &[MitigationPlan],
+) -> (DifferentialOutcome, String) {
+    let metrics = MetricsRegistry::new();
+    let outcome = run_differential_campaign(
+        netlist,
+        cells,
+        config,
+        mission,
+        plans,
+        &Instrument::with_metrics(&metrics),
+    )
+    .unwrap_or_else(|e| fail(&format!("differential campaign failed: {e}")));
+    (outcome, metrics.to_json_deterministic().to_string_pretty())
+}
+
+fn main() {
+    let soc = build_soc(&SocConfig::table1()[0]).expect("preset SoC builds");
+    let netlist = soc.design.flatten().expect("preset SoC flattens");
+    let all: Vec<CellId> = netlist.iter_cells().map(|(id, _)| id).collect();
+    let flops = sequential_only(&netlist, &all);
+
+    // Injection sample: a sparse sweep of the whole chip plus a handful of
+    // flops, so the baseline observes sequential upsets the TMR voter can
+    // mask.
+    let mut cells: Vec<CellId> = all.iter().copied().step_by(all.len() / 20).collect();
+    cells.extend(flops.iter().copied().take(8));
+    cells.sort();
+    cells.dedup();
+
+    let (orbit, flare) = if quick() { (20, 10) } else { (30, 15) };
+    let config = CampaignConfig {
+        workload: Workload {
+            reset_cycles: 3,
+            run_cycles: orbit + flare,
+        },
+        injections_per_cell: 2,
+        engine: EngineKind::Levelized,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let mission = MissionProfile::orbit_with_flare(orbit, flare).expect("preset mission is valid");
+    let plans = vec![
+        MitigationPlan {
+            kind: MitigationKind::Tmr,
+            targets: flops.clone(),
+        },
+        MitigationPlan {
+            kind: MitigationKind::FfHardening,
+            targets: flops.clone(),
+        },
+    ];
+
+    let (first, first_export) = run_once(&netlist, &cells, &config, &mission, &plans);
+    let (second, second_export) = run_once(&netlist, &cells, &config, &mission, &plans);
+    if first_export != second_export {
+        fail("deterministic metrics export differs across repeat runs of the same seed");
+    }
+    let first_report = first.to_json().to_string_pretty();
+    if first_report != second.to_json().to_string_pretty() {
+        fail("differential report JSON differs across repeat runs of the same seed");
+    }
+
+    // Per-segment breakdown: both mission phases must be present and
+    // account for every record.
+    if first.baseline.segments.len() != 2 {
+        fail(&format!(
+            "expected 2 mission segments, got {}",
+            first.baseline.segments.len()
+        ));
+    }
+    let bucketed: usize = first.baseline.segments.iter().map(|s| s.injections).sum();
+    if bucketed != first.baseline.campaign.records.len() {
+        fail(&format!(
+            "segments bucket {bucketed} of {} records",
+            first.baseline.campaign.records.len()
+        ));
+    }
+
+    // Deterministic mission counters in the export.
+    let doc = ssresf_json::parse(&first_export)
+        .unwrap_or_else(|e| fail(&format!("export is not valid JSON: {e}")));
+    let counters = doc
+        .get("counters")
+        .unwrap_or_else(|| fail("export lacks a `counters` section"));
+    for key in EXPECTED_MISSION_COUNTERS {
+        if counters.get(key).is_none() {
+            fail(&format!("`counters` is missing key `{key}`"));
+        }
+    }
+
+    // TMR: strictly positive SER delta at the exact area cost (2 replicas +
+    // 3 And2 + 1 Or3 = 6 cells, 74 transistors per 24T Dffr target; memory
+    // bits and enable-flops differ per kind, so cross-check the cell count
+    // and recompute the transistor delta from the report itself).
+    let tmr = first
+        .mitigations
+        .iter()
+        .find(|m| m.kind == MitigationKind::Tmr)
+        .unwrap_or_else(|| fail("no TMR mitigation in the outcome"));
+    if tmr.ser_delta <= 0.0 {
+        fail(&format!(
+            "TMR SER delta {} is not strictly positive (baseline SER {}, mitigated {})",
+            tmr.ser_delta,
+            first.baseline.ser(),
+            tmr.mission.ser()
+        ));
+    }
+    if tmr.report.added_cells != 6 * tmr.report.hardened.len() {
+        fail(&format!(
+            "TMR area cost inexact: {} cells added for {} targets (expected 6 per target)",
+            tmr.report.added_cells,
+            tmr.report.hardened.len()
+        ));
+    }
+    if tmr.masked_injections != 0 {
+        fail("TMR must not mask injections outside the simulator");
+    }
+
+    // FF hardening: in-place (no added cells) and physically masking the
+    // below-threshold segments.
+    let ff = first
+        .mitigations
+        .iter()
+        .find(|m| m.kind == MitigationKind::FfHardening)
+        .unwrap_or_else(|| fail("no FF-hardening mitigation in the outcome"));
+    if ff.report.added_cells != 0 {
+        fail("FF hardening must not add cells");
+    }
+    if ff.ser_delta < 0.0 {
+        fail(&format!("FF hardening increased SER: {}", ff.ser_delta));
+    }
+
+    println!("{first_report}");
+    eprintln!(
+        "mission_smoke: PASS (2 segments, TMR ΔSER {:.4} with {} cells added, \
+         FF hardening masked {} injections)",
+        tmr.ser_delta, tmr.report.added_cells, ff.masked_injections
+    );
+}

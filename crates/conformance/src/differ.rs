@@ -1,4 +1,4 @@
-//! The differential runner: one scenario, three engines, eight checks.
+//! The differential runner: one scenario, three engines, nine checks.
 //!
 //! [`check_with_mutant`] executes a [`Scenario`] on the reference
 //! [`OracleEngine`] and both production engines and verifies, in order:
@@ -26,6 +26,11 @@
 //!    (scratch, checkpointed, and checkpointed+early-stop) produces records
 //!    byte-identical to a scratch scalar levelized campaign over the same
 //!    fault targets.
+//! 9. **Mission-campaign differential** — a seed-derived multi-segment
+//!    mission profile over the same fault targets produces bit-identical
+//!    records and per-segment statistics from scratch, checkpointed, and
+//!    checkpointed+early-stop runs, with segment totals accounting for
+//!    every record.
 //!
 //! When a mutant is installed the oracle is the *mutated* party, so any
 //! scenario whose outputs exercise the mutated gate fails check 1 or 5 —
@@ -35,10 +40,11 @@ use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssresf::{
-    run_campaign, run_campaign_with, CampaignConfig, Dut, EngineKind, Instrument, MetricsRegistry,
-    Workload,
+    run_campaign, run_campaign_with, run_mission_campaign, CampaignConfig, Dut, EngineKind,
+    Instrument, MetricsRegistry, Workload,
 };
 use ssresf_netlist::{CellId, FlatNetlist, NetId};
+use ssresf_radiation::{MissionProfile, MissionSegment, ParticleEnvironment};
 use ssresf_sim::vcd::{parse_vcd, write_vcd};
 use ssresf_sim::{
     CycleTrace, Divergence, Engine, EvalMutant, EventDrivenEngine, Fault, LevelizedEngine, Logic,
@@ -362,11 +368,12 @@ pub fn check_with_mutant(scenario: &Scenario, mutant: Option<EvalMutant>) -> Res
         ));
     }
 
-    // 6.–8. Campaign differentials (meaningful only against an unmutated
+    // 6.–9. Campaign differentials (meaningful only against an unmutated
     //    oracle: the campaign always runs production engines).
     if mutant.is_none() {
         check_campaigns(scenario, &flat)?;
         check_batched_campaign(scenario, &flat)?;
+        check_mission_campaign(scenario, &flat)?;
     }
     Ok(())
 }
@@ -567,6 +574,126 @@ fn check_batched_campaign(scenario: &Scenario, flat: &FlatNetlist) -> Result<(),
                 "batched: {label} run reported zero word evaluations"
             ));
         }
+    }
+    Ok(())
+}
+
+/// 9. A seed-derived multi-segment mission profile partitioning the
+///    scenario's run window must produce bit-identical records and
+///    per-segment statistics from scratch, checkpointed, and
+///    checkpointed+early-stop runs, with segment totals accounting for
+///    every record.
+fn check_mission_campaign(scenario: &Scenario, flat: &FlatNetlist) -> Result<(), String> {
+    let dut = Dut::from_conventions(flat).map_err(|e| format!("mission: no DUT: {e}"))?;
+    let mut cells: Vec<CellId> = scenario
+        .faults
+        .iter()
+        .map(|f| CellId((f.cell as usize % flat.cells().len()) as u32))
+        .collect();
+    cells.sort();
+    cells.dedup();
+
+    // Seed-derived 2–3 segment split of the run window, each ≥ 1 cycle,
+    // rotating through distinct particle presets.
+    let total = scenario.run_cycles.max(2);
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x0000_0A15_5107_u64);
+    let segment_count: u64 = if total >= 3 && rng.gen::<bool>() {
+        3
+    } else {
+        2
+    };
+    let mut parts = vec![1u64; segment_count as usize];
+    for _ in 0..(total - segment_count) {
+        let i = rng.gen_range(0..parts.len());
+        parts[i] += 1;
+    }
+    let presets = [
+        ParticleEnvironment::proton(),
+        ParticleEnvironment::heavy_ion(),
+        ParticleEnvironment::neutron(),
+    ];
+    let mission = MissionProfile::new(
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| MissionSegment::new(format!("seg{i}"), d, presets[i % presets.len()]))
+            .collect(),
+    )
+    .map_err(|e| format!("mission: derived profile invalid: {e}"))?;
+
+    let base = CampaignConfig {
+        workload: Workload {
+            reset_cycles: scenario.reset_cycles,
+            run_cycles: scenario.run_cycles,
+        },
+        injections_per_cell: 2,
+        seed: scenario.seed,
+        engine: if scenario.seed.is_multiple_of(2) {
+            EngineKind::EventDriven
+        } else {
+            EngineKind::Levelized
+        },
+        threads: 1,
+        checkpoint_interval: 0,
+        early_stop: false,
+        ..CampaignConfig::default()
+    };
+    let scratch = run_mission_campaign(&dut, &cells, &base, &mission)
+        .map_err(|e| format!("mission: from-scratch run failed: {e}"))?;
+    let checkpointed = run_mission_campaign(
+        &dut,
+        &cells,
+        &CampaignConfig {
+            checkpoint_interval: scenario.checkpoint_interval,
+            ..base
+        },
+        &mission,
+    )
+    .map_err(|e| format!("mission: checkpointed run failed: {e}"))?;
+    let stopped = run_mission_campaign(
+        &dut,
+        &cells,
+        &CampaignConfig {
+            checkpoint_interval: scenario.checkpoint_interval,
+            early_stop: true,
+            ..base
+        },
+        &mission,
+    )
+    .map_err(|e| format!("mission: early-stop run failed: {e}"))?;
+
+    if scratch.campaign.records != checkpointed.campaign.records {
+        return Err(format!(
+            "mission: checkpointed records differ from from-scratch \
+             (interval {}, {} segments)",
+            scenario.checkpoint_interval,
+            parts.len()
+        ));
+    }
+    if scratch.campaign.records != stopped.campaign.records {
+        return Err(format!(
+            "mission: early-stop records differ from from-scratch \
+             (interval {}, {} segments)",
+            scenario.checkpoint_interval,
+            parts.len()
+        ));
+    }
+    if scratch.segments != checkpointed.segments || scratch.segments != stopped.segments {
+        return Err("mission: per-segment statistics differ across checkpoint modes".to_owned());
+    }
+    let bucketed: usize = scratch.segments.iter().map(|s| s.injections).sum();
+    if bucketed != scratch.campaign.records.len() {
+        return Err(format!(
+            "mission: segment totals bucket {bucketed} of {} records",
+            scratch.campaign.records.len()
+        ));
+    }
+    let errors: usize = scratch.segments.iter().map(|s| s.soft_errors).sum();
+    if errors != scratch.campaign.soft_errors() {
+        return Err(format!(
+            "mission: segment soft-error totals sum to {errors}, campaign saw {}",
+            scratch.campaign.soft_errors()
+        ));
     }
     Ok(())
 }

@@ -560,6 +560,37 @@ pub fn run_campaign_with(
     if config.injections_per_cell == 0 {
         return Err(SsresfError::Config("injections_per_cell is 0".into()));
     }
+    // Pre-generate every fault so worker threads only simulate.
+    let jobs: Vec<(CellId, Fault)> = cells
+        .iter()
+        .flat_map(|&cell| {
+            faults_for_cell(dut, cell, config)
+                .into_iter()
+                .map(move |f| (cell, f))
+        })
+        .collect();
+    run_injection_jobs(dut, jobs, config, hooks)
+}
+
+/// Runs a pre-generated injection job list: golden run, parallel workers,
+/// telemetry. This is the execution engine shared by the static-environment
+/// campaign ([`run_campaign_with`]), mission campaigns
+/// ([`run_mission_campaign_with`](crate::mission::run_mission_campaign_with))
+/// and differential mitigation runs — any caller that can phrase its fault
+/// schedule as `(cell, fault)` pairs gets the checkpointing, early-stop,
+/// batching and determinism machinery unchanged.
+///
+/// Records come back in job order regardless of thread count.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation failures.
+pub fn run_injection_jobs(
+    dut: &Dut<'_>,
+    jobs: Vec<(CellId, Fault)>,
+    config: &CampaignConfig,
+    hooks: &Instrument<'_>,
+) -> Result<CampaignOutcome, SsresfError> {
     if config.workload.run_cycles == 0 {
         return Err(SsresfError::Config(
             "workload run_cycles is 0: nothing to observe or inject into".into(),
@@ -594,16 +625,6 @@ pub fn run_campaign_with(
         config.checkpoint_interval,
     )?;
     let golden_time = started.elapsed();
-
-    // Pre-generate every fault so worker threads only simulate.
-    let jobs: Vec<(CellId, Fault)> = cells
-        .iter()
-        .flat_map(|&cell| {
-            faults_for_cell(dut, cell, config)
-                .into_iter()
-                .map(move |f| (cell, f))
-        })
-        .collect();
 
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()

@@ -44,6 +44,7 @@ pub mod clustering;
 pub mod error;
 pub mod framework;
 pub mod hardening;
+pub mod mission;
 pub mod progress;
 pub mod report;
 pub mod sampling;
@@ -52,8 +53,8 @@ pub mod ser;
 pub mod workload;
 
 pub use campaign::{
-    faults_for_cell, run_campaign, run_campaign_with, CampaignConfig, CampaignOutcome,
-    CampaignTelemetry, CellErrorStats, InjectionRecord,
+    faults_for_cell, run_campaign, run_campaign_with, run_injection_jobs, CampaignConfig,
+    CampaignOutcome, CampaignTelemetry, CellErrorStats, InjectionRecord,
 };
 pub use clustering::{
     cluster_cells, cluster_cells_reference, hier_distance, Clustering, ClusteringConfig,
@@ -62,7 +63,14 @@ pub use error::SsresfError;
 pub use framework::{
     scaled_chip_xsect, Analysis, LabelRule, Ssresf, SsresfConfig, Timing, MAX_SPEEDUP,
 };
-pub use hardening::{selective_harden, HardeningStrategy, SelectiveHardening};
+pub use hardening::{
+    run_differential_campaign, selective_harden, DifferentialOutcome, HardeningStrategy,
+    MitigationKind, MitigationOutcome, MitigationPlan, SelectiveHardening,
+};
+pub use mission::{
+    environment_of, mission_faults_for_cell, run_mission_campaign, run_mission_campaign_with,
+    MissionOutcome, SegmentStats,
+};
 pub use progress::{CampaignProgress, Instrument, ProgressPhase, ProgressSink, WorkerUtilization};
 pub use report::AnalysisSummary;
 pub use sampling::{sample_clusters, ClusterSample, SamplingConfig};

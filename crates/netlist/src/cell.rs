@@ -61,6 +61,13 @@ pub enum CellKind {
     Dffre,
     /// Level-sensitive latch, transparent while `EN` is high. Pins: `EN`, `D` → `Q`.
     Latch,
+    /// Radiation-hardened (DICE) D flip-flop; pin- and behavior-compatible
+    /// with [`CellKind::Dff`] but roughly twice the area and a strongly
+    /// reduced SEU cross-section. Pins: `CLK`, `D` → `Q`.
+    HardDff,
+    /// Radiation-hardened D flip-flop with active-low reset; pin- and
+    /// behavior-compatible with [`CellKind::Dffr`]. Pins: `CLK`, `D`, `RSTN` → `Q`.
+    HardDffr,
     /// Six-transistor SRAM storage bit. Pins: `CLK`, `WE`, `D` → `Q`.
     SramBit,
     /// One-transistor-one-capacitor DRAM storage bit. Pins: `CLK`, `WE`, `D` → `Q`.
@@ -110,6 +117,8 @@ pub const ALL_CELL_KINDS: &[CellKind] = &[
     CellKind::Dffe,
     CellKind::Dffre,
     CellKind::Latch,
+    CellKind::HardDff,
+    CellKind::HardDffr,
     CellKind::SramBit,
     CellKind::DramBit,
     CellKind::RadHardBit,
@@ -141,6 +150,8 @@ impl CellKind {
             CellKind::Dffe => "DFFE",
             CellKind::Dffre => "DFFRE",
             CellKind::Latch => "LATCH",
+            CellKind::HardDff => "HDFF",
+            CellKind::HardDffr => "HDFFR",
             CellKind::SramBit => "SRAMB",
             CellKind::DramBit => "DRAMB",
             CellKind::RadHardBit => "RHSRAMB",
@@ -166,8 +177,8 @@ impl CellKind {
             CellKind::And3 | CellKind::Or3 | CellKind::Nand3 | CellKind::Nor3 => &["A", "B", "C"],
             CellKind::Mux2 => &["D0", "D1", "S"],
             CellKind::Aoi21 | CellKind::Oai21 => &["A", "B", "C"],
-            CellKind::Dff => &["CLK", "D"],
-            CellKind::Dffr => &["CLK", "D", "RSTN"],
+            CellKind::Dff | CellKind::HardDff => &["CLK", "D"],
+            CellKind::Dffr | CellKind::HardDffr => &["CLK", "D", "RSTN"],
             CellKind::Dffe => &["CLK", "D", "EN"],
             CellKind::Dffre => &["CLK", "D", "RSTN", "EN"],
             CellKind::Latch => &["EN", "D"],
@@ -198,6 +209,8 @@ impl CellKind {
                 | CellKind::Dffe
                 | CellKind::Dffre
                 | CellKind::Latch
+                | CellKind::HardDff
+                | CellKind::HardDffr
                 | CellKind::SramBit
                 | CellKind::DramBit
                 | CellKind::RadHardBit
@@ -223,6 +236,7 @@ impl CellKind {
             CellKind::SramBit => RadiationClass::SramCell,
             CellKind::DramBit => RadiationClass::DramCell,
             CellKind::RadHardBit => RadiationClass::RadHardCell,
+            CellKind::HardDff | CellKind::HardDffr => RadiationClass::RadHardCell,
             k if k.is_sequential() => RadiationClass::FlipFlop,
             _ => RadiationClass::Combinational,
         }
@@ -247,6 +261,8 @@ impl CellKind {
             CellKind::Dffe => 24,
             CellKind::Dffr => 24,
             CellKind::Dffre => 28,
+            CellKind::HardDff => 40,
+            CellKind::HardDffr => 48,
             CellKind::SramBit => 6,
             CellKind::DramBit => 1,
             CellKind::RadHardBit => 12,

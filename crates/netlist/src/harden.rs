@@ -201,6 +201,54 @@ impl FlatNetlist {
             transistors_after: after,
         })
     }
+
+    /// Swaps every cell in `targets` that has a radiation-hardened drop-in
+    /// replacement (see [`hardened_kind`]) for that replacement, in place.
+    ///
+    /// The swap preserves cell ids, pin wiring, and simulation behavior —
+    /// hardened kinds are behavior-identical — so an injection schedule
+    /// addressed by `CellId` stays valid on the transformed netlist. The
+    /// radiation model sees the difference: hardened kinds carry
+    /// [`RadiationClass::RadHardCell`](crate::cell::RadiationClass) with its
+    /// high-LET-threshold cross-section. Cells without a hardened variant
+    /// (latches, enable flops, combinational logic) are skipped.
+    pub fn ff_harden(&mut self, targets: &[CellId]) -> HardeningReport {
+        let before: u64 = self
+            .cells()
+            .iter()
+            .map(|c| u64::from(c.kind.transistor_count()))
+            .sum();
+        let mut hardened = Vec::new();
+        for &target in targets {
+            if let Some(hard) = hardened_kind(self.cell(target).kind) {
+                self.cell_mut(target).kind = hard;
+                hardened.push(target);
+            }
+        }
+        let after: u64 = self
+            .cells()
+            .iter()
+            .map(|c| u64::from(c.kind.transistor_count()))
+            .sum();
+        HardeningReport {
+            hardened,
+            added_cells: 0,
+            transistors_before: before,
+            transistors_after: after,
+        }
+    }
+}
+
+/// The pin-compatible radiation-hardened replacement for `kind`, if the
+/// library has one: plain and resettable flip-flops map to their DICE
+/// variants, and SRAM/DRAM bits map to the hardened storage bit.
+pub fn hardened_kind(kind: CellKind) -> Option<CellKind> {
+    match kind {
+        CellKind::Dff => Some(CellKind::HardDff),
+        CellKind::Dffr => Some(CellKind::HardDffr),
+        CellKind::SramBit | CellKind::DramBit => Some(CellKind::RadHardBit),
+        _ => None,
+    }
 }
 
 // Internal raw accessors kept out of the public surface.
@@ -316,6 +364,42 @@ mod tests {
         let report = flat.tmr_harden(&[tie]).unwrap();
         assert!(report.hardened.is_empty());
         assert_eq!(report.added_cells, 0);
+    }
+
+    #[test]
+    fn ff_harden_swaps_kinds_in_place() {
+        let mut flat = toggler();
+        let ff = flat.cell_by_name("u_ff").unwrap();
+        let inv = flat.cell_by_name("u_inv").unwrap();
+        let cells_before = flat.cells().len();
+        let report = flat.ff_harden(&[ff, inv]);
+        // Only the flop has a hardened variant; the inverter is skipped.
+        assert_eq!(report.hardened, vec![ff]);
+        assert_eq!(report.added_cells, 0);
+        assert_eq!(flat.cells().len(), cells_before);
+        assert_eq!(flat.cell(ff).kind, CellKind::HardDffr);
+        assert_eq!(flat.cell(inv).kind, CellKind::Inv);
+        // Dffr 24T -> HardDffr 48T.
+        assert_eq!(
+            report.transistors_after - report.transistors_before,
+            u64::from(CellKind::HardDffr.transistor_count())
+                - u64::from(CellKind::Dffr.transistor_count())
+        );
+        flat.levelize().unwrap();
+    }
+
+    #[test]
+    fn hardened_kind_is_pin_compatible() {
+        for &kind in crate::cell::ALL_CELL_KINDS {
+            if let Some(hard) = hardened_kind(kind) {
+                assert_eq!(kind.input_pins(), hard.input_pins(), "{kind}");
+                assert!(hard.transistor_count() > kind.transistor_count(), "{kind}");
+                assert_eq!(
+                    hard.radiation_class(),
+                    crate::cell::RadiationClass::RadHardCell
+                );
+            }
+        }
     }
 
     #[test]

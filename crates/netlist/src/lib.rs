@@ -53,7 +53,7 @@ pub use error::NetlistError;
 pub use features::{CellFeatures, FeatureExtractor, ModuleClass, STRUCTURAL_FEATURE_NAMES};
 pub use flat::{CellId, FlatCell, FlatNet, FlatNetlist, NetId};
 pub use generate::{CircuitSpec, GateSpec, GENERATOR_KINDS};
-pub use harden::HardeningReport;
+pub use harden::{hardened_kind, HardeningReport};
 pub use path::{HierPath, LayerSignatures, PathId, PathInterner, ABSENT_LAYER};
 pub use stats::NetlistStats;
 

@@ -28,15 +28,19 @@ pub mod campaign;
 pub mod database;
 pub mod environment;
 pub mod error;
+pub mod mission;
+pub mod particle;
 pub mod pulse;
 pub mod spectrum;
 pub mod units;
 pub mod weibull;
 
-pub use campaign::{CampaignConfig, FluxCampaign, GeneratedFault};
+pub use campaign::{stream_seed, CampaignConfig, FluxCampaign, GeneratedFault};
 pub use database::{DatabaseEntry, LetPoint, SoftErrorDatabase, CALIBRATION_LETS};
 pub use environment::RadiationEnvironment;
 pub use error::RadiationError;
+pub use mission::{MissionProfile, MissionSegment};
+pub use particle::{ParticleEnvironment, ParticleKind};
 pub use pulse::PulseWidthModel;
 pub use spectrum::{LetSpectrum, SpectrumBin};
 pub use units::{Area, Flux, Let};

@@ -21,6 +21,12 @@ impl Let {
     pub fn value(self) -> f64 {
         self.0
     }
+
+    /// Wraps a value without range checks — for hand-rolled JSON parsing,
+    /// where the caller is expected to `validate()` the containing config.
+    pub(crate) fn unchecked(value: f64) -> Let {
+        Let(value)
+    }
 }
 
 impl std::fmt::Display for Let {
@@ -47,6 +53,12 @@ impl Flux {
     /// The raw value in particles/(cm²·s).
     pub fn value(self) -> f64 {
         self.0
+    }
+
+    /// Wraps a value without range checks — for hand-rolled JSON parsing,
+    /// where the caller is expected to `validate()` the containing config.
+    pub(crate) fn unchecked(value: f64) -> Flux {
+        Flux(value)
     }
 }
 

@@ -421,7 +421,7 @@ pub fn async_override_zero_lanes<const W: usize>(
     inputs: &[LaneWord<W>],
 ) -> LaneMask<W> {
     match kind {
-        CellKind::Dffr | CellKind::Dffre => inputs[2].defined_zero(),
+        CellKind::Dffr | CellKind::Dffre | CellKind::HardDffr => inputs[2].defined_zero(),
         _ => LaneMask::EMPTY,
     }
 }
@@ -442,7 +442,7 @@ pub fn next_state_word<const W: usize>(
 ) -> LaneWord<W> {
     assert!(kind.is_sequential(), "next_state_word called on {kind}");
     let captured = match kind {
-        CellKind::Dff | CellKind::Dffr => inputs[1],
+        CellKind::Dff | CellKind::Dffr | CellKind::HardDff | CellKind::HardDffr => inputs[1],
         CellKind::Dffe => inputs[2].select(inputs[1], state),
         CellKind::Dffre => inputs[3].select(inputs[1], state),
         CellKind::Latch => inputs[0].select(inputs[1], state),

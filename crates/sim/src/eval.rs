@@ -124,7 +124,7 @@ pub fn clock_pin(kind: CellKind) -> usize {
 /// active — e.g. `RSTN == 0` forces the state to `0`.
 pub fn async_override(kind: CellKind, inputs: &[Logic]) -> Option<Logic> {
     match kind {
-        CellKind::Dffr | CellKind::Dffre => match inputs[2] {
+        CellKind::Dffr | CellKind::Dffre | CellKind::HardDffr => match inputs[2] {
             Logic::Zero => Some(Logic::Zero),
             _ => None,
         },
@@ -146,8 +146,8 @@ pub fn next_state(kind: CellKind, inputs: &[Logic], state: Logic) -> Logic {
         return forced;
     }
     match kind {
-        CellKind::Dff => inputs[1],
-        CellKind::Dffr => inputs[1],
+        CellKind::Dff | CellKind::HardDff => inputs[1],
+        CellKind::Dffr | CellKind::HardDffr => inputs[1],
         CellKind::Dffe => match inputs[2] {
             Logic::One => inputs[1],
             Logic::Zero => state,

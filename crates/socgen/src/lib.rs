@@ -44,4 +44,6 @@ mod topbuild;
 pub mod words;
 
 pub use program::{assemble, default_program, Insn, Program};
-pub use soc::{build_soc, BuiltSoc, BusKind, Isa, MemoryKind, SocConfig, SocInfo};
+pub use soc::{
+    build_soc, harden_registers, BuiltSoc, BusKind, Isa, MemoryKind, SocConfig, SocInfo,
+};

@@ -263,6 +263,19 @@ impl SocConfig {
             .collect()
     }
 
+    /// The rad-hard evaluation preset: SoC_1's size and ISA with the
+    /// radiation-hardened memory technology. Pair with
+    /// [`harden_registers`] to also swap the register flops for their
+    /// hardened drop-ins — together they model a fully rad-hard build of
+    /// the smallest benchmark, the differential-campaign reference target.
+    pub fn rad_hard() -> SocConfig {
+        SocConfig {
+            name: "PULP SoC_RH".to_owned(),
+            memory: MemoryKind::RadHardSram,
+            ..SocConfig::table1()[0].clone()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -325,6 +338,25 @@ pub fn build_soc(config: &SocConfig) -> Result<BuiltSoc, NetlistError> {
     crate::topbuild::build(config)
 }
 
+/// Rad-hard register emission hook: swaps every cell of the flattened SoC
+/// that has a hardened drop-in variant (`Dff`/`Dffr` →
+/// `HardDff`/`HardDffr`, `SramBit`/`DramBit` → `RadHardBit`) in place,
+/// preserving cell ids and behavior.
+///
+/// Memory bit cells are governed by [`MemoryKind`] at generation time
+/// (`RadHardSram` arrays already instantiate `RadHardBit`), so on a
+/// [`SocConfig::rad_hard`] build this hook only touches the register
+/// flops, completing the rad-hard build. Enable-flops (`Dffre`) have no
+/// hardened variant and are left untouched.
+pub fn harden_registers(flat: &mut ssresf_netlist::FlatNetlist) -> ssresf_netlist::HardeningReport {
+    let targets: Vec<ssresf_netlist::CellId> = flat
+        .iter_cells()
+        .filter(|(_, c)| ssresf_netlist::hardened_kind(c.kind).is_some())
+        .map(|(id, _)| id)
+        .collect();
+    flat.ff_harden(&targets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +406,47 @@ mod tests {
     #[test]
     fn isa_programs_grow_with_extensions() {
         assert!(Isa::Rv32imafd.program().len() > Isa::Rv32i.program().len());
+    }
+
+    #[test]
+    fn rad_hard_preset_is_soc1_with_hard_memory() {
+        let preset = SocConfig::rad_hard();
+        let soc1 = &SocConfig::table1()[0];
+        assert!(preset.validate().is_ok());
+        assert_eq!(preset.memory, MemoryKind::RadHardSram);
+        assert_eq!(preset.bus_width, soc1.bus_width);
+        assert_eq!(preset.isa, soc1.isa);
+        assert_eq!(preset.memory_bytes, soc1.memory_bytes);
+    }
+
+    #[test]
+    fn harden_registers_swaps_flops_in_place() {
+        use ssresf_netlist::CellKind;
+        let built = build_soc(&SocConfig::rad_hard()).unwrap();
+        let mut flat = built.design.flatten().unwrap();
+        let cell_count = flat.cells().len();
+        let soft_flops = flat
+            .iter_cells()
+            .filter(|(_, c)| matches!(c.kind, CellKind::Dff | CellKind::Dffr))
+            .count();
+        assert!(soft_flops > 0, "SoC must have plain flops to harden");
+        // Memory already instantiates RadHardBit under this preset.
+        assert!(flat
+            .iter_cells()
+            .any(|(_, c)| c.kind == CellKind::RadHardBit));
+
+        let report = harden_registers(&mut flat);
+        assert_eq!(report.hardened.len(), soft_flops);
+        assert_eq!(report.added_cells, 0);
+        assert_eq!(flat.cells().len(), cell_count);
+        assert!(report.transistors_after > report.transistors_before);
+        assert_eq!(
+            flat.iter_cells()
+                .filter(|(_, c)| matches!(c.kind, CellKind::Dff | CellKind::Dffr))
+                .count(),
+            0
+        );
+        // Still a valid, simulatable netlist.
+        flat.levelize().unwrap();
     }
 }
