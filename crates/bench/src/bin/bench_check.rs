@@ -17,7 +17,17 @@
 //!   campaign speedup (informational: reported but never gating, since
 //!   wall clock is hardware-dependent);
 //! - `BENCH_mlpath.json` / `speedup` — the working-set SMO fast ML path's
-//!   training+prediction speedup.
+//!   training+prediction speedup;
+//! - `BENCH_scale.json` / `cells` — the million-cell preset's size
+//!   (gating: the scale guarantee must not silently shrink), plus
+//!   non-gating `wall_headroom` / `rss_headroom` budget ratios from the
+//!   `scale_smoke` gate (wall clock and allocator behavior are
+//!   hardware-dependent; the hard budget assertion lives in `scale_smoke`
+//!   itself).
+//!
+//! A metric whose report file is absent from *both* directories is skipped
+//! (its producer did not run in this job); present in only one is still a
+//! failure or a NEW metric respectively.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -45,6 +55,21 @@ const METRICS: &[Metric] = &[
         file: "BENCH_mlpath.json",
         key: "speedup",
         gating: true,
+    },
+    Metric {
+        file: "BENCH_scale.json",
+        key: "cells",
+        gating: true,
+    },
+    Metric {
+        file: "BENCH_scale.json",
+        key: "wall_headroom",
+        gating: false,
+    },
+    Metric {
+        file: "BENCH_scale.json",
+        key: "rss_headroom",
+        gating: false,
     },
 ];
 
@@ -95,6 +120,10 @@ fn main() -> ExitCode {
     let mut failed = false;
     for metric in METRICS {
         let label = format!("{} `{}`", metric.file, metric.key);
+        if !current_dir.join(metric.file).exists() && !baseline_dir.join(metric.file).exists() {
+            println!("| {label} | — | — | — | skipped (not produced in this job) |");
+            continue;
+        }
         let current = match load_metric(&current_dir, metric.file, metric.key) {
             Ok(v) => v,
             Err(e) => {

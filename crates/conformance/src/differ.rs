@@ -109,7 +109,7 @@ fn run_trace<E: Engine>(
 ) -> CycleTrace {
     let flat = engine.netlist();
     let outputs: Vec<NetId> = flat.primary_outputs().to_vec();
-    let names: Vec<String> = outputs.iter().map(|&n| flat.net(n).name.clone()).collect();
+    let names: Vec<String> = outputs.iter().map(|&n| flat.net_full_name(n)).collect();
     let rst = flat
         .net_by_name("rst_n")
         .expect("generated circuits have rst_n");

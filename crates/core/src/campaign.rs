@@ -22,7 +22,7 @@ use crate::workload::{Dut, EngineKind, GoldenRun, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use ssresf_netlist::{CellId, CellKind, FlatNetlist};
+use ssresf_netlist::{CellId, CellKind, FlatNetlist, NetId};
 use ssresf_radiation::{PulseWidthModel, RadiationEnvironment};
 use ssresf_sim::{CycleTrace, EngineTelemetry, Fault, SetFault, SeuFault};
 use std::collections::BTreeMap;
@@ -341,10 +341,11 @@ impl CollapseIndex {
         // (a primary output), must feed exactly one input pin, and that
         // pin must belong to a `Buf`.
         let step = |n: usize| -> Option<usize> {
-            if is_po[n] || nets[n].loads.len() != 1 {
+            let loads = netlist.net(NetId(n as u32)).loads;
+            if is_po[n] || loads.len() != 1 {
                 return None;
             }
-            let reader = netlist.cell(nets[n].loads[0].0);
+            let reader = netlist.cell(loads[0].0);
             (reader.kind == CellKind::Buf).then(|| reader.output.index())
         };
         let mut canonical: Vec<u32> = (0..nets.len() as u32).collect();

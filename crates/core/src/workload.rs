@@ -635,9 +635,7 @@ impl<'a> Dut<'a> {
             .filter(|(_, c)| c.kind.is_memory_bit())
             .map(|(id, _)| id)
             .collect();
-        for id in memory_cells {
-            engine.set_cell_state(id, Logic::Zero);
-        }
+        engine.set_cell_states(&memory_cells, Logic::Zero);
     }
 
     /// Schedules `faults` with their workload-relative cycles shifted into
@@ -653,7 +651,7 @@ impl<'a> Dut<'a> {
         let outputs: Vec<NetId> = self.netlist.primary_outputs().to_vec();
         let names = outputs
             .iter()
-            .map(|&n| self.netlist.net(n).name.clone())
+            .map(|&n| self.netlist.net_full_name(n))
             .collect();
         (outputs, CycleTrace::new(names))
     }
@@ -795,7 +793,7 @@ mod tests {
     fn conventions_find_clock_and_reset() {
         let flat = counter_netlist();
         let dut = Dut::from_conventions(&flat).unwrap();
-        assert_eq!(flat.net(dut.clock()).name, "clk");
+        assert_eq!(flat.net_full_name(dut.clock()), "clk");
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub enum NetlistError {
     CombinationalLoop(String),
     /// The design's module instantiation graph is recursive.
     RecursiveHierarchy(String),
+    /// The design exceeds the 32-bit id space of the flat netlist.
+    TooLarge {
+        /// Which id column overflowed (e.g. `"cells"`, `"nets"`).
+        what: &'static str,
+    },
     /// Structural Verilog could not be parsed.
     Parse {
         /// 1-based line of the offending token.
@@ -82,6 +87,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::RecursiveHierarchy(module) => {
                 write!(f, "recursive instantiation of module `{module}`")
+            }
+            NetlistError::TooLarge { what } => {
+                write!(f, "netlist too large: 32-bit {what} id space exhausted")
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

@@ -139,7 +139,16 @@ pub struct FeatureExtractor<'a> {
 
 /// Sentinel observation distance for cells from which no observation point
 /// is reachable.
+///
+/// Real BFS distances are bounded by the cell count, which elaboration caps
+/// below `u32::MAX - 2` (see [`NetlistError::TooLarge`](crate::NetlistError)),
+/// so a finite distance can never collide with the sentinel.
 const UNOBSERVABLE: u32 = u32::MAX;
+
+/// Feature-space substitute for [`UNOBSERVABLE`]: dead-end cells enter
+/// scaling as this saturated depth, never as the raw `u32` sentinel (which
+/// would dwarf every other feature and wreck normalization).
+pub const DEPTH_OBS_SATURATED: f64 = 64.0;
 
 impl<'a> FeatureExtractor<'a> {
     /// Prepares depth maps for `netlist`.
@@ -181,7 +190,7 @@ impl<'a> FeatureExtractor<'a> {
         let fanin = cell.inputs.len() as f64;
         let depth_fwd = f64::from(self.depth_fwd[id.index()]);
         let depth_obs = match self.depth_obs[id.index()] {
-            UNOBSERVABLE => 64.0, // saturate: effectively unobservable
+            UNOBSERVABLE => DEPTH_OBS_SATURATED,
             d => f64::from(d),
         };
         let transistors = f64::from(cell.kind.transistor_count());
@@ -220,19 +229,25 @@ impl<'a> FeatureExtractor<'a> {
 /// Number of distinct cells adjacent to `id` (input drivers plus output loads).
 fn neighborhood_size(netlist: &FlatNetlist, id: CellId) -> usize {
     let cell = netlist.cell(id);
-    let mut neighbors: Vec<CellId> = Vec::new();
-    for &input in &cell.inputs {
+    let loads = netlist.net(cell.output).loads;
+    // Sort + dedup rather than a `contains` scan per candidate: a memory
+    // macro's write-enable or address driver fans out to tens of thousands
+    // of loads, and the quadratic scan dominated whole-chip extraction.
+    let mut neighbors: Vec<CellId> = Vec::with_capacity(cell.inputs.len() + loads.len());
+    for &input in cell.inputs {
         if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
-            if driver != id && !neighbors.contains(&driver) {
+            if driver != id {
                 neighbors.push(driver);
             }
         }
     }
-    for &(load, _) in &netlist.net(cell.output).loads {
-        if load != id && !neighbors.contains(&load) {
+    for &(load, _) in loads {
+        if load != id {
             neighbors.push(load);
         }
     }
+    neighbors.sort_unstable();
+    neighbors.dedup();
     neighbors.len()
 }
 
@@ -256,7 +271,7 @@ fn observation_distances(netlist: &FlatNetlist) -> Vec<u32> {
         if !cell.kind.is_sequential() {
             continue;
         }
-        for &input in &cell.inputs {
+        for &input in cell.inputs {
             if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
                 if dist[driver.index()] > 1 {
                     dist[driver.index()] = 1;
@@ -271,7 +286,7 @@ fn observation_distances(netlist: &FlatNetlist) -> Vec<u32> {
     // pushed them that way — they were), so plain BFS yields shortest hops.
     while let Some(cell) = queue.pop_front() {
         let d = dist[cell.index()];
-        for &input in &netlist.cell(cell).inputs {
+        for &input in netlist.cell(cell).inputs {
             if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
                 if dist[driver.index()] > d + 1 {
                     dist[driver.index()] = d + 1;
@@ -384,5 +399,34 @@ mod tests {
             let is_seq = flat.cell(f.cell).kind.is_sequential();
             assert_eq!(f.values[5] == 1.0, is_seq);
         }
+    }
+
+    #[test]
+    fn dead_end_cell_saturates_depth_obs() {
+        // u_dead drives a net with no loads that is not a primary output:
+        // no observation point is reachable, so the u32 sentinel applies.
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("top");
+        let a = mb.port("a", PortDir::Input);
+        let y = mb.port("y", PortDir::Output);
+        let w = mb.net("w");
+        mb.cell("u0", CellKind::Inv, &[a], &[y]).unwrap();
+        mb.cell("u_dead", CellKind::Inv, &[a], &[w]).unwrap();
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        let flat = design.flatten().unwrap();
+
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let dead = flat.cell_by_name("u_dead").unwrap();
+        let feats = fx.extract_cell(dead, None);
+        // The sentinel must never leak into the feature vector as a giant
+        // finite value; it saturates at the named cap.
+        assert_eq!(feats.values[3], DEPTH_OBS_SATURATED);
+        for &v in &feats.values {
+            assert!(v.is_finite() && v <= DEPTH_OBS_SATURATED.max(100.0), "{v}");
+        }
+        // An observable cell keeps its real (small) distance.
+        let live = flat.cell_by_name("u0").unwrap();
+        assert_eq!(fx.extract_cell(live, None).values[3], 0.0);
     }
 }

@@ -10,7 +10,8 @@
 
 use crate::cell::CellKind;
 use crate::error::NetlistError;
-use crate::flat::{CellId, Driver, FlatCell, FlatNet, FlatNetlist, NetId};
+use crate::flat::{CellId, Driver, FlatNetlist, NetId};
+use crate::path::HierPath;
 use serde::{Deserialize, Serialize};
 
 /// Summary of a hardening transformation.
@@ -38,15 +39,19 @@ impl HardeningReport {
 }
 
 impl FlatNetlist {
-    /// Adds a fresh undriven net.
+    /// Adds a fresh undriven net. The name is taken verbatim as a root-level
+    /// leaf, so [`FlatNetlist::net_full_name`] returns it unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 32-bit net id space is exhausted (use elaboration-time
+    /// construction, which reports [`NetlistError::TooLarge`], for netlists
+    /// anywhere near that size).
     pub fn add_net(&mut self, name: String) -> NetId {
-        let id = NetId(self.nets_mut_len() as u32);
-        self.push_net_raw(FlatNet {
-            name,
-            driver: None,
-            loads: Vec::new(),
-        });
-        id
+        let root = self.paths_mut().intern(HierPath::root());
+        let leaf = self.intern_name(&name).expect("net name arena exhausted");
+        self.push_net_parts(root, leaf)
+            .expect("net id space exhausted")
     }
 
     /// Adds a primitive cell, wiring its pins into the connectivity.
@@ -72,20 +77,14 @@ impl FlatNetlist {
             });
         }
         if self.net(output).driver.is_some() {
-            return Err(NetlistError::MultipleDrivers(self.net(output).name.clone()));
+            return Err(NetlistError::MultipleDrivers(self.net_full_name(output)));
         }
-        let id = CellId(self.cells().len() as u32);
+        let leaf = self.intern_name(&name)?;
+        let id = self.push_cell_parts(leaf, path, kind, inputs, output)?;
         for (pin, &net) in inputs.iter().enumerate() {
-            self.net_mut(net).loads.push((id, pin as u8));
+            self.append_load(net, (id, pin as u8));
         }
-        self.net_mut(output).driver = Some(Driver::Cell(id));
-        self.push_cell_raw(FlatCell {
-            name,
-            path,
-            kind,
-            inputs: inputs.to_vec(),
-            output,
-        });
+        self.set_driver(output, Some(Driver::Cell(id)));
         Ok(id)
     }
 
@@ -104,13 +103,13 @@ impl FlatNetlist {
     ) -> Result<NetId, NetlistError> {
         if self.net(new_output).driver.is_some() {
             return Err(NetlistError::MultipleDrivers(
-                self.net(new_output).name.clone(),
+                self.net_full_name(new_output),
             ));
         }
         let old = self.cell(cell).output;
-        self.net_mut(old).driver = None;
-        self.net_mut(new_output).driver = Some(Driver::Cell(cell));
-        self.cell_mut(cell).output = new_output;
+        self.set_driver(old, None);
+        self.set_driver(new_output, Some(Driver::Cell(cell)));
+        self.set_cell_output(cell, new_output);
         Ok(old)
     }
 
@@ -142,7 +141,7 @@ impl FlatNetlist {
             }
             let base = self.cell_full_name(target).replace('.', "_");
             let path = self.cell(target).path;
-            let inputs = self.cell(target).inputs.clone();
+            let inputs = self.cell(target).inputs.to_vec();
             let original_out = self.cell(target).output;
 
             // Replica outputs.
@@ -221,7 +220,7 @@ impl FlatNetlist {
         let mut hardened = Vec::new();
         for &target in targets {
             if let Some(hard) = hardened_kind(self.cell(target).kind) {
-                self.cell_mut(target).kind = hard;
+                self.set_cell_kind(target, hard);
                 hardened.push(target);
             }
         }
@@ -248,29 +247,6 @@ pub fn hardened_kind(kind: CellKind) -> Option<CellKind> {
         CellKind::Dffr => Some(CellKind::HardDffr),
         CellKind::SramBit | CellKind::DramBit => Some(CellKind::RadHardBit),
         _ => None,
-    }
-}
-
-// Internal raw accessors kept out of the public surface.
-impl FlatNetlist {
-    fn nets_mut_len(&self) -> usize {
-        self.nets().len()
-    }
-
-    pub(crate) fn push_net_raw(&mut self, net: FlatNet) {
-        self.nets_raw().push(net);
-    }
-
-    pub(crate) fn push_cell_raw(&mut self, cell: FlatCell) {
-        self.cells_raw().push(cell);
-    }
-
-    pub(crate) fn net_mut(&mut self, id: NetId) -> &mut FlatNet {
-        &mut self.nets_raw()[id.index()]
-    }
-
-    pub(crate) fn cell_mut(&mut self, id: CellId) -> &mut FlatCell {
-        &mut self.cells_raw()[id.index()]
     }
 }
 
@@ -338,10 +314,10 @@ mod tests {
                 assert!(
                     net.driver.is_some() || flat.primary_inputs().contains(&NetId(i as u32)),
                     "undriven loaded net {}",
-                    net.name
+                    flat.net_full_name(NetId(i as u32))
                 );
             }
-            for &(cell, pin) in &net.loads {
+            for &(cell, pin) in net.loads {
                 assert_eq!(flat.cell(cell).inputs[pin as usize], NetId(i as u32));
             }
         }

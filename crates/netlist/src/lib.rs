@@ -50,8 +50,10 @@ pub mod verilog;
 pub use cell::{CellKind, RadiationClass};
 pub use design::{Cell, Design, Instance, Module, ModuleBuilder, Port, PortDir};
 pub use error::NetlistError;
-pub use features::{CellFeatures, FeatureExtractor, ModuleClass, STRUCTURAL_FEATURE_NAMES};
-pub use flat::{CellId, FlatCell, FlatNet, FlatNetlist, NetId};
+pub use features::{
+    CellFeatures, FeatureExtractor, ModuleClass, DEPTH_OBS_SATURATED, STRUCTURAL_FEATURE_NAMES,
+};
+pub use flat::{CellId, CellView, Driver, FlatNetlist, NetId, NetView};
 pub use generate::{CircuitSpec, GateSpec, GENERATOR_KINDS};
 pub use harden::{hardened_kind, HardeningReport};
 pub use path::{HierPath, LayerSignatures, PathId, PathInterner, ABSENT_LAYER};

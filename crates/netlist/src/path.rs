@@ -123,6 +123,11 @@ impl PathInterner {
         id
     }
 
+    /// Looks up an already-interned path without interning it.
+    pub fn find(&self, path: &HierPath) -> Option<PathId> {
+        self.lookup.get(path).copied()
+    }
+
     /// Resolves an identifier back to its path.
     ///
     /// # Panics

@@ -1,0 +1,499 @@
+//! Property test: the struct-of-arrays flat netlist is observationally
+//! identical to the array-of-structs layout it replaced.
+//!
+//! A reference elaborator below reproduces the pre-refactor algorithm
+//! verbatim — per-cell/per-net heap records, joined hierarchical name
+//! strings, loads pushed at cell-creation time, Kahn levelization with a
+//! ready *stack* — and every generated circuit is checked field by field:
+//! accessors, name lookups, connectivity, levelization order and depths,
+//! path-interning order (hence `layer_signatures`), and extracted features.
+
+use ssresf_netlist::cell::CellKind;
+use ssresf_netlist::design::{Design, PortDir};
+use ssresf_netlist::features::DEPTH_OBS_SATURATED;
+use ssresf_netlist::{
+    CircuitSpec, Driver, FeatureExtractor, GateSpec, ModuleBuilder, ModuleClass, ModuleId, NetId,
+    GENERATOR_KINDS,
+};
+
+// ---------------------------------------------------------------------------
+// Reference (pre-refactor) elaboration
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefDriver {
+    Cell(usize),
+    PrimaryInput,
+}
+
+struct RefCell {
+    name: String,
+    path: Vec<String>,
+    kind: CellKind,
+    inputs: Vec<usize>,
+    output: usize,
+}
+
+struct RefNet {
+    name: String,
+    driver: Option<RefDriver>,
+    loads: Vec<(usize, u8)>,
+}
+
+struct RefFlat {
+    cells: Vec<RefCell>,
+    nets: Vec<RefNet>,
+    primary_inputs: Vec<usize>,
+    primary_outputs: Vec<usize>,
+    /// Paths in interning order (root first).
+    paths: Vec<Vec<String>>,
+}
+
+fn join(path: &[String], leaf: &str) -> String {
+    if path.is_empty() {
+        leaf.to_owned()
+    } else {
+        format!("{}.{leaf}", path.join("."))
+    }
+}
+
+fn reference_flatten(design: &Design) -> RefFlat {
+    let top = design.top().expect("test designs set a top");
+    let top_module = design.module(top);
+    let mut flat = RefFlat {
+        cells: Vec::new(),
+        nets: Vec::new(),
+        primary_inputs: Vec::new(),
+        primary_outputs: Vec::new(),
+        paths: vec![Vec::new()],
+    };
+
+    let mut net_map = Vec::with_capacity(top_module.nets.len());
+    for name in &top_module.nets {
+        net_map.push(flat.nets.len());
+        flat.nets.push(RefNet {
+            name: name.clone(),
+            driver: None,
+            loads: Vec::new(),
+        });
+    }
+    for port in &top_module.ports {
+        let net = net_map[port.net.index()];
+        match port.dir {
+            PortDir::Input => {
+                flat.primary_inputs.push(net);
+                flat.nets[net].driver = Some(RefDriver::PrimaryInput);
+            }
+            PortDir::Output => flat.primary_outputs.push(net),
+        }
+    }
+    reference_expand(design, top, &[], &net_map, &mut flat);
+    flat
+}
+
+fn reference_expand(
+    design: &Design,
+    module_id: ModuleId,
+    path: &[String],
+    net_map: &[usize],
+    flat: &mut RefFlat,
+) {
+    let module = design.module(module_id);
+    for cell in &module.cells {
+        let id = flat.cells.len();
+        let inputs: Vec<usize> = cell.inputs.iter().map(|n| net_map[n.index()]).collect();
+        let output = net_map[cell.output.index()];
+        // The AoS layout pushed loads at cell-creation time: global cell
+        // order ascending, pin order ascending within a cell.
+        for (pin, &net) in inputs.iter().enumerate() {
+            flat.nets[net].loads.push((id, pin as u8));
+        }
+        assert!(flat.nets[output].driver.is_none(), "multiple drivers");
+        flat.nets[output].driver = Some(RefDriver::Cell(id));
+        flat.cells.push(RefCell {
+            name: join(path, &cell.name),
+            path: path.to_vec(),
+            kind: cell.kind,
+            inputs,
+            output,
+        });
+    }
+    for inst in &module.instances {
+        let child = design.module(inst.module);
+        let mut child_path = path.to_vec();
+        child_path.push(inst.name.clone());
+        if !flat.paths.contains(&child_path) {
+            flat.paths.push(child_path.clone());
+        }
+        let mut child_map: Vec<Option<usize>> = vec![None; child.nets.len()];
+        for (port, &conn) in child.ports.iter().zip(&inst.connections) {
+            child_map[port.net.index()] = Some(net_map[conn.index()]);
+        }
+        let mut resolved = Vec::with_capacity(child.nets.len());
+        for (i, bound) in child_map.iter().enumerate() {
+            resolved.push(match bound {
+                Some(id) => *id,
+                None => {
+                    let id = flat.nets.len();
+                    flat.nets.push(RefNet {
+                        name: join(&child_path, &child.nets[i]),
+                        driver: None,
+                        loads: Vec::new(),
+                    });
+                    id
+                }
+            });
+        }
+        reference_expand(design, inst.module, &child_path, &resolved, flat);
+    }
+}
+
+/// The pre-refactor Kahn levelization: ready stack seeded in cell order,
+/// LIFO pop, depth computed at pop time.
+fn reference_levelize(flat: &RefFlat) -> (Vec<usize>, Vec<u32>, u32) {
+    let n = flat.cells.len();
+    let mut pending = vec![0u32; n];
+    let mut ready = Vec::new();
+    let mut order = Vec::new();
+    let mut depth = vec![0u32; n];
+    let comb_driver = |net: usize| -> Option<usize> {
+        match flat.nets[net].driver {
+            Some(RefDriver::Cell(c)) if flat.cells[c].kind.is_combinational() => Some(c),
+            _ => None,
+        }
+    };
+    for (i, cell) in flat.cells.iter().enumerate() {
+        if cell.kind.is_sequential() {
+            continue;
+        }
+        let count = cell
+            .inputs
+            .iter()
+            .filter(|&&net| comb_driver(net).is_some())
+            .count() as u32;
+        pending[i] = count;
+        if count == 0 {
+            ready.push(i);
+        }
+    }
+    let mut max_depth = 0;
+    while let Some(id) = ready.pop() {
+        order.push(id);
+        let mut d = 0;
+        for &input in &flat.cells[id].inputs {
+            if let Some(driver) = comb_driver(input) {
+                d = d.max(depth[driver] + 1);
+            }
+        }
+        depth[id] = d;
+        max_depth = max_depth.max(d);
+        for &(load, _) in &flat.nets[flat.cells[id].output].loads {
+            if flat.cells[load].kind.is_combinational() {
+                pending[load] -= 1;
+                if pending[load] == 0 {
+                    ready.push(load);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        flat.cells
+            .iter()
+            .filter(|c| c.kind.is_combinational())
+            .count(),
+        "reference levelization stuck"
+    );
+    (order, depth, max_depth)
+}
+
+/// The pre-refactor feature pipeline on the reference arrays.
+fn reference_features(flat: &RefFlat, depth_fwd: &[u32]) -> Vec<Vec<f64>> {
+    const UNOBSERVABLE: u32 = u32::MAX;
+    let n = flat.cells.len();
+    let mut obs = vec![UNOBSERVABLE; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &out in &flat.primary_outputs {
+        if let Some(RefDriver::Cell(cell)) = flat.nets[out].driver {
+            if obs[cell] > 0 {
+                obs[cell] = 0;
+                queue.push_back(cell);
+            }
+        }
+    }
+    for cell in flat.cells.iter().filter(|c| c.kind.is_sequential()) {
+        for &input in &cell.inputs {
+            if let Some(RefDriver::Cell(driver)) = flat.nets[input].driver {
+                if obs[driver] > 1 {
+                    obs[driver] = 1;
+                    queue.push_back(driver);
+                }
+            }
+        }
+    }
+    while let Some(cell) = queue.pop_front() {
+        let d = obs[cell];
+        for &input in &flat.cells[cell].inputs {
+            if let Some(RefDriver::Cell(driver)) = flat.nets[input].driver {
+                if obs[driver] > d + 1 {
+                    obs[driver] = d + 1;
+                    queue.push_back(driver);
+                }
+            }
+        }
+    }
+
+    flat.cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let class = ModuleClass::infer(&cell.path);
+            let (is_cpu, is_bus, is_memory) = match class {
+                ModuleClass::Cpu => (1.0, 0.0, 0.0),
+                ModuleClass::Bus => (0.0, 1.0, 0.0),
+                ModuleClass::Memory => (0.0, 0.0, 1.0),
+                ModuleClass::Other => (0.0, 0.0, 0.0),
+            };
+            let mut neighbors: Vec<usize> = Vec::new();
+            for &input in &cell.inputs {
+                if let Some(RefDriver::Cell(driver)) = flat.nets[input].driver {
+                    if driver != i && !neighbors.contains(&driver) {
+                        neighbors.push(driver);
+                    }
+                }
+            }
+            for &(load, _) in &flat.nets[cell.output].loads {
+                if load != i && !neighbors.contains(&load) {
+                    neighbors.push(load);
+                }
+            }
+            vec![
+                flat.nets[cell.output].loads.len() as f64,
+                cell.inputs.len() as f64,
+                f64::from(depth_fwd[i]),
+                match obs[i] {
+                    UNOBSERVABLE => DEPTH_OBS_SATURATED,
+                    d => f64::from(d),
+                },
+                f64::from(cell.kind.transistor_count()),
+                if cell.kind.is_sequential() { 1.0 } else { 0.0 },
+                cell.path.len() as f64,
+                is_cpu,
+                is_bus,
+                is_memory,
+                neighbors.len() as f64,
+                0.0,
+            ]
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence check
+// ---------------------------------------------------------------------------
+
+fn assert_equivalent(design: &Design) {
+    let flat = design.flatten().expect("test circuits flatten");
+    let reference = reference_flatten(design);
+
+    assert_eq!(flat.cells().len(), reference.cells.len());
+    assert_eq!(flat.nets().len(), reference.nets.len());
+    assert_eq!(
+        flat.primary_inputs()
+            .iter()
+            .map(|n| n.index())
+            .collect::<Vec<_>>(),
+        reference.primary_inputs
+    );
+    assert_eq!(
+        flat.primary_outputs()
+            .iter()
+            .map(|n| n.index())
+            .collect::<Vec<_>>(),
+        reference.primary_outputs
+    );
+
+    for (id, cell) in flat.iter_cells() {
+        let expected = &reference.cells[id.index()];
+        assert_eq!(flat.cell_full_name(id), expected.name);
+        assert_eq!(cell.kind, expected.kind);
+        assert_eq!(
+            cell.inputs.iter().map(|n| n.index()).collect::<Vec<_>>(),
+            expected.inputs
+        );
+        assert_eq!(cell.output.index(), expected.output);
+        assert_eq!(
+            flat.paths().resolve(cell.path).segments(),
+            expected.path.as_slice()
+        );
+        assert_eq!(
+            flat.cell_by_name(&expected.name),
+            Some(id),
+            "{}",
+            expected.name
+        );
+    }
+
+    for (i, expected) in reference.nets.iter().enumerate() {
+        let id = NetId(i as u32);
+        let net = flat.net(id);
+        assert_eq!(flat.net_full_name(id), expected.name);
+        assert_eq!(
+            flat.net_by_name(&expected.name),
+            Some(id),
+            "{}",
+            expected.name
+        );
+        let driver = net.driver.map(|d| match d {
+            Driver::Cell(c) => RefDriver::Cell(c.index()),
+            Driver::PrimaryInput => RefDriver::PrimaryInput,
+        });
+        assert_eq!(driver, expected.driver, "{}", expected.name);
+        assert_eq!(
+            net.loads
+                .iter()
+                .map(|&(c, p)| (c.index(), p))
+                .collect::<Vec<_>>(),
+            expected.loads,
+            "{}",
+            expected.name
+        );
+        assert_eq!(flat.fanout(id), expected.loads.len());
+    }
+
+    // Path interning order drives layer_signatures: same paths, same order,
+    // and the signature invariant holds against the reference paths.
+    let interned: Vec<Vec<String>> = flat
+        .paths()
+        .iter()
+        .map(|(_, p)| p.segments().to_vec())
+        .collect();
+    assert_eq!(interned, reference.paths);
+    let max_depth_paths = reference.paths.iter().map(Vec::len).max().unwrap_or(0);
+    for depth in 1..=max_depth_paths.max(1) {
+        let sigs = flat.paths().layer_signatures(depth);
+        for (ia, a) in flat.paths().iter() {
+            for (ib, b) in flat.paths().iter() {
+                for slot in 0..depth {
+                    assert_eq!(
+                        sigs.of(ia)[slot] == sigs.of(ib)[slot],
+                        a.layer(slot + 1) == b.layer(slot + 1)
+                    );
+                }
+            }
+        }
+    }
+
+    // Levelization: identical visit order and depths.
+    let lv = flat.levelize().expect("test circuits are loop-free");
+    let (ref_order, ref_depth, ref_max) = reference_levelize(&reference);
+    assert_eq!(
+        lv.order.iter().map(|c| c.index()).collect::<Vec<_>>(),
+        ref_order
+    );
+    assert_eq!(lv.cell_depth, ref_depth);
+    assert_eq!(lv.max_depth, ref_max);
+
+    // Feature extraction: bit-identical vectors.
+    let fx = FeatureExtractor::new(&flat).unwrap();
+    let features = fx.extract(None);
+    let expected = reference_features(&reference, &ref_depth);
+    assert_eq!(features.len(), expected.len());
+    for (got, want) in features.iter().zip(&expected) {
+        assert_eq!(got.values, *want, "cell {}", flat.cell_full_name(got.cell));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit generation
+// ---------------------------------------------------------------------------
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_spec(seed: u64) -> CircuitSpec {
+    let mut s = seed;
+    let gates = (splitmix(&mut s) % 24 + 4) as usize;
+    CircuitSpec {
+        name: format!("soa_eq_{seed}"),
+        inputs: (splitmix(&mut s) % 5 + 1) as usize,
+        gates: (0..gates)
+            .map(|_| GateSpec {
+                kind: GENERATOR_KINDS[(splitmix(&mut s) as usize) % GENERATOR_KINDS.len()],
+                operands: vec![
+                    splitmix(&mut s) as u16,
+                    splitmix(&mut s) as u16,
+                    splitmix(&mut s) as u16,
+                ],
+            })
+            .collect(),
+        ff_d: (0..(splitmix(&mut s) % 4 + 1))
+            .map(|_| splitmix(&mut s) as u16)
+            .collect(),
+        outputs: (splitmix(&mut s) % 3 + 1) as usize,
+    }
+}
+
+/// A three-level hierarchy with repeated instances, exercising shared
+/// module name caches and non-root path interning.
+fn nested_design() -> Design {
+    let mut design = Design::new();
+
+    let mut leaf = ModuleBuilder::new("leaf");
+    let a = leaf.port("a", PortDir::Input);
+    let b = leaf.port("b", PortDir::Input);
+    let y = leaf.port("y", PortDir::Output);
+    let w = leaf.net("w");
+    leaf.cell("u_x", CellKind::Xor2, &[a, b], &[w]).unwrap();
+    leaf.cell("u_n", CellKind::Inv, &[w], &[y]).unwrap();
+    let leaf_id = design.add_module(leaf.finish()).unwrap();
+
+    let mut mid = ModuleBuilder::new("mem_bank");
+    let a = mid.port("a", PortDir::Input);
+    let b = mid.port("b", PortDir::Input);
+    let y = mid.port("y", PortDir::Output);
+    let t0 = mid.net("t0");
+    let t1 = mid.net("t1");
+    mid.instance("u_l0", leaf_id, &[a, b, t0]).unwrap();
+    mid.instance("u_l1", leaf_id, &[t0, b, t1]).unwrap();
+    mid.cell("u_o", CellKind::Or2, &[t0, t1], &[y]).unwrap();
+    let mid_id = design.add_module(mid.finish()).unwrap();
+
+    let mut top = ModuleBuilder::new("top");
+    let clk = top.port("clk", PortDir::Input);
+    let x = top.port("x", PortDir::Input);
+    let z = top.port("z", PortDir::Input);
+    let out = top.port("out", PortDir::Output);
+    let m0 = top.net("m0");
+    let m1 = top.net("m1");
+    let q = top.net("q");
+    top.instance("u_cpu_bank", mid_id, &[x, z, m0]).unwrap();
+    top.instance("u_bus_bank", mid_id, &[m0, z, m1]).unwrap();
+    top.instance("u_solo", leaf_id, &[x, m1, q]).unwrap();
+    top.cell("u_ff", CellKind::Dff, &[clk, q], &[out]).unwrap();
+    let top_id = design.add_module(top.finish()).unwrap();
+    design.set_top(top_id).unwrap();
+    design
+}
+
+#[test]
+fn generated_circuits_match_reference_layout() {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    for seed in 0..cases {
+        let spec = random_spec(0xC0FF_EE00 ^ (seed.wrapping_mul(0x9E37_79B9)));
+        assert_equivalent(&spec.build_design());
+    }
+}
+
+#[test]
+fn nested_hierarchy_matches_reference_layout() {
+    assert_equivalent(&nested_design());
+}

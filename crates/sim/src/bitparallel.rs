@@ -527,7 +527,7 @@ impl<'a, const W: usize> BitParallelEngine<'a, W> {
     pub fn new(netlist: &'a FlatNetlist, clock: NetId) -> Result<Self, SimError> {
         let lv = netlist.levelize().map_err(SimError::Netlist)?;
         if netlist.net(clock).driver != Some(Driver::PrimaryInput) {
-            return Err(SimError::NotAnInput(netlist.net(clock).name.clone()));
+            return Err(SimError::NotAnInput(netlist.net_full_name(clock)));
         }
         let mut order = lv.order;
         let depth = lv.cell_depth;
@@ -745,7 +745,7 @@ impl<const W: usize> Engine for BitParallelEngine<'_, W> {
             self.netlist.net(net).driver,
             Some(Driver::PrimaryInput),
             "poke target `{}` is not a primary input",
-            self.netlist.net(net).name
+            self.netlist.net_full_name(net)
         );
         assert_ne!(
             value,
@@ -773,6 +773,25 @@ impl<const W: usize> Engine for BitParallelEngine<'_, W> {
         self.state[cell.index()] = LaneWord::splat(value);
         let q = self.netlist.cell(cell).output;
         self.set_net(q, LaneWord::splat(value));
+        self.propagate();
+    }
+
+    fn set_cell_states(&mut self, cells: &[CellId], value: Logic) {
+        assert_ne!(
+            value,
+            Logic::Z,
+            "the bit-parallel engine cannot represent Z (set X instead)"
+        );
+        for &cell in cells {
+            assert!(
+                self.netlist.cell(cell).kind.is_sequential(),
+                "cell `{}` holds no state",
+                self.netlist.cell_full_name(cell)
+            );
+            self.state[cell.index()] = LaneWord::splat(value);
+            let q = self.netlist.cell(cell).output;
+            self.set_net(q, LaneWord::splat(value));
+        }
         self.propagate();
     }
 

@@ -142,6 +142,23 @@ pub trait Engine {
     /// May panic if `cell` is combinational.
     fn set_cell_state(&mut self, cell: CellId, value: Logic);
 
+    /// Sets the stored state of many sequential cells to one value,
+    /// settling the combinational fan-out once at the end instead of once
+    /// per cell. Combinational nets are pure functions of the primary
+    /// inputs and sequential outputs, so the settled net values are
+    /// bit-identical to calling [`set_cell_state`](Engine::set_cell_state)
+    /// in a loop — but a whole-array memory preload costs one settle
+    /// instead of `cells.len()` (quadratic on multi-Mbit arrays).
+    ///
+    /// # Panics
+    ///
+    /// May panic if any cell is combinational.
+    fn set_cell_states(&mut self, cells: &[CellId], value: Logic) {
+        for &cell in cells {
+            self.set_cell_state(cell, value);
+        }
+    }
+
     /// Stored state of a sequential cell.
     fn cell_state(&self, cell: CellId) -> Logic;
 

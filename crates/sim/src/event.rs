@@ -170,7 +170,7 @@ impl<'a> EventDrivenEngine<'a> {
     pub fn new(netlist: &'a FlatNetlist, clock: NetId) -> Result<Self, SimError> {
         let lv = netlist.levelize().map_err(SimError::Netlist)?;
         if netlist.net(clock).driver != Some(Driver::PrimaryInput) {
-            return Err(SimError::NotAnInput(netlist.net(clock).name.clone()));
+            return Err(SimError::NotAnInput(netlist.net_full_name(clock)));
         }
         let period = 4 * (u64::from(lv.max_depth) + 8);
         let mut engine = EventDrivenEngine {
@@ -234,7 +234,7 @@ impl<'a> EventDrivenEngine<'a> {
         let mut trace = WaveTrace::new();
         for (i, &net) in self.recorded.iter().enumerate() {
             trace.signals.push(WaveSignal {
-                name: self.netlist.net(net).name.clone(),
+                name: self.netlist.net_full_name(net),
                 changes: self.waves[i].clone(),
             });
         }
@@ -264,9 +264,8 @@ impl<'a> EventDrivenEngine<'a> {
         if let Some(pos) = self.recorded.iter().position(|&n| n == net) {
             self.waves[pos].push((self.time, value));
         }
-        // Collect load reactions first to appease the borrow checker.
-        let loads = self.netlist.net(net).loads.clone();
-        for (load, pin) in loads {
+        let loads = self.netlist.net(net).loads;
+        for &(load, pin) in loads {
             let kind = self.netlist.cell(load).kind;
             if kind.is_combinational() {
                 self.push(self.time + GATE_DELAY, Action::Eval(load));
@@ -415,7 +414,7 @@ impl Engine for EventDrivenEngine<'_> {
             self.netlist.net(net).driver,
             Some(Driver::PrimaryInput),
             "poke target `{}` is not a primary input",
-            self.netlist.net(net).name
+            self.netlist.net_full_name(net)
         );
         self.input_values[net.index()] = Some(value);
         self.push(self.time, Action::SetNet(net, value));
@@ -438,6 +437,24 @@ impl Engine for EventDrivenEngine<'_> {
         // now so the next posedge captures consistent data (mirroring the
         // levelized engine, which repropagates on preload). Time is restored
         // so the cycle grid stays aligned.
+        let t0 = self.time;
+        self.run_until(t0 + self.period);
+        self.time = t0;
+    }
+
+    fn set_cell_states(&mut self, cells: &[CellId], value: Logic) {
+        for &cell in cells {
+            assert!(
+                self.netlist.cell(cell).kind.is_sequential(),
+                "cell `{}` holds no state",
+                self.netlist.cell_full_name(cell)
+            );
+            self.state[cell.index()] = value;
+            let q = self.netlist.cell(cell).output;
+            self.push(self.time, Action::SetNet(q, value));
+        }
+        // One settle for the whole preload; the combinational fan-out is
+        // acyclic, so the fixpoint is the same as settling after each cell.
         let t0 = self.time;
         self.run_until(t0 + self.period);
         self.time = t0;

@@ -128,7 +128,7 @@ impl<'a> LevelizedEngine<'a> {
     pub fn new(netlist: &'a FlatNetlist, clock: NetId) -> Result<Self, SimError> {
         let lv = netlist.levelize().map_err(SimError::Netlist)?;
         if netlist.net(clock).driver != Some(Driver::PrimaryInput) {
-            return Err(SimError::NotAnInput(netlist.net(clock).name.clone()));
+            return Err(SimError::NotAnInput(netlist.net_full_name(clock)));
         }
         let mut order = lv.order;
         // Kahn's algorithm yields an arbitrary valid order; sort by depth so
@@ -232,7 +232,7 @@ impl Engine for LevelizedEngine<'_> {
             self.netlist.net(net).driver,
             Some(Driver::PrimaryInput),
             "poke target `{}` is not a primary input",
-            self.netlist.net(net).name
+            self.netlist.net_full_name(net)
         );
         self.set_value(net, value);
     }
@@ -250,6 +250,20 @@ impl Engine for LevelizedEngine<'_> {
         self.state[cell.index()] = value;
         let q = self.netlist.cell(cell).output;
         self.set_value(q, value);
+        self.propagate();
+    }
+
+    fn set_cell_states(&mut self, cells: &[CellId], value: Logic) {
+        for &cell in cells {
+            assert!(
+                self.netlist.cell(cell).kind.is_sequential(),
+                "cell `{}` holds no state",
+                self.netlist.cell_full_name(cell)
+            );
+            self.state[cell.index()] = value;
+            let q = self.netlist.cell(cell).output;
+            self.set_value(q, value);
+        }
         self.propagate();
     }
 

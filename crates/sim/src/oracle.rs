@@ -59,7 +59,7 @@ fn find_combinational_loop(netlist: &FlatNetlist) -> Option<NetId> {
         let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
         color[start] = GRAY;
         while let Some(&mut (net, ref mut pin)) = stack.last_mut() {
-            let inputs = comb_driver[net].map(|c| netlist.cell(c).inputs.as_slice());
+            let inputs = comb_driver[net].map(|c| netlist.cell(c).inputs);
             let next = inputs.and_then(|ins| ins.get(*pin).copied());
             *pin += 1;
             match next {
@@ -158,7 +158,7 @@ impl<'a> OracleEngine<'a> {
         mutant: Option<EvalMutant>,
     ) -> Result<Self, SimError> {
         if netlist.net(clock).driver != Some(Driver::PrimaryInput) {
-            return Err(SimError::NotAnInput(netlist.net(clock).name.clone()));
+            return Err(SimError::NotAnInput(netlist.net_full_name(clock)));
         }
         let mut engine = OracleEngine {
             netlist,
@@ -180,7 +180,7 @@ impl<'a> OracleEngine<'a> {
         // with the levelization the production engine under test relies on.
         if let Some(net) = find_combinational_loop(netlist) {
             return Err(SimError::Netlist(
-                ssresf_netlist::NetlistError::CombinationalLoop(netlist.net(net).name.clone()),
+                ssresf_netlist::NetlistError::CombinationalLoop(netlist.net_full_name(net)),
             ));
         }
         engine.values[clock.index()] = Logic::Zero;
@@ -189,7 +189,7 @@ impl<'a> OracleEngine<'a> {
             // changing forever — unreachable once loops are rejected, kept
             // as a backstop.
             return Err(SimError::Netlist(
-                ssresf_netlist::NetlistError::CombinationalLoop(netlist.net(net).name.clone()),
+                ssresf_netlist::NetlistError::CombinationalLoop(netlist.net_full_name(net)),
             ));
         }
         Ok(engine)
@@ -304,7 +304,7 @@ impl Engine for OracleEngine<'_> {
             self.netlist.net(net).driver,
             Some(Driver::PrimaryInput),
             "poke target `{}` is not a primary input",
-            self.netlist.net(net).name
+            self.netlist.net_full_name(net)
         );
         self.set_value(net, value);
     }

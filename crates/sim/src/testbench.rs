@@ -78,10 +78,7 @@ impl<E: Engine> Testbench<E> {
     pub fn new(engine: E) -> Self {
         let netlist = engine.netlist();
         let outputs: Vec<NetId> = netlist.primary_outputs().to_vec();
-        let output_names = outputs
-            .iter()
-            .map(|&n| netlist.net(n).name.clone())
-            .collect();
+        let output_names = outputs.iter().map(|&n| netlist.net_full_name(n)).collect();
         let reset = netlist
             .net_by_name("rst_n")
             .filter(|n| netlist.primary_inputs().contains(n));
@@ -104,7 +101,7 @@ impl<E: Engine> Testbench<E> {
         self.outputs = nets.to_vec();
         self.output_names = nets
             .iter()
-            .map(|&n| self.engine.netlist().net(n).name.clone())
+            .map(|&n| self.engine.netlist().net_full_name(n))
             .collect();
         self
     }

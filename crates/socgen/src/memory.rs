@@ -16,7 +16,8 @@ use crate::soc::{MemoryKind, MEM_ADDR_BITS};
 use crate::words::{adder, const_word, decoder, input_bus, mux_tree, output_bus, register};
 use ssresf_netlist::{CellKind, Design, ModuleBuilder, ModuleId, NetlistError, PortDir};
 
-/// Builds the memory macro module `mem_{kind}_w{w}`.
+/// Builds the memory macro module `mem_{kind}_w{w}` with a `2^addr_bits`-row
+/// sub-array.
 ///
 /// Ports: `clk`, `rst_n`, `addr_*`, `wdata_*`, `we` → `rdata_*`, `parity`.
 ///
@@ -27,19 +28,24 @@ pub fn build_memory(
     design: &mut Design,
     kind: MemoryKind,
     w: usize,
+    addr_bits: usize,
 ) -> Result<ModuleId, NetlistError> {
-    let rows = 1usize << MEM_ADDR_BITS;
-    let mut mb = ModuleBuilder::new(format!(
-        "mem_{}_w{w}",
-        match kind {
-            MemoryKind::Sram => "sram",
-            MemoryKind::Dram => "dram",
-            MemoryKind::RadHardSram => "rhsram",
-        }
-    ));
+    let rows = 1usize << addr_bits;
+    let tech = match kind {
+        MemoryKind::Sram => "sram",
+        MemoryKind::Dram => "dram",
+        MemoryKind::RadHardSram => "rhsram",
+    };
+    // Table-1 depth keeps the historical module name; deeper streamed
+    // sub-arrays carry their depth.
+    let mut mb = ModuleBuilder::new(if addr_bits == MEM_ADDR_BITS {
+        format!("mem_{tech}_w{w}")
+    } else {
+        format!("mem_{tech}_w{w}_d{addr_bits}")
+    });
     let clk = mb.port("clk", PortDir::Input);
     let rst_n = mb.port("rst_n", PortDir::Input);
-    let addr = input_bus(&mut mb, "addr", MEM_ADDR_BITS);
+    let addr = input_bus(&mut mb, "addr", addr_bits);
     let wdata = input_bus(&mut mb, "wdata", w);
     let we = mb.port("we", PortDir::Input);
     let rdata = output_bus(&mut mb, "rdata", w);
@@ -104,9 +110,9 @@ pub fn build_memory(
     design.add_module(mb.finish())
 }
 
-/// Bits physically instantiated by [`build_memory`].
-pub fn modeled_bits(w: usize) -> u64 {
-    (1u64 << MEM_ADDR_BITS) * w as u64
+/// Bits physically instantiated by [`build_memory`] at `addr_bits` depth.
+pub fn modeled_bits(w: usize, addr_bits: usize) -> u64 {
+    (1u64 << addr_bits) * w as u64
 }
 
 #[cfg(test)]
@@ -117,7 +123,7 @@ mod tests {
 
     fn mem_flat(kind: MemoryKind, w: usize) -> ssresf_netlist::FlatNetlist {
         let mut design = Design::new();
-        let mem = build_memory(&mut design, kind, w).unwrap();
+        let mem = build_memory(&mut design, kind, w, MEM_ADDR_BITS).unwrap();
         let mut mb = ModuleBuilder::new("top");
         let clk = mb.port("clk", PortDir::Input);
         let rst_n = mb.port("rst_n", PortDir::Input);
@@ -288,7 +294,7 @@ mod tests {
             .iter_cells()
             .filter(|(_, c)| c.kind.is_memory_bit())
             .count() as u64;
-        assert_eq!(bits, modeled_bits(8));
+        assert_eq!(bits, modeled_bits(8, MEM_ADDR_BITS));
     }
 
     #[test]

@@ -149,6 +149,14 @@ pub struct SocConfig {
     pub isa: Isa,
     /// Number of CPU cores (1 or 2).
     pub cores: usize,
+    /// Address bits of the elaborated memory sub-array (`2^n` rows are
+    /// physically instantiated). The CPU and bus always address the low
+    /// [`MEM_ADDR_BITS`] rows; rows above them are streamed statistically —
+    /// they exist as real bit cells for fault injection, while capacity
+    /// beyond `2^n` rows is extrapolated through
+    /// [`SocInfo::memory_scale_factor`] (Eq. 2). The Table-1 presets use
+    /// [`MEM_ADDR_BITS`]; scale presets like [`SocConfig::mega`] raise it.
+    pub memory_rows_log2: usize,
 }
 
 impl SocConfig {
@@ -258,6 +266,7 @@ impl SocConfig {
                     bus_width,
                     isa,
                     cores,
+                    memory_rows_log2: MEM_ADDR_BITS,
                 },
             )
             .collect()
@@ -276,6 +285,25 @@ impl SocConfig {
         }
     }
 
+    /// The million-cell scale preset: SoC_9's technology choices with a
+    /// `2^15`-row streamed memory sub-array, putting the flattened netlist
+    /// past one million cells while the nominal 64 MiB capacity stays
+    /// extrapolated. The scale-smoke bench budgets build+cluster+campaign
+    /// on this preset.
+    pub fn mega() -> SocConfig {
+        let mb = 1024 * 1024u64;
+        SocConfig {
+            name: "PULP SoC_Mega".to_owned(),
+            memory: MemoryKind::Sram,
+            memory_bytes: 64 * mb,
+            bus: BusKind::Ahb,
+            bus_width: 16,
+            isa: Isa::Rv64i,
+            cores: 1,
+            memory_rows_log2: 15,
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -291,6 +319,18 @@ impl SocConfig {
         }
         if self.memory_bytes == 0 {
             return Err("memory_bytes must be positive".into());
+        }
+        if !(MEM_ADDR_BITS..=20).contains(&self.memory_rows_log2) {
+            return Err(format!(
+                "memory_rows_log2 {} out of range {MEM_ADDR_BITS}..=20",
+                self.memory_rows_log2
+            ));
+        }
+        if (1u64 << self.memory_rows_log2) * self.isa.width() as u64 > self.memory_bytes * 8 {
+            return Err(format!(
+                "memory_rows_log2 {} elaborates more bits than the nominal capacity",
+                self.memory_rows_log2
+            ));
         }
         Ok(())
     }
@@ -318,8 +358,10 @@ pub struct BuiltSoc {
     pub info: SocInfo,
 }
 
-/// Memory sub-array address bits actually instantiated (16 words).
-pub(crate) const MEM_ADDR_BITS: usize = 4;
+/// Address bits the CPU and bus fabric drive (16 addressable words); also
+/// the smallest — and the Table-1 presets' — elaborated sub-array depth
+/// (see [`SocConfig::memory_rows_log2`]).
+pub const MEM_ADDR_BITS: usize = 4;
 
 /// Builds the complete SoC for `config`.
 ///
@@ -401,6 +443,56 @@ mod tests {
         let mut c = SocConfig::table1()[0].clone();
         c.memory_bytes = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_memory_rows() {
+        let mut c = SocConfig::table1()[0].clone();
+        c.memory_rows_log2 = MEM_ADDR_BITS - 1;
+        assert!(c.validate().is_err());
+        let mut c = SocConfig::table1()[0].clone();
+        c.memory_rows_log2 = 21;
+        assert!(c.validate().is_err());
+        // Elaborating more bits than the nominal capacity is contradictory.
+        let mut c = SocConfig::table1()[0].clone();
+        c.memory_bytes = 16;
+        c.memory_rows_log2 = 8;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mega_preset_streams_its_memory() {
+        let mega = SocConfig::mega();
+        assert!(mega.validate().is_ok());
+        assert_eq!(mega.memory_rows_log2, 15);
+        // The nominal capacity stays extrapolated: far more bits than the
+        // elaborated sub-array.
+        let modeled = (1u64 << mega.memory_rows_log2) * mega.isa.width() as u64;
+        assert!(mega.memory_bytes * 8 > modeled);
+    }
+
+    #[test]
+    fn streamed_subarray_reports_full_capacity_scale() {
+        // A modestly deepened sub-array must lower the extrapolation factor
+        // exactly in proportion and elaborate the extra rows for real.
+        let mut c = SocConfig::table1()[0].clone();
+        c.memory_rows_log2 = 6;
+        let shallow = build_soc(&SocConfig::table1()[0]).unwrap();
+        let deep = build_soc(&c).unwrap();
+        assert_eq!(
+            deep.info.memory_bits_modeled,
+            shallow.info.memory_bits_modeled * 4
+        );
+        assert!(
+            (deep.info.memory_scale_factor - shallow.info.memory_scale_factor / 4.0).abs() < 1e-9
+        );
+        let flat = deep.design.flatten().unwrap();
+        let bits = flat
+            .iter_cells()
+            .filter(|(_, cell)| cell.kind.is_memory_bit())
+            .count() as u64;
+        assert_eq!(bits, deep.info.memory_bits_modeled);
+        flat.levelize().unwrap();
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::connect::{connect, pin, pin_bus};
 use crate::cpu::build_cpu;
 use crate::memory::{build_memory, modeled_bits};
 use crate::soc::{BuiltSoc, SocConfig, SocInfo, MEM_ADDR_BITS};
-use crate::words::{output_bus, wire_bus};
+use crate::words::{const_word, output_bus, wire_bus};
 use ssresf_netlist::{Design, ModuleBuilder, NetlistError, PortDir};
 
 /// Sanitizes a benchmark name into a Verilog-safe module identifier.
@@ -33,7 +33,8 @@ pub(crate) fn build(config: &SocConfig) -> Result<BuiltSoc, NetlistError> {
         config.cores,
         MEM_ADDR_BITS,
     )?;
-    let mem = build_memory(&mut design, config.memory, w)?;
+    let mem_addr_bits = config.memory_rows_log2;
+    let mem = build_memory(&mut design, config.memory, w, mem_addr_bits)?;
 
     let mut mb = ModuleBuilder::new(module_name(&config.name));
     let clk = mb.port("clk", PortDir::Input);
@@ -104,7 +105,15 @@ pub(crate) fn build(config: &SocConfig) -> Result<BuiltSoc, NetlistError> {
         pin("we", s_we),
         pin("parity", mem_parity),
     ];
-    mem_pins.extend(pin_bus("addr", &s_addr));
+    // The fabric addresses the low MEM_ADDR_BITS rows; upper address bits
+    // of a deeper streamed sub-array are tied low, so the extra rows exist
+    // only as fault-injection targets.
+    let mut mem_addr = s_addr.clone();
+    if mem_addr_bits > MEM_ADDR_BITS {
+        let hi = const_word(&mut mb, "u_maddr_hi", 0, mem_addr_bits - MEM_ADDR_BITS)?;
+        mem_addr.extend(hi);
+    }
+    mem_pins.extend(pin_bus("addr", &mem_addr));
     mem_pins.extend(pin_bus("wdata", &s_wdata));
     mem_pins.extend(pin_bus("rdata", &s_rdata));
     connect(&mut mb, &design, mem, "u_mem", &mem_pins)?;
@@ -112,7 +121,7 @@ pub(crate) fn build(config: &SocConfig) -> Result<BuiltSoc, NetlistError> {
     let top = design.add_module(mb.finish())?;
     design.set_top(top)?;
 
-    let bits_modeled = modeled_bits(w);
+    let bits_modeled = modeled_bits(w, mem_addr_bits);
     let capacity_bits = config.memory_bytes * 8;
     Ok(BuiltSoc {
         design,

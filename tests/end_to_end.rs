@@ -142,3 +142,39 @@ fn clustering_tracks_soc_hierarchy() {
     assert_eq!(cluster_of_prefix("u_bus.").len(), 1);
     assert_eq!(cluster_of_prefix("u_mem.").len(), 1);
 }
+
+#[test]
+fn streamed_memory_keeps_golden_records_bit_identical() {
+    // Deepening the elaborated memory sub-array past the fabric's address
+    // reach must not perturb observable behavior: the extra rows are never
+    // selected, every bit cell is zero-initialized, and the parity tree
+    // XORs the extra zeros away. The streaming model only changes the
+    // extrapolation factor.
+    use ssresf::{Dut, EngineKind};
+
+    let shallow = build_soc(&SocConfig::table1()[0]).unwrap();
+    let mut config = SocConfig::table1()[0].clone();
+    config.memory_rows_log2 = 6;
+    let deep = build_soc(&config).unwrap();
+    assert!(deep.info.memory_scale_factor < shallow.info.memory_scale_factor);
+
+    let flat_shallow = shallow.design.flatten().unwrap();
+    let flat_deep = deep.design.flatten().unwrap();
+    assert!(flat_deep.cells().len() > flat_shallow.cells().len());
+
+    let workload = Workload {
+        reset_cycles: 3,
+        run_cycles: 40,
+    };
+    for kind in [EngineKind::EventDriven, EngineKind::Levelized] {
+        let a = Dut::from_conventions(&flat_shallow)
+            .unwrap()
+            .run(kind, &workload, &[])
+            .unwrap();
+        let b = Dut::from_conventions(&flat_deep)
+            .unwrap()
+            .run(kind, &workload, &[])
+            .unwrap();
+        assert_eq!(a.trace, b.trace, "{kind:?} golden trace diverged");
+    }
+}

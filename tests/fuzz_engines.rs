@@ -28,7 +28,7 @@ fn run_trace(flat: &FlatNetlist, stim_seed: u32, cycles: u64) -> CycleTrace {
         .primary_inputs()
         .iter()
         .copied()
-        .filter(|&n| flat.net(n).name.starts_with("in_"))
+        .filter(|&n| flat.net_full_name(n).starts_with("in_"))
         .collect();
     let clk = flat.net_by_name("clk").unwrap();
     let mut lfsr = Lfsr::new(stim_seed);
