@@ -40,6 +40,7 @@ fn main() {
             fraction: if quick() { 0.3 } else { 0.6 },
             min_per_cluster: 8,
             seed: 9,
+            budget: None,
         },
     )
     .expect("sampling succeeds");
@@ -72,6 +73,7 @@ fn main() {
                     fraction,
                     min_per_cluster: 2,
                     seed: 100 + trial,
+                    budget: None,
                 },
             )
             .expect("sampling succeeds");

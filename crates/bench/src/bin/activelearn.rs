@@ -1,0 +1,282 @@
+//! Equal-proportion vs margin-driven active-learning sampling on SoC_5.
+//!
+//! Runs the one-shot pipeline (`Ssresf::analyze`) and the active-learning
+//! pipeline (`Ssresf::analyze_active`) under the standard bench budgets,
+//! prints the accuracy-vs-injections frontier round by round, and writes
+//! `BENCH_activelearn.json` at the workspace root.
+//!
+//! ```sh
+//! cargo run --release -p ssresf-bench --bin activelearn
+//! ```
+//!
+//! The headline metric is the *work-based* end-to-end speed-up: brute
+//! force simulates every cell (`golden + cells x injections_per_cell`
+//! runs), the pipeline simulates only its sample. Work counters are
+//! deterministic engine-event counts, so the gated numbers do not wobble
+//! with the runner's hardware the way wall clock does. In full mode the
+//! binary asserts the paper acceptance line: active learning reaches at
+//! least the paper's 94.58% accuracy with strictly fewer injections than
+//! the one-shot draw, and a work speed-up strictly above the paper's
+//! 12.78x and at or above the one-shot pipeline's. Exits nonzero on any
+//! violation; `SSRESF_QUICK=1` keeps the consistency checks but relaxes
+//! the paper-number assertions (quick budgets are too small to hit them).
+
+use ssresf::{label_cells, ActiveLearningConfig, Dut, Ssresf};
+use ssresf_bench::{analysis_config, quick, soc};
+use ssresf_netlist::CellId;
+use ssresf_socgen::SocConfig;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// The paper's Table-III headline numbers for the SVM-predicted pipeline.
+const PAPER_ACCURACY: f64 = 0.9458;
+const PAPER_SPEEDUP: f64 = 12.78;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("activelearn: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let (built, flat) = soc(4);
+    let cells = flat.cells().len();
+    let config = analysis_config(&built, cells);
+    // Tuned on SoC_5: a 4% stratified seed keeps the labeled pool honest
+    // (margin batches alone bias it toward the boundary and hurt held-out
+    // accuracy), and four 16-cell margin rounds are enough to clear the
+    // paper's accuracy line at well under half the one-shot budget.
+    let active_config = ActiveLearningConfig {
+        seed_fraction: 0.04,
+        seed_min_per_cluster: 2,
+        batch_size: if quick() { 12 } else { 16 },
+        max_rounds: if quick() { 6 } else { 4 },
+        ..ActiveLearningConfig::default()
+    };
+
+    let framework = Ssresf::new(config);
+    let baseline = framework
+        .analyze(&flat)
+        .unwrap_or_else(|e| fail(&format!("one-shot analysis failed: {e}")));
+    let active = framework
+        .analyze_active(&flat, &active_config)
+        .unwrap_or_else(|e| fail(&format!("active analysis failed: {e}")));
+
+    // Work accounting. The golden run is deterministic, so re-running it
+    // here yields exactly the work the pipelines' own golden runs cost.
+    let dut = Dut::from_conventions(&flat).unwrap_or_else(|e| fail(&format!("no DUT: {e}")));
+    let golden = dut
+        .run_golden_with_checkpoints(
+            config.campaign.engine,
+            &config.campaign.workload,
+            config.campaign.checkpoint_interval,
+        )
+        .unwrap_or_else(|e| fail(&format!("golden run failed: {e}")));
+    let golden_work = golden.outcome.work as f64;
+
+    let baseline_records = baseline.campaign.records.len();
+    let active_records = active.analysis.campaign.records.len();
+    if baseline_records == 0 || active_records == 0 {
+        fail("a campaign produced no records");
+    }
+    // The one-shot outcome charges the golden run into `total_work`; the
+    // active outcome counts injections only (its golden run is shared).
+    let baseline_injection_work = baseline
+        .campaign
+        .total_work
+        .saturating_sub(golden.outcome.work);
+    let active_injection_work = active.analysis.campaign.total_work;
+    let per_injection = baseline_injection_work as f64 / baseline_records as f64;
+    let brute_force_work =
+        golden_work + per_injection * (cells * config.campaign.injections_per_cell) as f64;
+    let work_speedup =
+        |injection_work: u64| brute_force_work / (golden_work + injection_work as f64);
+    let baseline_work_speedup = work_speedup(baseline_injection_work);
+    let active_work_speedup = work_speedup(active_injection_work);
+
+    // Accuracy. The one-shot pipeline's cross-validated accuracy is an
+    // honest estimate (its sample is an i.i.d. stratified draw); the
+    // active pipeline's is not — margin sampling concentrates the labeled
+    // set on the hardest cells, biasing CV low. The active classifier is
+    // therefore scored *held out*, on the one-shot pipeline's
+    // independently drawn labeled sample minus any cell the active loop
+    // itself injected.
+    let baseline_accuracy = baseline.sensitivity_report.metrics.accuracy();
+    let active_cv_accuracy = active.analysis.sensitivity_report.metrics.accuracy();
+    let baseline_sampled = baseline.sample.all_cells();
+    let baseline_labels = label_cells(
+        &baseline_sampled,
+        &baseline.campaign,
+        &baseline.clustering,
+        &baseline.ser,
+        framework.config().labeling,
+    );
+    let active_sampled: HashSet<CellId> = active.analysis.sample.all_cells().into_iter().collect();
+    let held_out: Vec<(CellId, bool)> = baseline_labels
+        .into_iter()
+        .filter(|(cell, _)| !active_sampled.contains(cell))
+        .collect();
+    if held_out.is_empty() {
+        fail("no held-out cells: the active loop injected the entire one-shot sample");
+    }
+    let agree = held_out
+        .iter()
+        .filter(|&&(cell, sensitive)| {
+            let features = active.analysis.features_of(cell);
+            active.analysis.classifier.classify(&features.values) == sensitive
+        })
+        .count();
+    let active_accuracy = agree as f64 / held_out.len() as f64;
+    let injections_ratio = baseline_records as f64 / active_records as f64;
+
+    println!(
+        "SoC_5 ({cells} cells), {} injections per cell",
+        config.campaign.injections_per_cell
+    );
+    println!(
+        "one-shot: {} cells injected, {baseline_records} records, accuracy {:.4}, \
+         work speed-up {baseline_work_speedup:.2}x (wall {:.2}x)",
+        baseline.sample.len(),
+        baseline_accuracy,
+        baseline.timing.speedup(),
+    );
+    println!(
+        "active:   {} cells injected, {active_records} records, held-out accuracy {:.4} \
+         (CV {:.4}, {} held-out cells), work speed-up {active_work_speedup:.2}x \
+         (wall {:.2}x), {} injections saved",
+        active.injected_cells,
+        active_accuracy,
+        active_cv_accuracy,
+        held_out.len(),
+        active.analysis.timing.speedup(),
+        active.injections_saved,
+    );
+    println!();
+    println!(
+        "| round | labeled | positives | injected | min margin | mean margin | churn | fallback |"
+    );
+    println!("| ---: | ---: | ---: | ---: | ---: | ---: | ---: | --- |");
+    for r in &active.rounds {
+        println!(
+            "| {} | {} | {} | {} | {:.4} | {:.4} | {:.4} | {} |",
+            r.round,
+            r.labeled,
+            r.positives,
+            r.injected,
+            r.min_margin,
+            r.mean_margin,
+            r.churn,
+            if r.fallback { "yes" } else { "" },
+        );
+    }
+
+    let rounds = ssresf_json::Value::from(
+        active
+            .rounds
+            .iter()
+            .map(|r| {
+                ssresf_json::object([
+                    ("round", ssresf_json::Value::from(r.round as u64)),
+                    ("labeled", ssresf_json::Value::from(r.labeled as u64)),
+                    ("positives", ssresf_json::Value::from(r.positives as u64)),
+                    ("injected", ssresf_json::Value::from(r.injected as u64)),
+                    ("min_margin", ssresf_json::Value::from(r.min_margin)),
+                    ("mean_margin", ssresf_json::Value::from(r.mean_margin)),
+                    ("churn", ssresf_json::Value::from(r.churn)),
+                    ("fallback", ssresf_json::Value::from(r.fallback)),
+                ])
+            })
+            .collect::<Vec<_>>(),
+    );
+    let report = ssresf_json::object([
+        (
+            "soc",
+            ssresf_json::Value::from(SocConfig::table1()[4].name.clone()),
+        ),
+        ("cells", ssresf_json::Value::from(cells as u64)),
+        ("quick", ssresf_json::Value::from(quick())),
+        // Gated frontier metrics (all deterministic, higher is better).
+        ("active_accuracy", ssresf_json::Value::from(active_accuracy)),
+        (
+            "work_speedup",
+            ssresf_json::Value::from(active_work_speedup),
+        ),
+        (
+            "injections_ratio",
+            ssresf_json::Value::from(injections_ratio),
+        ),
+        // Context (non-gating).
+        (
+            "active_cv_accuracy",
+            ssresf_json::Value::from(active_cv_accuracy),
+        ),
+        (
+            "held_out_cells",
+            ssresf_json::Value::from(held_out.len() as u64),
+        ),
+        (
+            "baseline_accuracy",
+            ssresf_json::Value::from(baseline_accuracy),
+        ),
+        (
+            "baseline_work_speedup",
+            ssresf_json::Value::from(baseline_work_speedup),
+        ),
+        (
+            "baseline_injections",
+            ssresf_json::Value::from(baseline_records as u64),
+        ),
+        (
+            "active_injections",
+            ssresf_json::Value::from(active_records as u64),
+        ),
+        (
+            "injections_saved",
+            ssresf_json::Value::from(active.injections_saved as u64),
+        ),
+        (
+            "baseline_wall_speedup",
+            ssresf_json::Value::from(baseline.timing.speedup()),
+        ),
+        (
+            "active_wall_speedup",
+            ssresf_json::Value::from(active.analysis.timing.speedup()),
+        ),
+        ("rounds", rounds),
+    ]);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_activelearn.json");
+    std::fs::write(&out, report.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| fail(&format!("write {}: {e}", out.display())));
+    println!();
+    println!("wrote {}", out.display());
+
+    // Consistency checks hold in every mode.
+    if active_records >= baseline_records {
+        fail(&format!(
+            "active learning did not save injections: {active_records} vs {baseline_records}"
+        ));
+    }
+    if active.injections_saved == 0 {
+        fail("injections_saved is zero despite a smaller campaign");
+    }
+    if active_work_speedup < baseline_work_speedup {
+        fail(&format!(
+            "active work speed-up {active_work_speedup:.2}x below one-shot \
+             {baseline_work_speedup:.2}x"
+        ));
+    }
+    // The paper acceptance line needs the full budgets.
+    if !quick() {
+        if active_accuracy < PAPER_ACCURACY {
+            fail(&format!(
+                "active accuracy {active_accuracy:.4} below the paper's {PAPER_ACCURACY}"
+            ));
+        }
+        if active_work_speedup <= PAPER_SPEEDUP {
+            fail(&format!(
+                "active work speed-up {active_work_speedup:.2}x not above the paper's \
+                 {PAPER_SPEEDUP}x"
+            ));
+        }
+    }
+    eprintln!("activelearn: PASS");
+}

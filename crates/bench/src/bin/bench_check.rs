@@ -18,6 +18,11 @@
 //!   wall clock is hardware-dependent);
 //! - `BENCH_mlpath.json` / `speedup` — the working-set SMO fast ML path's
 //!   training+prediction speedup;
+//! - `BENCH_activelearn.json` / `active_accuracy`, `work_speedup`,
+//!   `injections_ratio` — the active-learning pipeline's held-out
+//!   accuracy, deterministic work-based end-to-end speedup, and one-shot
+//!   vs active injection-count ratio (plus a non-gating
+//!   `active_wall_speedup`);
 //! - `BENCH_scale.json` / `cells` — the million-cell preset's size
 //!   (gating: the scale guarantee must not silently shrink), plus
 //!   non-gating `wall_headroom` / `rss_headroom` budget ratios from the
@@ -55,6 +60,26 @@ const METRICS: &[Metric] = &[
         file: "BENCH_mlpath.json",
         key: "speedup",
         gating: true,
+    },
+    Metric {
+        file: "BENCH_activelearn.json",
+        key: "active_accuracy",
+        gating: true,
+    },
+    Metric {
+        file: "BENCH_activelearn.json",
+        key: "work_speedup",
+        gating: true,
+    },
+    Metric {
+        file: "BENCH_activelearn.json",
+        key: "injections_ratio",
+        gating: true,
+    },
+    Metric {
+        file: "BENCH_activelearn.json",
+        key: "active_wall_speedup",
+        gating: false,
     },
     Metric {
         file: "BENCH_scale.json",

@@ -11,8 +11,8 @@
 //! Exits nonzero on any violation — CI runs this as the telemetry gate.
 
 use ssresf::{
-    run_campaign_with, CampaignConfig, CampaignProgress, Dut, EngineKind, Instrument,
-    MetricsRegistry, ProgressPhase, ProgressSink, Ssresf, SsresfConfig, Workload,
+    run_campaign_with, ActiveLearningConfig, CampaignConfig, CampaignProgress, Dut, EngineKind,
+    Instrument, MetricsRegistry, ProgressPhase, ProgressSink, Ssresf, SsresfConfig, Workload,
 };
 use ssresf_bench::quick;
 use ssresf_netlist::CellId;
@@ -41,6 +41,7 @@ const EXPECTED_GAUGES: &[&str] = &[
     "pipeline.sampled_cells",
     "pipeline.predictions",
     "pipeline.predict_throughput_per_second",
+    "svm.kernel_cache.hit_rate",
     "campaign.threads",
     "campaign.throughput_per_second",
 ];
@@ -185,6 +186,47 @@ fn check_batched(netlist: &ssresf_netlist::FlatNetlist) {
     }
 }
 
+/// The active-learning path publishes its own key set on top of the
+/// standard pipeline metrics: round/injection counters, the saved-budget
+/// counter, the selected-margin histogram and the warm-solver cache hit
+/// rate. Its deterministic export must be byte-stable across repeat runs.
+fn check_active(config: &SsresfConfig, netlist: &ssresf_netlist::FlatNetlist) {
+    let active = ActiveLearningConfig {
+        max_rounds: 4,
+        batch_size: 8,
+        ..ActiveLearningConfig::default()
+    };
+    let mut exports = Vec::with_capacity(2);
+    for repeat in 0..2 {
+        let metrics = MetricsRegistry::new();
+        let analysis = Ssresf::new(*config)
+            .analyze_active_with(netlist, &active, &Instrument::with_metrics(&metrics))
+            .unwrap_or_else(|e| fail(&format!("active: analysis run {repeat} failed: {e}")));
+        if analysis.rounds.is_empty() {
+            fail("active: no rounds recorded");
+        }
+        exports.push(metrics.to_json_deterministic().to_string_pretty());
+    }
+    if exports[0] != exports[1] {
+        fail("active: deterministic metrics export differs across repeat runs");
+    }
+    let doc = ssresf_json::parse(&exports[0])
+        .unwrap_or_else(|e| fail(&format!("active: export is not valid JSON: {e}")));
+    check_keys(
+        &doc,
+        "counters",
+        &[
+            "active.rounds",
+            "active.injections.total",
+            "active.injections_saved",
+            "svm.kernel_cache.hits",
+            "svm.kernel_cache.misses",
+        ],
+    );
+    check_keys(&doc, "gauges", &["svm.kernel_cache.hit_rate"]);
+    check_keys(&doc, "histograms", &["active.margin"]);
+}
+
 fn main() {
     let soc = build_soc(&SocConfig::table1()[0]).expect("preset SoC builds");
     let netlist = soc.design.flatten().expect("preset SoC flattens");
@@ -221,6 +263,7 @@ fn main() {
     }
 
     check_batched(&netlist);
+    check_active(&config, &netlist);
 
     println!("{first}");
     eprintln!("telemetry_smoke: PASS (export stable, all expected keys present)");

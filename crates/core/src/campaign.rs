@@ -592,6 +592,49 @@ pub fn run_injection_jobs(
     config: &CampaignConfig,
     hooks: &Instrument<'_>,
 ) -> Result<CampaignOutcome, SsresfError> {
+    validate_job_config(config)?;
+    let started = Instant::now();
+    // The golden run doubles as the checkpoint source workers fork from.
+    let golden = dut.run_golden_with_checkpoints(
+        config.engine,
+        &config.workload,
+        config.checkpoint_interval,
+    )?;
+    let golden_time = started.elapsed();
+    run_jobs_with_golden(dut, jobs, config, hooks, &golden, golden_time, true)
+}
+
+/// [`run_injection_jobs`] against a caller-supplied golden run.
+///
+/// The active-learning loop injects cells over many rounds against the
+/// same workload; simulating the golden reference once and passing it here
+/// removes the per-round golden cost. The returned outcome charges neither
+/// golden time nor golden work (both were paid once by the caller):
+/// `golden_time` is zero, and `total_work` / engine telemetry cover only
+/// the injections of this call. Records are bit-identical to
+/// [`run_injection_jobs`] with the same jobs and config.
+///
+/// `golden` must come from
+/// [`Dut::run_golden_with_checkpoints`](crate::workload::Dut::run_golden_with_checkpoints)
+/// with the same engine, workload and checkpoint interval as `config`;
+/// a mismatched golden run yields meaningless divergence counts.
+///
+/// # Errors
+///
+/// Propagates configuration and simulation failures.
+pub fn run_injection_jobs_with_golden(
+    dut: &Dut<'_>,
+    jobs: Vec<(CellId, Fault)>,
+    config: &CampaignConfig,
+    golden: &GoldenRun,
+    hooks: &Instrument<'_>,
+) -> Result<CampaignOutcome, SsresfError> {
+    validate_job_config(config)?;
+    run_jobs_with_golden(dut, jobs, config, hooks, golden, Duration::ZERO, false)
+}
+
+/// Shared configuration validation for the job-level entry points.
+fn validate_job_config(config: &CampaignConfig) -> Result<(), SsresfError> {
     if config.workload.run_cycles == 0 {
         return Err(SsresfError::Config(
             "workload run_cycles is 0: nothing to observe or inject into".into(),
@@ -618,15 +661,22 @@ pub fn run_injection_jobs(
                 .into(),
         ));
     }
-    let started = Instant::now();
-    // The golden run doubles as the checkpoint source workers fork from.
-    let golden = dut.run_golden_with_checkpoints(
-        config.engine,
-        &config.workload,
-        config.checkpoint_interval,
-    )?;
-    let golden_time = started.elapsed();
+    Ok(())
+}
 
+/// The execution engine behind both job-level entry points. When
+/// `charge_golden` is false the golden run's work and engine counters are
+/// excluded from the outcome (the caller paid them once up front).
+fn run_jobs_with_golden(
+    dut: &Dut<'_>,
+    jobs: Vec<(CellId, Fault)>,
+    config: &CampaignConfig,
+    hooks: &Instrument<'_>,
+    golden: &GoldenRun,
+    golden_time: Duration,
+    charge_golden: bool,
+) -> Result<CampaignOutcome, SsresfError> {
+    let started = Instant::now();
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -636,7 +686,7 @@ pub fn run_injection_jobs(
     };
     let threads = threads.min(jobs.len().max(1));
 
-    let golden_run = &golden;
+    let golden_run = golden;
     let golden_trace = &golden.outcome.trace;
     let mut results: Vec<Option<JobResult>> = Vec::with_capacity(jobs.len());
     results.resize_with(jobs.len(), || None);
@@ -803,9 +853,17 @@ pub fn run_injection_jobs(
     }
     let mut records = Vec::with_capacity(jobs.len());
     let mut work_per_injection = Vec::with_capacity(jobs.len());
-    let mut total_work = golden.outcome.work;
+    let mut total_work = if charge_golden {
+        golden.outcome.work
+    } else {
+        0
+    };
     let mut telemetry = CampaignTelemetry {
-        engine: golden.outcome.engine,
+        engine: if charge_golden {
+            golden.outcome.engine
+        } else {
+            EngineTelemetry::default()
+        },
         checkpoint_restores: 0,
         early_stop_truncations: 0,
         collapsed_faults,
@@ -825,7 +883,7 @@ pub fn run_injection_jobs(
         }
     }
 
-    let simulation_time = started.elapsed();
+    let simulation_time = golden_time + started.elapsed();
     if let Some(sink) = hooks.progress {
         sink.report(&CampaignProgress {
             phase: ProgressPhase::Finished,
@@ -853,8 +911,8 @@ pub fn run_injection_jobs(
     }
 
     Ok(CampaignOutcome {
-        golden: golden.outcome.trace,
-        golden_activity: golden.outcome.activity_per_cycle,
+        golden: golden.outcome.trace.clone(),
+        golden_activity: golden.outcome.activity_per_cycle.clone(),
         records,
         simulation_time,
         golden_time,

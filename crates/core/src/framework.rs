@@ -17,7 +17,7 @@ use crate::sensitivity::{
 };
 use crate::ser::{evaluate_ser, SerEvaluation};
 use serde::{Deserialize, Serialize};
-use ssresf_netlist::{CellId, FeatureExtractor, FlatNetlist, ModuleClass};
+use ssresf_netlist::{CellFeatures, CellId, FeatureExtractor, FlatNetlist, ModuleClass};
 use ssresf_radiation::SoftErrorDatabase;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -174,6 +174,10 @@ pub struct Analysis {
     pub chip_xsect: (f64, f64),
     /// Timing split.
     pub timing: Timing,
+    /// Feature records of every cell, in cell-id order — computed once by
+    /// the pipeline and cached here so downstream consumers (selective
+    /// hardening, reporting) never rebuild the extractor.
+    pub features: Vec<CellFeatures>,
 }
 
 impl Analysis {
@@ -183,6 +187,14 @@ impl Analysis {
             Some(&(high, total)) if total > 0 => high as f64 / total as f64,
             _ => 0.0,
         }
+    }
+
+    /// The cached feature record of `cell` (O(1); records are stored in
+    /// cell-id order).
+    pub fn features_of(&self, cell: CellId) -> &CellFeatures {
+        let record = &self.features[cell.index()];
+        debug_assert_eq!(record.cell, cell);
+        record
     }
 }
 
@@ -339,6 +351,10 @@ impl Ssresf {
             let solver = &sensitivity_report.solver;
             metrics.counter_add("svm.kernel_cache.hits", solver.kernel_cache_hits);
             metrics.counter_add("svm.kernel_cache.misses", solver.kernel_cache_misses);
+            metrics.gauge_set(
+                "svm.kernel_cache.hit_rate",
+                crate::active::hit_rate(solver.kernel_cache_hits, solver.kernel_cache_misses),
+            );
             metrics.observe("svm.smo_iterations", solver.iterations as f64);
             let predict_secs = timing.predict.as_secs_f64();
             let throughput = if predict_secs > 0.0 {
@@ -360,11 +376,12 @@ impl Ssresf {
             predictions,
             class_counts,
             chip_xsect,
+            features,
         })
     }
 
     /// Entry-point configuration validation shared by every analysis.
-    fn validate_config(&self) -> Result<(), SsresfError> {
+    pub(crate) fn validate_config(&self) -> Result<(), SsresfError> {
         if let LabelRule::PerCell { min_probability } = self.config.labeling {
             if !(min_probability > 0.0 && min_probability <= 1.0) {
                 return Err(SsresfError::Config(format!(

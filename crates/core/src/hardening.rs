@@ -76,15 +76,14 @@ pub fn selective_harden(
 
     let targets: Vec<CellId> = match strategy {
         HardeningStrategy::SvmGuided => {
-            // Rank predicted-sensitive sequential cells by decision value.
-            let extractor = ssresf_netlist::FeatureExtractor::new(netlist)?;
+            // Rank predicted-sensitive sequential cells by decision value,
+            // reusing the feature records the pipeline already extracted.
             let mut ranked: Vec<(CellId, f64)> = analysis
                 .predictions
                 .iter()
                 .filter(|&&(cell, sensitive)| sensitive && netlist.cell(cell).kind.is_sequential())
                 .map(|&(cell, _)| {
-                    let features =
-                        extractor.extract_cell(cell, Some(&analysis.campaign.golden_activity));
+                    let features = analysis.features_of(cell);
                     (cell, analysis.classifier.decision(&features.values))
                 })
                 .collect();

@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub mod active;
 pub mod campaign;
 pub mod clustering;
 pub mod error;
@@ -52,9 +53,11 @@ pub mod sensitivity;
 pub mod ser;
 pub mod workload;
 
+pub use active::{label_cells, ActiveAnalysis, ActiveLearningConfig, ActiveRound};
 pub use campaign::{
-    faults_for_cell, run_campaign, run_campaign_with, run_injection_jobs, CampaignConfig,
-    CampaignOutcome, CampaignTelemetry, CellErrorStats, InjectionRecord,
+    faults_for_cell, run_campaign, run_campaign_with, run_injection_jobs,
+    run_injection_jobs_with_golden, CampaignConfig, CampaignOutcome, CampaignTelemetry,
+    CellErrorStats, InjectionRecord,
 };
 pub use clustering::{
     cluster_cells, cluster_cells_reference, hier_distance, Clustering, ClusteringConfig,

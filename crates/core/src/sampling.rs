@@ -21,6 +21,14 @@ pub struct SamplingConfig {
     pub min_per_cluster: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Hard cap on the total sample size (`None` = uncapped). Per-cluster
+    /// `ceil` rounding and `min_per_cluster` floors can push the sum past
+    /// the intended budget; when they do, samples are trimmed one at a
+    /// time from the cluster with the largest current sample — ties break
+    /// toward the higher-indexed cluster — dropping each cluster's
+    /// highest-id cells first. The cap wins over `min_per_cluster`.
+    #[serde(default)]
+    pub budget: Option<usize>,
 }
 
 impl Default for SamplingConfig {
@@ -29,6 +37,7 @@ impl Default for SamplingConfig {
             fraction: 0.2,
             min_per_cluster: 4,
             seed: 2,
+            budget: None,
         }
     }
 }
@@ -93,7 +102,28 @@ pub fn sample_clusters(
         pool.sort();
         per_cluster.push(pool);
     }
+    if let Some(budget) = config.budget {
+        trim_to_budget(&mut per_cluster, budget);
+    }
     Ok(ClusterSample { per_cluster })
+}
+
+/// Trims an over-budget draw back to `budget` cells: repeatedly drop one
+/// cell from the cluster with the largest current sample, breaking size
+/// ties toward the higher-indexed cluster. Cells within a cluster are
+/// sorted ascending, so each trim removes the cluster's highest id.
+fn trim_to_budget(per_cluster: &mut [Vec<CellId>], budget: usize) {
+    let mut total: usize = per_cluster.iter().map(Vec::len).sum();
+    while total > budget {
+        let victim = per_cluster
+            .iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| a.len().cmp(&b.len()).then(ai.cmp(bi)))
+            .map(|(i, _)| i)
+            .expect("total > budget implies a nonempty cluster");
+        per_cluster[victim].pop();
+        total -= 1;
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +159,7 @@ mod tests {
                 fraction: 0.1,
                 min_per_cluster: 4,
                 seed: 1,
+                budget: None,
             },
         )
         .unwrap();
@@ -162,6 +193,7 @@ mod tests {
                 fraction: 1.0,
                 min_per_cluster: 1,
                 seed: 3,
+                budget: None,
             },
         )
         .unwrap();
@@ -202,6 +234,7 @@ mod tests {
             fraction: 0.3,
             min_per_cluster: 2,
             seed: 7,
+            budget: None,
         };
         let before = sample_clusters(&base, &cfg).unwrap();
 
@@ -211,6 +244,115 @@ mod tests {
 
         assert_eq!(before.per_cluster[0], after.per_cluster[0]);
         assert_eq!(before.per_cluster[2], after.per_cluster[2]);
+    }
+
+    #[test]
+    fn minimum_larger_than_every_cluster_takes_whole_clusters() {
+        // A per-cluster minimum above the cluster size must cap at the
+        // cluster, not panic or oversample.
+        let c = clustering(&[2, 3, 1]);
+        let sample = sample_clusters(
+            &c,
+            &SamplingConfig {
+                fraction: 0.1,
+                min_per_cluster: 10,
+                seed: 5,
+                budget: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(sample.per_cluster[0].len(), 2);
+        assert_eq!(sample.per_cluster[1].len(), 3);
+        assert_eq!(sample.per_cluster[2].len(), 1);
+    }
+
+    #[test]
+    fn budget_absorbs_ceil_rounding_drift() {
+        // ceil(0.25 * 10) = 3 per cluster sums to 9; a budget of 8 must
+        // trim exactly one cell, from the highest-indexed largest cluster.
+        let c = clustering(&[10, 10, 10]);
+        let sample = sample_clusters(
+            &c,
+            &SamplingConfig {
+                fraction: 0.25,
+                min_per_cluster: 1,
+                seed: 9,
+                budget: Some(8),
+            },
+        )
+        .unwrap();
+        assert_eq!(sample.len(), 8);
+        assert_eq!(sample.per_cluster[0].len(), 3);
+        assert_eq!(sample.per_cluster[1].len(), 3);
+        assert_eq!(sample.per_cluster[2].len(), 2);
+    }
+
+    #[test]
+    fn budget_tie_break_drops_higher_indexed_clusters_first() {
+        let c = clustering(&[6, 6, 6]);
+        let cfg = SamplingConfig {
+            fraction: 0.5,
+            min_per_cluster: 1,
+            seed: 11,
+            budget: Some(7),
+        };
+        let sample = sample_clusters(&c, &cfg).unwrap();
+        // 3 + 3 + 3 = 9 trimmed to 7: cluster 2 loses first (tie toward
+        // the higher index), then cluster 1, leaving 3/2/2.
+        assert_eq!(
+            sample.per_cluster.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+        // Untrimmed clusters keep exactly the unbudgeted draw, and each
+        // trimmed cluster is a prefix of it (highest ids dropped first).
+        let free = sample_clusters(
+            &c,
+            &SamplingConfig {
+                budget: None,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(sample.per_cluster[0], free.per_cluster[0]);
+        for cluster in 1..3 {
+            assert_eq!(
+                sample.per_cluster[cluster][..],
+                free.per_cluster[cluster][..2]
+            );
+        }
+        // Repeated draws are identical.
+        assert_eq!(sample, sample_clusters(&c, &cfg).unwrap());
+    }
+
+    #[test]
+    fn budget_larger_than_draw_changes_nothing() {
+        let c = clustering(&[20, 20]);
+        let free = sample_clusters(&c, &SamplingConfig::default()).unwrap();
+        let capped = sample_clusters(
+            &c,
+            &SamplingConfig {
+                budget: Some(1_000),
+                ..SamplingConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(free, capped);
+    }
+
+    #[test]
+    fn budget_wins_over_per_cluster_minimum() {
+        let c = clustering(&[5, 5]);
+        let sample = sample_clusters(
+            &c,
+            &SamplingConfig {
+                fraction: 0.2,
+                min_per_cluster: 4,
+                seed: 13,
+                budget: Some(3),
+            },
+        )
+        .unwrap();
+        assert_eq!(sample.len(), 3);
     }
 
     #[test]

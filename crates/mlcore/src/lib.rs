@@ -58,4 +58,4 @@ pub use kernel::Kernel;
 pub use metrics::{roc_curve, BinaryMetrics, RocCurve};
 pub use parallel::{max_threads, parallel_map, resolve_threads};
 pub use preprocess::{clean_rows, MinMaxScaler, StandardScaler};
-pub use svm::{SmoSolver, SvmModel, SvmParams, TrainStats};
+pub use svm::{SmoContext, SmoSolver, SvmModel, SvmParams, TrainStats};

@@ -43,6 +43,18 @@ pub struct TrainStats {
     pub unshrink_rounds: u64,
 }
 
+impl TrainStats {
+    /// Fieldwise sum, for aggregating the per-round solves of an
+    /// active-learning loop into one set of counters.
+    pub fn accumulate(&mut self, other: TrainStats) {
+        self.iterations += other.iterations;
+        self.kernel_cache_hits += other.kernel_cache_hits;
+        self.kernel_cache_misses += other.kernel_cache_misses;
+        self.shrink_rounds += other.shrink_rounds;
+        self.unshrink_rounds += other.unshrink_rounds;
+    }
+}
+
 /// Positive-definite floor for the pair curvature, as in LIBSVM's `TAU`.
 const TAU: f64 = 1e-12;
 
@@ -51,6 +63,7 @@ const TAU: f64 = 1e-12;
 /// Row `i` holds `K(x_i, x_t)` for every `t` (full length, so rows stay
 /// valid across shrink/unshrink cycles). Memory is bounded by
 /// `capacity × n` doubles; eviction removes the least-recently-used row.
+#[derive(Debug)]
 struct RowCache {
     capacity: usize,
     stamp: u64,
@@ -72,12 +85,28 @@ impl RowCache {
     }
 
     /// The kernel row for sample `i`, computed on demand.
+    ///
+    /// A cached row shorter than the current sample count (the training
+    /// set grew since it was cached — the warm-start path appends samples
+    /// between rounds) is extended in place by computing only the missing
+    /// tail, and still counts as a hit.
     fn row(&mut self, i: usize, x: &[Vec<f64>], norms: &[f64], kernel: Kernel) -> &[f64] {
         self.stamp += 1;
         let stamp = self.stamp;
         if let Some(entry) = self.rows.get_mut(&i) {
             entry.0 = stamp;
             self.hits += 1;
+            if entry.1.len() < x.len() {
+                let xi = &x[i];
+                let ni = norms[i];
+                let start = entry.1.len();
+                entry.1.extend(
+                    x[start..]
+                        .iter()
+                        .zip(&norms[start..])
+                        .map(|(xt, &nt)| kernel.eval_dot(dot(xi, xt), ni, nt)),
+                );
+            }
         } else {
             self.misses += 1;
             if self.rows.len() >= self.capacity {
@@ -247,24 +276,153 @@ pub(crate) fn solve_working_set(
     c_of: &[f64],
     params: &SvmParams,
 ) -> (Vec<f64>, f64, TrainStats) {
+    let cache = RowCache::new(params.cache_rows);
+    let (alpha, bias, stats, _) = solve_working_set_inner(x, y, c_of, params, None, cache);
+    (alpha, bias, stats)
+}
+
+/// Reusable solver state carried across warm-started training rounds.
+///
+/// Holds the previous round's dual variables (with the labels they were
+/// solved under) and the LRU kernel-row cache, so a retraining round that
+/// appends samples re-derives neither the alphas nor the cached rows. The
+/// context is deterministic state: two identical round sequences produce
+/// bit-identical contexts and therefore bit-identical models.
+#[derive(Debug)]
+pub struct SmoContext {
+    alpha: Vec<f64>,
+    y: Vec<f64>,
+    cache: Option<RowCache>,
+    cache_rows: usize,
+}
+
+impl SmoContext {
+    /// An empty context; the first warm train behaves like a cold one.
+    /// `cache_rows` bounds the persistent kernel-row cache (clamped to at
+    /// least 2, as in [`SvmParams::cache_rows`]).
+    pub fn new(cache_rows: usize) -> Self {
+        SmoContext {
+            alpha: Vec::new(),
+            y: Vec::new(),
+            cache: None,
+            cache_rows,
+        }
+    }
+
+    /// Builds the warm initial alphas for a problem with labels `y` and
+    /// box constraints `c_of`.
+    ///
+    /// Previous alphas are carried over positionally (samples keep their
+    /// indices across rounds; new samples start at 0), clamped into the
+    /// current box, and zeroed where the label flipped since the last
+    /// round. The `yᵀα = 0` dual constraint is then repaired by scaling
+    /// down whichever class carries the surplus — a deterministic
+    /// projection onto the feasible set.
+    fn warm_alpha(&self, y: &[f64], c_of: &[f64]) -> Vec<f64> {
+        let n = y.len();
+        let mut alpha = vec![0.0f64; n];
+        for i in 0..n.min(self.alpha.len()) {
+            if self.y[i] == y[i] {
+                alpha[i] = self.alpha[i].clamp(0.0, c_of[i]);
+            }
+        }
+        let residual: f64 = alpha.iter().zip(y).map(|(&a, &yi)| a * yi).sum();
+        if residual != 0.0 {
+            // Scale the surplus class so Σ y_i α_i returns to 0; scaling
+            // keeps every alpha inside its box.
+            let surplus_sign = residual.signum();
+            let surplus_mass: f64 = alpha
+                .iter()
+                .zip(y)
+                .filter(|&(_, &yi)| yi == surplus_sign)
+                .map(|(&a, _)| a)
+                .sum();
+            if surplus_mass > 0.0 {
+                let scale = (surplus_mass - residual.abs()) / surplus_mass;
+                for (a, &yi) in alpha.iter_mut().zip(y) {
+                    if yi == surplus_sign {
+                        *a *= scale;
+                    }
+                }
+            }
+        }
+        alpha
+    }
+}
+
+/// Warm-started working-set SMO: seeds the solver from `ctx` (previous
+/// alphas + persistent kernel-row cache) and stores the solution back for
+/// the next round. Semantics otherwise match [`solve_working_set`]; a
+/// fresh context yields the identical cold-start solution.
+pub(crate) fn solve_working_set_warm(
+    x: &[Vec<f64>],
+    y: &[f64],
+    c_of: &[f64],
+    params: &SvmParams,
+    ctx: &mut SmoContext,
+) -> (Vec<f64>, f64, TrainStats) {
+    let alpha0 = ctx.warm_alpha(y, c_of);
+    let cache = ctx
+        .cache
+        .take()
+        .unwrap_or_else(|| RowCache::new(ctx.cache_rows));
+    let warm = if alpha0.iter().any(|&a| a != 0.0) {
+        Some(alpha0)
+    } else {
+        None
+    };
+    let (alpha, bias, stats, cache) = solve_working_set_inner(x, y, c_of, params, warm, cache);
+    ctx.alpha = alpha.clone();
+    ctx.y = y.to_vec();
+    ctx.cache = Some(cache);
+    (alpha, bias, stats)
+}
+
+fn solve_working_set_inner(
+    x: &[Vec<f64>],
+    y: &[f64],
+    c_of: &[f64],
+    params: &SvmParams,
+    warm_alpha: Option<Vec<f64>>,
+    cache: RowCache,
+) -> (Vec<f64>, f64, TrainStats, RowCache) {
     let n = x.len();
+    // Per-solve cache counters: the persistent cache accumulates across
+    // rounds, but TrainStats reports this round's traffic.
+    let (hits0, misses0) = (cache.hits, cache.misses);
     let norms: Vec<f64> = x.iter().map(|r| dot(r, r)).collect();
     let qd: Vec<f64> = norms
         .iter()
         .map(|&nt| params.kernel.eval_dot(nt, nt, nt))
         .collect();
+    let alpha = warm_alpha.unwrap_or_else(|| vec![0.0; n]);
     let mut state = WssState {
         x,
         y,
         c_of,
         norms,
         kernel: params.kernel,
-        alpha: vec![0.0; n],
+        alpha,
         grad: vec![-1.0; n],
         active: (0..n).collect(),
-        cache: RowCache::new(params.cache_rows),
+        cache,
         stats: TrainStats::default(),
     };
+    // Warm start: G_t = y_t Σ_s α_s y_s K_ts − 1, one cached row per
+    // nonzero alpha (the cold start's all-zero alphas leave G ≡ −1).
+    for s in 0..n {
+        if state.alpha[s] == 0.0 {
+            continue;
+        }
+        let coef = state.alpha[s] * y[s];
+        let row = state
+            .cache
+            .row(s, state.x, &state.norms, state.kernel)
+            .to_vec();
+        for t in 0..n {
+            state.grad[t] += y[t] * coef * row[t];
+        }
+    }
     let tol = params.tol;
     let budget = u64::from(params.max_iters).saturating_mul(n as u64);
     let shrink_interval = n.clamp(64, 1000) as u64;
@@ -409,10 +567,10 @@ pub(crate) fn solve_working_set(
     } else {
         (upper + lower) / 2.0
     };
-    state.stats.kernel_cache_hits = state.cache.hits;
-    state.stats.kernel_cache_misses = state.cache.misses;
+    state.stats.kernel_cache_hits = state.cache.hits - hits0;
+    state.stats.kernel_cache_misses = state.cache.misses - misses0;
     let stats = state.stats;
-    (state.alpha, -rho, stats)
+    (state.alpha, -rho, stats, state.cache)
 }
 
 /// The original simplified SMO (random second choice, full kernel matrix),

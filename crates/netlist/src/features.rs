@@ -19,6 +19,19 @@
 //! | 9 | `is_memory` | one-hot module class: memory |
 //! | 10 | `neighborhood` | distinct cells at distance 1 |
 //! | 11 | `activity` | toggle activity of the output net (from simulation) |
+//! | 12 | `fanin_cone` | transitive fan-in cells (bounded BFS, saturates) |
+//! | 13 | `fanout_cone` | transitive fan-out cells (bounded BFS, saturates) |
+//! | 14 | `depth_po` | cell hops to the nearest primary output |
+//! | 15 | `depth_ff` | cell hops to the nearest flip-flop data input |
+//! | 16 | `cop_ctrl` | COP signal probability of the output net |
+//! | 17 | `cop_obs` | COP observability of the output net |
+//! | 18 | `cop_product` | COP toggle detectability `obs * 2p(1-p)` |
+//!
+//! Features 12–18 are the *graph* signals from the FsimNN / graph-theory
+//! SEU literature: cone sizes and depths capture how much downstream state
+//! a flipped node can corrupt, and the COP (controllability/observability
+//! program) products estimate how likely a flip is to propagate to an
+//! observation point under random stimulus.
 
 use crate::flat::{CellId, Driver, FlatNetlist};
 use serde::{Deserialize, Serialize};
@@ -38,6 +51,13 @@ pub const STRUCTURAL_FEATURE_NAMES: &[&str] = &[
     "is_memory",
     "neighborhood",
     "activity",
+    "fanin_cone",
+    "fanout_cone",
+    "depth_po",
+    "depth_ff",
+    "cop_ctrl",
+    "cop_obs",
+    "cop_product",
 ];
 
 /// Coarse functional class of the module containing a cell, inferred from
@@ -126,7 +146,7 @@ pub struct CellFeatures {
 /// let flat = design.flatten()?;
 /// let features = FeatureExtractor::new(&flat)?.extract(None);
 /// assert_eq!(features.len(), 1);
-/// assert_eq!(features[0].values.len(), 12);
+/// assert_eq!(features[0].values.len(), 19);
 /// # Ok(())
 /// # }
 /// ```
@@ -135,6 +155,12 @@ pub struct FeatureExtractor<'a> {
     netlist: &'a FlatNetlist,
     depth_fwd: Vec<u32>,
     depth_obs: Vec<u32>,
+    depth_po: Vec<u32>,
+    depth_ff: Vec<u32>,
+    /// Per-net COP signal probability (probability the net carries 1).
+    cop_ctrl: Vec<f64>,
+    /// Per-net COP observability (probability a flip propagates out).
+    cop_obs: Vec<f64>,
 }
 
 /// Sentinel observation distance for cells from which no observation point
@@ -150,6 +176,15 @@ const UNOBSERVABLE: u32 = u32::MAX;
 /// would dwarf every other feature and wreck normalization).
 pub const DEPTH_OBS_SATURATED: f64 = 64.0;
 
+/// Visited-cell cap for the transitive fan-in/fan-out cone features.
+///
+/// The BFS stops expanding once this many cells have been counted, so the
+/// feature value saturates at exactly `CONE_CAP` — which makes the value
+/// independent of traversal order (either the full cone was enumerated, or
+/// the count is the cap) and bounds extraction work per cell on mega-scale
+/// netlists whose clock/enable nets fan out to tens of thousands of loads.
+pub const CONE_CAP: usize = 64;
+
 impl<'a> FeatureExtractor<'a> {
     /// Prepares depth maps for `netlist`.
     ///
@@ -160,10 +195,18 @@ impl<'a> FeatureExtractor<'a> {
     pub fn new(netlist: &'a FlatNetlist) -> Result<Self, crate::NetlistError> {
         let lv = netlist.levelize()?;
         let depth_obs = observation_distances(netlist);
+        let depth_po = po_distances(netlist);
+        let depth_ff = ff_distances(netlist);
+        let cop_ctrl = cop_signal_probability(netlist, &lv.order);
+        let cop_obs = cop_observability(netlist, &lv.order, &cop_ctrl);
         Ok(FeatureExtractor {
             netlist,
             depth_fwd: lv.cell_depth,
             depth_obs,
+            depth_po,
+            depth_ff,
+            cop_ctrl,
+            cop_obs,
         })
     }
 
@@ -204,6 +247,15 @@ impl<'a> FeatureExtractor<'a> {
         };
         let neighborhood = neighborhood_size(netlist, id) as f64;
         let act = activity.map(|a| a[cell.output.index()]).unwrap_or(0.0);
+        let fanin_cone = cone_size(netlist, id, ConeDirection::Fanin) as f64;
+        let fanout_cone = cone_size(netlist, id, ConeDirection::Fanout) as f64;
+        let depth_po = saturate_depth(self.depth_po[id.index()]);
+        let depth_ff = saturate_depth(self.depth_ff[id.index()]);
+        let p = self.cop_ctrl[cell.output.index()];
+        let obs = self.cop_obs[cell.output.index()];
+        // Toggle detectability: probability the output flips under random
+        // stimulus (2p(1-p)) times the probability the flip is observed.
+        let cop_product = obs * 2.0 * p * (1.0 - p);
 
         CellFeatures {
             cell: id,
@@ -221,8 +273,24 @@ impl<'a> FeatureExtractor<'a> {
                 is_memory,
                 neighborhood,
                 act,
+                fanin_cone,
+                fanout_cone,
+                depth_po,
+                depth_ff,
+                p,
+                obs,
+                cop_product,
             ],
         }
+    }
+}
+
+/// Maps a BFS distance into feature space, saturating the unreachable
+/// sentinel (and any distance beyond it) at [`DEPTH_OBS_SATURATED`].
+fn saturate_depth(d: u32) -> f64 {
+    match d {
+        UNOBSERVABLE => DEPTH_OBS_SATURATED,
+        d => f64::from(d).min(DEPTH_OBS_SATURATED),
     }
 }
 
@@ -296,6 +364,244 @@ fn observation_distances(netlist: &FlatNetlist) -> Vec<u32> {
         }
     }
     dist
+}
+
+/// Backward BFS from a seed set toward input drivers, yielding per-cell hop
+/// distances ([`UNOBSERVABLE`] where no seed is reachable).
+fn backward_distances(netlist: &FlatNetlist, seeds: &[CellId]) -> Vec<u32> {
+    let mut dist = vec![UNOBSERVABLE; netlist.cells().len()];
+    let mut queue = VecDeque::new();
+    for &cell in seeds {
+        if dist[cell.index()] != 0 {
+            dist[cell.index()] = 0;
+            queue.push_back(cell);
+        }
+    }
+    while let Some(cell) = queue.pop_front() {
+        let d = dist[cell.index()];
+        for &input in netlist.cell(cell).inputs {
+            if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
+                if dist[driver.index()] > d + 1 {
+                    dist[driver.index()] = d + 1;
+                    queue.push_back(driver);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Per-cell hop distance to the nearest primary output (distance 0 for the
+/// cell driving the PO net itself).
+fn po_distances(netlist: &FlatNetlist) -> Vec<u32> {
+    let mut seeds = Vec::new();
+    for &out in netlist.primary_outputs() {
+        if let Some(Driver::Cell(cell)) = netlist.net(out).driver {
+            seeds.push(cell);
+        }
+    }
+    backward_distances(netlist, &seeds)
+}
+
+/// Per-cell hop distance to the nearest state-holding cell's input
+/// (distance 0 for a cell feeding a flip-flop or memory bit directly).
+fn ff_distances(netlist: &FlatNetlist) -> Vec<u32> {
+    let mut seeds = Vec::new();
+    for (_, cell) in netlist.iter_cells() {
+        if !cell.kind.is_sequential() {
+            continue;
+        }
+        for &input in cell.inputs {
+            if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
+                seeds.push(driver);
+            }
+        }
+    }
+    backward_distances(netlist, &seeds)
+}
+
+/// Traversal direction for [`cone_size`].
+#[derive(Clone, Copy)]
+enum ConeDirection {
+    Fanin,
+    Fanout,
+}
+
+/// Transitive fan-in or fan-out cone size of `root`, capped at
+/// [`CONE_CAP`].
+///
+/// Counts distinct cells reachable from `root` (excluding `root` itself),
+/// stopping as soon as the count reaches the cap. The returned value is
+/// traversal-order independent: below the cap the whole cone was
+/// enumerated; at the cap the value is exactly `CONE_CAP`.
+fn cone_size(netlist: &FlatNetlist, root: CellId, dir: ConeDirection) -> usize {
+    // A HashSet would allocate buckets per cell and a bitmap over all
+    // cells would cost O(n) per cell; a small sorted vec stays
+    // O(CONE_CAP log CONE_CAP).
+    let mut seen: Vec<CellId> = Vec::with_capacity(CONE_CAP + 1);
+    seen.push(root);
+    let mut queue: VecDeque<CellId> = VecDeque::with_capacity(CONE_CAP);
+    queue.push_back(root);
+    let mut count = 0usize;
+    'bfs: while let Some(cell) = queue.pop_front() {
+        let view = netlist.cell(cell);
+        match dir {
+            ConeDirection::Fanin => {
+                for &input in view.inputs {
+                    if let Some(Driver::Cell(driver)) = netlist.net(input).driver {
+                        if let Err(pos) = seen.binary_search(&driver) {
+                            seen.insert(pos, driver);
+                            queue.push_back(driver);
+                            count += 1;
+                            if count >= CONE_CAP {
+                                break 'bfs;
+                            }
+                        }
+                    }
+                }
+            }
+            ConeDirection::Fanout => {
+                for &(load, _) in netlist.net(view.output).loads {
+                    if let Err(pos) = seen.binary_search(&load) {
+                        seen.insert(pos, load);
+                        queue.push_back(load);
+                        count += 1;
+                        if count >= CONE_CAP {
+                            break 'bfs;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// COP forward pass: per-net probability of carrying logic 1 under random
+/// stimulus.
+///
+/// Primary inputs, undriven nets and state-holding outputs are pseudo-PIs
+/// at probability 0.5; tie cells pin their nets to 0/1; combinational
+/// cells combine their input probabilities in levelized order with the
+/// standard independence assumption.
+fn cop_signal_probability(netlist: &FlatNetlist, order: &[CellId]) -> Vec<f64> {
+    use crate::cell::CellKind;
+    let mut p = vec![0.5; netlist.nets().len()];
+    for &id in order {
+        let cell = netlist.cell(id);
+        let input = |pin: usize| p[cell.inputs[pin].index()];
+        let out = match cell.kind {
+            CellKind::Tie0 => 0.0,
+            CellKind::Tie1 => 1.0,
+            CellKind::Buf => input(0),
+            CellKind::Inv => 1.0 - input(0),
+            CellKind::And2 => input(0) * input(1),
+            CellKind::And3 => input(0) * input(1) * input(2),
+            CellKind::Nand2 => 1.0 - input(0) * input(1),
+            CellKind::Nand3 => 1.0 - input(0) * input(1) * input(2),
+            CellKind::Or2 => 1.0 - (1.0 - input(0)) * (1.0 - input(1)),
+            CellKind::Or3 => 1.0 - (1.0 - input(0)) * (1.0 - input(1)) * (1.0 - input(2)),
+            CellKind::Nor2 => (1.0 - input(0)) * (1.0 - input(1)),
+            CellKind::Nor3 => (1.0 - input(0)) * (1.0 - input(1)) * (1.0 - input(2)),
+            CellKind::Xor2 => {
+                let (a, b) = (input(0), input(1));
+                a * (1.0 - b) + b * (1.0 - a)
+            }
+            CellKind::Xnor2 => {
+                let (a, b) = (input(0), input(1));
+                1.0 - (a * (1.0 - b) + b * (1.0 - a))
+            }
+            // Mux2 pins: D0, D1, S.
+            CellKind::Mux2 => {
+                let (d0, d1, s) = (input(0), input(1), input(2));
+                (1.0 - s) * d0 + s * d1
+            }
+            // Y = !((A & B) | C)
+            CellKind::Aoi21 => (1.0 - input(0) * input(1)) * (1.0 - input(2)),
+            // Y = !((A | B) & C)
+            CellKind::Oai21 => 1.0 - (1.0 - (1.0 - input(0)) * (1.0 - input(1))) * input(2),
+            // State-holding cells are pseudo-PIs; levelization excludes
+            // them from `order`, so this arm is unreachable but keeps the
+            // match exhaustive against new combinational kinds.
+            _ => 0.5,
+        };
+        p[cell.output.index()] = out;
+    }
+    p
+}
+
+/// COP backward pass: per-net probability that a value flip propagates to
+/// an observation point (primary output or state-holding cell input).
+///
+/// Observation nets start at 1.0; each combinational cell, visited in
+/// reverse levelized order, passes `obs(output) * sensitization(pin)` back
+/// to each input net, where the sensitization probability is the chance
+/// the other inputs let the pin control the output. Reconvergent paths
+/// take the max over branches.
+fn cop_observability(netlist: &FlatNetlist, order: &[CellId], p: &[f64]) -> Vec<f64> {
+    use crate::cell::CellKind;
+    let mut obs = vec![0.0; netlist.nets().len()];
+    for &out in netlist.primary_outputs() {
+        obs[out.index()] = 1.0;
+    }
+    for (_, cell) in netlist.iter_cells() {
+        if cell.kind.is_sequential() {
+            for &input in cell.inputs {
+                obs[input.index()] = 1.0;
+            }
+        }
+    }
+    for &id in order.iter().rev() {
+        let cell = netlist.cell(id);
+        let out_obs = obs[cell.output.index()];
+        if out_obs == 0.0 {
+            continue;
+        }
+        let ip = |pin: usize| p[cell.inputs[pin].index()];
+        for (pin, &input) in cell.inputs.iter().enumerate() {
+            let sens = match cell.kind {
+                CellKind::Buf | CellKind::Inv | CellKind::Xor2 | CellKind::Xnor2 => 1.0,
+                CellKind::And2 | CellKind::Nand2 => ip(1 - pin),
+                CellKind::Or2 | CellKind::Nor2 => 1.0 - ip(1 - pin),
+                CellKind::And3 | CellKind::Nand3 => {
+                    let others: f64 = (0..3).filter(|&j| j != pin).map(ip).product();
+                    others
+                }
+                CellKind::Or3 | CellKind::Nor3 => {
+                    (0..3).filter(|&j| j != pin).map(|j| 1.0 - ip(j)).product()
+                }
+                // Mux2 pins: D0, D1, S. A data pin controls the output
+                // when selected; the select controls it when D0 != D1.
+                CellKind::Mux2 => match pin {
+                    0 => 1.0 - ip(2),
+                    1 => ip(2),
+                    _ => ip(0) * (1.0 - ip(1)) + ip(1) * (1.0 - ip(0)),
+                },
+                // Y = !((A & B) | C): A controls when B=1 and C=0; C
+                // controls when A&B=0.
+                CellKind::Aoi21 => match pin {
+                    0 => ip(1) * (1.0 - ip(2)),
+                    1 => ip(0) * (1.0 - ip(2)),
+                    _ => 1.0 - ip(0) * ip(1),
+                },
+                // Y = !((A | B) & C): A controls when B=0 and C=1; C
+                // controls when A|B=1.
+                CellKind::Oai21 => match pin {
+                    0 => (1.0 - ip(1)) * ip(2),
+                    1 => (1.0 - ip(0)) * ip(2),
+                    _ => 1.0 - (1.0 - ip(0)) * (1.0 - ip(1)),
+                },
+                // Tie cells have no inputs; state-holding kinds are not
+                // levelized.
+                _ => 0.0,
+            };
+            let through = out_obs * sens;
+            if through > obs[input.index()] {
+                obs[input.index()] = through;
+            }
+        }
+    }
+    obs
 }
 
 #[cfg(test)]
@@ -428,5 +734,100 @@ mod tests {
         // An observable cell keeps its real (small) distance.
         let live = flat.cell_by_name("u0").unwrap();
         assert_eq!(fx.extract_cell(live, None).values[3], 0.0);
+    }
+
+    fn feature_index(name: &str) -> usize {
+        STRUCTURAL_FEATURE_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn cone_sizes_count_transitive_neighbors() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let feats = |name: &str| fx.extract_cell(flat.cell_by_name(name).unwrap(), None);
+        let fanin = feature_index("fanin_cone");
+        let fanout = feature_index("fanout_cone");
+        // u_inv has no cell drivers upstream, and everything downstream.
+        let inv = feats("u_inv");
+        assert_eq!(inv.values[fanin], 0.0);
+        assert_eq!(inv.values[fanout], 3.0); // and, ff, buf
+                                             // u_buf sees the whole chain upstream and nothing downstream.
+        let buf = feats("u_buf");
+        assert_eq!(buf.values[fanin], 3.0);
+        assert_eq!(buf.values[fanout], 0.0);
+    }
+
+    #[test]
+    fn cone_size_saturates_at_cap() {
+        // A root driving CONE_CAP + 8 loads must report exactly CONE_CAP.
+        let mut design = Design::new();
+        let mut mb = ModuleBuilder::new("wide");
+        let a = mb.port("a", PortDir::Input);
+        let w = mb.net("w");
+        mb.cell("u_root", CellKind::Buf, &[a], &[w]).unwrap();
+        for i in 0..(CONE_CAP + 8) {
+            let y = mb.port(format!("y{i}"), PortDir::Output);
+            mb.cell(format!("u{i}"), CellKind::Inv, &[w], &[y]).unwrap();
+        }
+        let id = design.add_module(mb.finish()).unwrap();
+        design.set_top(id).unwrap();
+        let flat = design.flatten().unwrap();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let root = flat.cell_by_name("u_root").unwrap();
+        let v = fx.extract_cell(root, None);
+        assert_eq!(v.values[feature_index("fanout_cone")], CONE_CAP as f64);
+    }
+
+    #[test]
+    fn po_and_ff_depths_follow_the_pipeline() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let depth = |name: &str, feat: &str| {
+            fx.extract_cell(flat.cell_by_name(name).unwrap(), None)
+                .values[feature_index(feat)]
+        };
+        // u_buf drives the PO directly; u_ff is one hop behind it; the
+        // logic upstream of the FF is separated from the PO by the FF.
+        assert_eq!(depth("u_buf", "depth_po"), 0.0);
+        assert_eq!(depth("u_ff", "depth_po"), 1.0);
+        assert_eq!(depth("u_and", "depth_po"), 2.0);
+        // u_and feeds the FF data pin directly; u_inv is one hop further;
+        // u_buf never reaches a flip-flop input.
+        assert_eq!(depth("u_and", "depth_ff"), 0.0);
+        assert_eq!(depth("u_inv", "depth_ff"), 1.0);
+        assert_eq!(depth("u_buf", "depth_ff"), DEPTH_OBS_SATURATED);
+    }
+
+    #[test]
+    fn cop_probabilities_match_hand_computation() {
+        let flat = pipeline_netlist();
+        let fx = FeatureExtractor::new(&flat).unwrap();
+        let value = |name: &str, feat: &str| {
+            fx.extract_cell(flat.cell_by_name(name).unwrap(), None)
+                .values[feature_index(feat)]
+        };
+        // p(na) = 1 - 0.5 = 0.5; p(anded) = p(na) * p(b) = 0.25.
+        assert_eq!(value("u_inv", "cop_ctrl"), 0.5);
+        assert_eq!(value("u_and", "cop_ctrl"), 0.25);
+        // FF output is a pseudo-PI at 0.5; the buffer copies it.
+        assert_eq!(value("u_buf", "cop_ctrl"), 0.5);
+        // u_buf drives the PO: fully observable.
+        assert_eq!(value("u_buf", "cop_obs"), 1.0);
+        // u_and feeds the FF data input: fully observable.
+        assert_eq!(value("u_and", "cop_obs"), 1.0);
+        // u_inv is observed through the AND gate, sensitized when b=1.
+        assert_eq!(value("u_inv", "cop_obs"), 0.5);
+        // cop_product = obs * 2p(1-p): u_and has p=0.25, obs=1.
+        assert_eq!(value("u_and", "cop_product"), 2.0 * 0.25 * 0.75);
+        // Every COP value stays a probability.
+        for f in fx.extract(None) {
+            for feat in ["cop_ctrl", "cop_obs", "cop_product"] {
+                let v = f.values[feature_index(feat)];
+                assert!((0.0..=1.0).contains(&v), "{feat} = {v}");
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@
 
 use ssresf_netlist::cell::CellKind;
 use ssresf_netlist::design::{Design, PortDir};
-use ssresf_netlist::features::DEPTH_OBS_SATURATED;
+use ssresf_netlist::features::{CONE_CAP, DEPTH_OBS_SATURATED};
 use ssresf_netlist::{
     CircuitSpec, Driver, FeatureExtractor, GateSpec, ModuleBuilder, ModuleClass, ModuleId, NetId,
     GENERATOR_KINDS,
@@ -207,8 +207,155 @@ fn reference_levelize(flat: &RefFlat) -> (Vec<usize>, Vec<u32>, u32) {
     (order, depth, max_depth)
 }
 
-/// The pre-refactor feature pipeline on the reference arrays.
-fn reference_features(flat: &RefFlat, depth_fwd: &[u32]) -> Vec<Vec<f64>> {
+/// Backward BFS over the reference arrays from a seed cell set.
+fn reference_backward_bfs(flat: &RefFlat, seeds: &[usize]) -> Vec<u32> {
+    const UNOBSERVABLE: u32 = u32::MAX;
+    let mut dist = vec![UNOBSERVABLE; flat.cells.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for &cell in seeds {
+        if dist[cell] != 0 {
+            dist[cell] = 0;
+            queue.push_back(cell);
+        }
+    }
+    while let Some(cell) = queue.pop_front() {
+        let d = dist[cell];
+        for &input in &flat.cells[cell].inputs {
+            if let Some(RefDriver::Cell(driver)) = flat.nets[input].driver {
+                if dist[driver] > d + 1 {
+                    dist[driver] = d + 1;
+                    queue.push_back(driver);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Uncapped transitive cone size over the reference arrays. The SoA
+/// extractor stops expanding at `CONE_CAP`, which yields the same value as
+/// clamping the full cone size (either the whole cone was counted, or the
+/// count saturated at exactly the cap).
+fn reference_cone(flat: &RefFlat, root: usize, fanin: bool) -> usize {
+    let mut seen = vec![root];
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(cell) = queue.pop_front() {
+        let push =
+            |next: usize, seen: &mut Vec<usize>, queue: &mut std::collections::VecDeque<usize>| {
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    queue.push_back(next);
+                }
+            };
+        if fanin {
+            for &input in &flat.cells[cell].inputs {
+                if let Some(RefDriver::Cell(driver)) = flat.nets[input].driver {
+                    push(driver, &mut seen, &mut queue);
+                }
+            }
+        } else {
+            for &(load, _) in &flat.nets[flat.cells[cell].output].loads {
+                push(load, &mut seen, &mut queue);
+            }
+        }
+    }
+    (seen.len() - 1).min(CONE_CAP)
+}
+
+/// COP forward/backward passes over the reference arrays, visiting cells in
+/// the reference levelized order (asserted identical to the SoA order, so
+/// float accumulation order matches bit for bit).
+fn reference_cop(flat: &RefFlat, order: &[usize]) -> (Vec<f64>, Vec<f64>) {
+    let mut p = vec![0.5; flat.nets.len()];
+    for &id in order {
+        let cell = &flat.cells[id];
+        let input = |pin: usize| p[cell.inputs[pin]];
+        let out = match cell.kind {
+            CellKind::Tie0 => 0.0,
+            CellKind::Tie1 => 1.0,
+            CellKind::Buf => input(0),
+            CellKind::Inv => 1.0 - input(0),
+            CellKind::And2 => input(0) * input(1),
+            CellKind::And3 => input(0) * input(1) * input(2),
+            CellKind::Nand2 => 1.0 - input(0) * input(1),
+            CellKind::Nand3 => 1.0 - input(0) * input(1) * input(2),
+            CellKind::Or2 => 1.0 - (1.0 - input(0)) * (1.0 - input(1)),
+            CellKind::Or3 => 1.0 - (1.0 - input(0)) * (1.0 - input(1)) * (1.0 - input(2)),
+            CellKind::Nor2 => (1.0 - input(0)) * (1.0 - input(1)),
+            CellKind::Nor3 => (1.0 - input(0)) * (1.0 - input(1)) * (1.0 - input(2)),
+            CellKind::Xor2 => {
+                let (a, b) = (input(0), input(1));
+                a * (1.0 - b) + b * (1.0 - a)
+            }
+            CellKind::Xnor2 => {
+                let (a, b) = (input(0), input(1));
+                1.0 - (a * (1.0 - b) + b * (1.0 - a))
+            }
+            CellKind::Mux2 => {
+                let (d0, d1, s) = (input(0), input(1), input(2));
+                (1.0 - s) * d0 + s * d1
+            }
+            CellKind::Aoi21 => (1.0 - input(0) * input(1)) * (1.0 - input(2)),
+            CellKind::Oai21 => 1.0 - (1.0 - (1.0 - input(0)) * (1.0 - input(1))) * input(2),
+            _ => 0.5,
+        };
+        p[cell.output] = out;
+    }
+
+    let mut obs = vec![0.0f64; flat.nets.len()];
+    for &out in &flat.primary_outputs {
+        obs[out] = 1.0;
+    }
+    for cell in flat.cells.iter().filter(|c| c.kind.is_sequential()) {
+        for &input in &cell.inputs {
+            obs[input] = 1.0;
+        }
+    }
+    for &id in order.iter().rev() {
+        let cell = &flat.cells[id];
+        let out_obs = obs[cell.output];
+        if out_obs == 0.0 {
+            continue;
+        }
+        let ip = |pin: usize| p[cell.inputs[pin]];
+        for (pin, &input) in cell.inputs.iter().enumerate() {
+            let sens = match cell.kind {
+                CellKind::Buf | CellKind::Inv | CellKind::Xor2 | CellKind::Xnor2 => 1.0,
+                CellKind::And2 | CellKind::Nand2 => ip(1 - pin),
+                CellKind::Or2 | CellKind::Nor2 => 1.0 - ip(1 - pin),
+                CellKind::And3 | CellKind::Nand3 => (0..3).filter(|&j| j != pin).map(ip).product(),
+                CellKind::Or3 | CellKind::Nor3 => {
+                    (0..3).filter(|&j| j != pin).map(|j| 1.0 - ip(j)).product()
+                }
+                CellKind::Mux2 => match pin {
+                    0 => 1.0 - ip(2),
+                    1 => ip(2),
+                    _ => ip(0) * (1.0 - ip(1)) + ip(1) * (1.0 - ip(0)),
+                },
+                CellKind::Aoi21 => match pin {
+                    0 => ip(1) * (1.0 - ip(2)),
+                    1 => ip(0) * (1.0 - ip(2)),
+                    _ => 1.0 - ip(0) * ip(1),
+                },
+                CellKind::Oai21 => match pin {
+                    0 => (1.0 - ip(1)) * ip(2),
+                    1 => (1.0 - ip(0)) * ip(2),
+                    _ => 1.0 - (1.0 - ip(0)) * (1.0 - ip(1)),
+                },
+                _ => 0.0,
+            };
+            let through = out_obs * sens;
+            if through > obs[input] {
+                obs[input] = through;
+            }
+        }
+    }
+    (p, obs)
+}
+
+/// The pre-refactor feature pipeline on the reference arrays, extended with
+/// independent implementations of the graph-feature columns.
+fn reference_features(flat: &RefFlat, depth_fwd: &[u32], order: &[usize]) -> Vec<Vec<f64>> {
     const UNOBSERVABLE: u32 = u32::MAX;
     let n = flat.cells.len();
     let mut obs = vec![UNOBSERVABLE; n];
@@ -243,6 +390,30 @@ fn reference_features(flat: &RefFlat, depth_fwd: &[u32]) -> Vec<Vec<f64>> {
         }
     }
 
+    let po_seeds: Vec<usize> = flat
+        .primary_outputs
+        .iter()
+        .filter_map(|&out| match flat.nets[out].driver {
+            Some(RefDriver::Cell(cell)) => Some(cell),
+            _ => None,
+        })
+        .collect();
+    let mut ff_seeds = Vec::new();
+    for cell in flat.cells.iter().filter(|c| c.kind.is_sequential()) {
+        for &input in &cell.inputs {
+            if let Some(RefDriver::Cell(driver)) = flat.nets[input].driver {
+                ff_seeds.push(driver);
+            }
+        }
+    }
+    let depth_po = reference_backward_bfs(flat, &po_seeds);
+    let depth_ff = reference_backward_bfs(flat, &ff_seeds);
+    let saturate = |d: u32| match d {
+        UNOBSERVABLE => DEPTH_OBS_SATURATED,
+        d => f64::from(d).min(DEPTH_OBS_SATURATED),
+    };
+    let (cop_p, cop_obs) = reference_cop(flat, order);
+
     flat.cells
         .iter()
         .enumerate()
@@ -267,6 +438,8 @@ fn reference_features(flat: &RefFlat, depth_fwd: &[u32]) -> Vec<Vec<f64>> {
                     neighbors.push(load);
                 }
             }
+            let p = cop_p[cell.output];
+            let o = cop_obs[cell.output];
             vec![
                 flat.nets[cell.output].loads.len() as f64,
                 cell.inputs.len() as f64,
@@ -283,6 +456,13 @@ fn reference_features(flat: &RefFlat, depth_fwd: &[u32]) -> Vec<Vec<f64>> {
                 is_memory,
                 neighbors.len() as f64,
                 0.0,
+                reference_cone(flat, i, true) as f64,
+                reference_cone(flat, i, false) as f64,
+                saturate(depth_po[i]),
+                saturate(depth_ff[i]),
+                p,
+                o,
+                o * 2.0 * p * (1.0 - p),
             ]
         })
         .collect()
@@ -397,7 +577,7 @@ fn assert_equivalent(design: &Design) {
     // Feature extraction: bit-identical vectors.
     let fx = FeatureExtractor::new(&flat).unwrap();
     let features = fx.extract(None);
-    let expected = reference_features(&reference, &ref_depth);
+    let expected = reference_features(&reference, &ref_depth, &ref_order);
     assert_eq!(features.len(), expected.len());
     for (got, want) in features.iter().zip(&expected) {
         assert_eq!(got.values, *want, "cell {}", flat.cell_full_name(got.cell));

@@ -33,6 +33,30 @@ fn labeled_features(netlist: &FlatNetlist) -> (Vec<CellFeatures>, Vec<(CellId, b
 }
 
 #[test]
+fn feature_extraction_is_identical_across_thread_counts() {
+    // The widened feature set (fan-in/fan-out cones, PO/FF depths, COP
+    // controllability/observability) must stay bit-identical however the
+    // per-cell extraction is fanned out.
+    let netlist = soc_netlist();
+    let extractor = FeatureExtractor::new(&netlist).unwrap();
+    let ids: Vec<CellId> = netlist.iter_cells().map(|(id, _)| id).collect();
+    let serial = ssresf_mlcore::parallel_map(&ids, 1, |_, &id| extractor.extract_cell(id, None));
+    assert!(serial
+        .iter()
+        .all(|f| f.values.len() == ssresf_netlist::features::STRUCTURAL_FEATURE_NAMES.len()));
+    for threads in [2usize, 8] {
+        let threaded =
+            ssresf_mlcore::parallel_map(&ids, threads, |_, &id| extractor.extract_cell(id, None));
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.cell, b.cell, "threads = {threads}");
+            for (x, y) in a.values.iter().zip(&b.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "cell {:?}", a.cell);
+            }
+        }
+    }
+}
+
+#[test]
 fn clustering_is_identical_across_thread_counts() {
     let netlist = soc_netlist();
     let serial = cluster_cells(

@@ -93,6 +93,7 @@ fn sampling_respects_clusters() {
                 fraction,
                 min_per_cluster: 2,
                 seed: rng.gen_range(0u64..100),
+                budget: None,
             },
         )
         .unwrap();
