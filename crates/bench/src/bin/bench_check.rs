@@ -28,11 +28,16 @@
 //!   non-gating `wall_headroom` / `rss_headroom` budget ratios from the
 //!   `scale_smoke` gate (wall clock and allocator behavior are
 //!   hardware-dependent; the hard budget assertion lives in `scale_smoke`
-//!   itself).
+//!   itself);
+//! - `BENCH_serve.json` / `work_reduction` — the campaign service's
+//!   warm-cache simulation-work reduction over a cold run (gating:
+//!   deterministic work counts), plus a non-gating `cold_seconds`.
 //!
 //! A metric whose report file is absent from *both* directories is skipped
 //! (its producer did not run in this job); present in only one is still a
-//! failure or a NEW metric respectively.
+//! failure or a NEW metric respectively. `BENCH_*.json` files present in
+//! either directory but tracked by no metric are listed as new baselines
+//! rather than silently omitted.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -96,7 +101,35 @@ const METRICS: &[Metric] = &[
         key: "rss_headroom",
         gating: false,
     },
+    Metric {
+        file: "BENCH_serve.json",
+        key: "work_reduction",
+        gating: true,
+    },
+    Metric {
+        file: "BENCH_serve.json",
+        key: "cold_seconds",
+        gating: false,
+    },
 ];
+
+/// `BENCH_*.json` files in either directory that no tracked metric covers,
+/// sorted. These are new baselines a future metric should gate on; listing
+/// them keeps an added report from silently escaping the summary table.
+fn untracked_reports(baseline_dir: &Path, current_dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = [baseline_dir, current_dir]
+        .iter()
+        .filter_map(|dir| std::fs::read_dir(dir).ok())
+        .flatten()
+        .flatten()
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .filter(|name| METRICS.iter().all(|m| m.file != name))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
 
 fn load_metric(dir: &Path, file: &str, key: &str) -> Result<f64, String> {
     let path = dir.join(file);
@@ -178,6 +211,19 @@ fn main() -> ExitCode {
             (true, false) => "regressed (non-gating)",
         };
         println!("| {label} | {baseline:.2} | {current:.2} | {ratio:.3}x | {status} |");
+    }
+    for name in untracked_reports(&baseline_dir, &current_dir) {
+        let places = match (
+            baseline_dir.join(&name).exists(),
+            current_dir.join(&name).exists(),
+        ) {
+            (true, true) => "both dirs",
+            (true, false) => "baseline only",
+            (false, _) => "current only",
+        };
+        println!(
+            "| {name} (untracked) | — | — | — | new baseline ({places}; add a metric to gate it) |"
+        );
     }
     println!();
     if failed {

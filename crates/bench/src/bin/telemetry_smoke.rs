@@ -227,6 +227,95 @@ fn check_active(config: &SsresfConfig, netlist: &ssresf_netlist::FlatNetlist) {
     check_keys(&doc, "histograms", &["active.margin"]);
 }
 
+/// The campaign service publishes its own key set: the artifact-cache
+/// counters (`cache.hits` / `cache.misses` / `cache.evictions` — present
+/// even at zero), the `cache.bytes` gauge and the `shard.count` /
+/// `shard.records_merged` gauges. The serve layer records no wall-clock
+/// metrics of its own, so two warm repeats of the same job must export
+/// byte-identically.
+fn check_serve() {
+    use ssresf_serve::key::smoke_circuit;
+    use ssresf_serve::{serve_campaign, CacheConfig, JobSpec, NetlistSpec, ServeOptions};
+
+    let netlist = NetlistSpec::Circuit(smoke_circuit("telemetry"));
+    let flat = netlist
+        .build()
+        .unwrap_or_else(|e| fail(&format!("serve: smoke circuit failed to build: {e}")));
+    let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+    let spec = JobSpec {
+        netlist,
+        cells,
+        config: CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 24,
+            },
+            injections_per_cell: 2,
+            threads: 1,
+            engine: EngineKind::Levelized,
+            ..CampaignConfig::default()
+        },
+    };
+    let cache_root =
+        std::env::temp_dir().join(format!("ssresf-telemetry-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let serve_once = || {
+        let metrics = MetricsRegistry::new();
+        let options = ServeOptions {
+            cache: Some(CacheConfig {
+                root: cache_root.clone(),
+                max_bytes: None,
+            }),
+            metrics: Some(&metrics),
+            ..ServeOptions::new(2)
+        };
+        let outcome = serve_campaign(&spec, &options)
+            .unwrap_or_else(|e| fail(&format!("serve: campaign failed: {e}")));
+        if outcome.records.is_empty() {
+            fail("serve: campaign produced no records");
+        }
+        (outcome, metrics)
+    };
+
+    let (cold_outcome, cold_metrics) = serve_once();
+    if cold_metrics.counter("cache.misses") == 0 {
+        fail("serve: cold run reported no cache misses");
+    }
+    let doc = ssresf_json::parse(&cold_metrics.to_json_deterministic().to_string_pretty())
+        .unwrap_or_else(|e| fail(&format!("serve: export is not valid JSON: {e}")));
+    check_keys(
+        &doc,
+        "counters",
+        &["cache.hits", "cache.misses", "cache.evictions"],
+    );
+    check_keys(
+        &doc,
+        "gauges",
+        &["cache.bytes", "shard.count", "shard.records_merged"],
+    );
+
+    let mut warm_exports = Vec::with_capacity(2);
+    for repeat in 0..2 {
+        let (outcome, metrics) = serve_once();
+        if outcome.records != cold_outcome.records {
+            fail(&format!("serve: warm run {repeat} changed the records"));
+        }
+        if metrics.counter("cache.hits") == 0 {
+            fail(&format!("serve: warm run {repeat} reported no cache hits"));
+        }
+        if metrics.gauge("shard.count") != Some(0.0) {
+            fail(&format!(
+                "serve: warm run {repeat} ran shards despite the cache"
+            ));
+        }
+        warm_exports.push(metrics.to_json_deterministic().to_string_pretty());
+    }
+    if warm_exports[0] != warm_exports[1] {
+        fail("serve: deterministic metrics export differs across warm repeat runs");
+    }
+    let _ = std::fs::remove_dir_all(&cache_root);
+}
+
 fn main() {
     let soc = build_soc(&SocConfig::table1()[0]).expect("preset SoC builds");
     let netlist = soc.design.flatten().expect("preset SoC flattens");
@@ -264,6 +353,7 @@ fn main() {
 
     check_batched(&netlist);
     check_active(&config, &netlist);
+    check_serve();
 
     println!("{first}");
     eprintln!("telemetry_smoke: PASS (export stable, all expected keys present)");

@@ -1,4 +1,4 @@
-//! The differential runner: one scenario, three engines, nine checks.
+//! The differential runner: one scenario, three engines, ten checks.
 //!
 //! [`check_with_mutant`] executes a [`Scenario`] on the reference
 //! [`OracleEngine`] and both production engines and verifies, in order:
@@ -31,6 +31,11 @@
 //!    records and per-segment statistics from scratch, checkpointed, and
 //!    checkpointed+early-stop runs, with segment totals accounting for
 //!    every record.
+//! 10. **Sharded-campaign merge equivalence** — splitting the campaign's
+//!     injection list into 2 and 4 contiguous shards, running each shard
+//!     independently and merging produces records byte-identical to the
+//!     single-process campaign; in scalar mode the merged work and engine
+//!     telemetry match exactly too.
 //!
 //! When a mutant is installed the oracle is the *mutated* party, so any
 //! scenario whose outputs exercise the mutated gate fails check 1 or 5 —
@@ -40,8 +45,8 @@ use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssresf::{
-    run_campaign, run_campaign_with, run_mission_campaign, CampaignConfig, Dut, EngineKind,
-    Instrument, MetricsRegistry, Workload,
+    run_campaign, run_campaign_with, run_mission_campaign, run_sharded_campaign, CampaignConfig,
+    Dut, EngineKind, Instrument, MetricsRegistry, Workload,
 };
 use ssresf_netlist::{CellId, FlatNetlist, NetId};
 use ssresf_radiation::{MissionProfile, MissionSegment, ParticleEnvironment};
@@ -368,12 +373,13 @@ pub fn check_with_mutant(scenario: &Scenario, mutant: Option<EvalMutant>) -> Res
         ));
     }
 
-    // 6.–9. Campaign differentials (meaningful only against an unmutated
+    // 6.–10. Campaign differentials (meaningful only against an unmutated
     //    oracle: the campaign always runs production engines).
     if mutant.is_none() {
         check_campaigns(scenario, &flat)?;
         check_batched_campaign(scenario, &flat)?;
         check_mission_campaign(scenario, &flat)?;
+        check_sharded_campaign(scenario, &flat)?;
     }
     Ok(())
 }
@@ -694,6 +700,96 @@ fn check_mission_campaign(scenario: &Scenario, flat: &FlatNetlist) -> Result<(),
             "mission: segment soft-error totals sum to {errors}, campaign saw {}",
             scratch.campaign.soft_errors()
         ));
+    }
+    Ok(())
+}
+
+/// 10. A sharded campaign — the injection list split into contiguous
+///     shards, each run independently, the outcomes merged — must produce
+///     records byte-identical to the single-process campaign, for 2 and 4
+///     shards, scalar and batched. Scalar jobs are packing-independent, so
+///     there the merged work and engine telemetry must match exactly too
+///     (batched runs pack lanes differently per shard count, which moves
+///     work accounting but never a record).
+fn check_sharded_campaign(scenario: &Scenario, flat: &FlatNetlist) -> Result<(), String> {
+    let dut = Dut::from_conventions(flat).map_err(|e| format!("sharded: no DUT: {e}"))?;
+    let mut cells: Vec<CellId> = scenario
+        .faults
+        .iter()
+        .map(|f| CellId((f.cell as usize % flat.cells().len()) as u32))
+        .collect();
+    cells.sort();
+    cells.dedup();
+    let scalar = CampaignConfig {
+        workload: Workload {
+            reset_cycles: scenario.reset_cycles,
+            run_cycles: scenario.run_cycles,
+        },
+        injections_per_cell: 2,
+        seed: scenario.seed,
+        engine: if scenario.seed.is_multiple_of(2) {
+            EngineKind::EventDriven
+        } else {
+            EngineKind::Levelized
+        },
+        threads: 1,
+        checkpoint_interval: scenario.checkpoint_interval,
+        early_stop: false,
+        ..CampaignConfig::default()
+    };
+    let batched = CampaignConfig {
+        engine: EngineKind::Levelized,
+        batching: true,
+        batch_lanes: 64,
+        early_stop: true,
+        collapse_faults: true,
+        lane_refill: true,
+        ..scalar
+    };
+    for (label, config) in [("scalar", &scalar), ("batched", &batched)] {
+        let reference = run_campaign(&dut, &cells, config)
+            .map_err(|e| format!("sharded: {label} reference run failed: {e}"))?;
+        for shard_count in [2usize, 4] {
+            let merged =
+                run_sharded_campaign(&dut, &cells, config, shard_count, &Instrument::default())
+                    .map_err(|e| {
+                        format!("sharded: {label}/{shard_count} sharded run failed: {e}")
+                    })?;
+            if merged.golden != reference.golden {
+                return Err(format!(
+                    "sharded: {label}/{shard_count} merged golden trace differs \
+                     from the single-process campaign's"
+                ));
+            }
+            if merged.records != reference.records {
+                let diverged = reference
+                    .records
+                    .iter()
+                    .zip(&merged.records)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                return Err(format!(
+                    "sharded: {label}/{shard_count} merged records differ from the \
+                     single-process campaign (first at injection {diverged} of {})",
+                    reference.records.len()
+                ));
+            }
+            if label == "scalar" {
+                if merged.total_work != reference.total_work {
+                    return Err(format!(
+                        "sharded: scalar/{shard_count} merged work {} differs from \
+                         the single-process campaign's {}",
+                        merged.total_work, reference.total_work
+                    ));
+                }
+                if merged.telemetry != reference.telemetry {
+                    return Err(format!(
+                        "sharded: scalar/{shard_count} merged telemetry differs \
+                         from the single-process campaign's"
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -416,7 +416,7 @@ fn run_batched_chunk<const W: usize>(
     collapse: Option<&CollapseIndex>,
     job_chunk: &[(CellId, Fault)],
     mine: &mut [Option<JobResult>],
-    cancel: &AtomicBool,
+    cancelled: &dyn Fn() -> bool,
     note_done: &dyn Fn(bool),
     jobs_done: &mut usize,
     occupancy: &mut Vec<u64>,
@@ -472,12 +472,16 @@ fn run_batched_chunk<const W: usize>(
     if config.lane_refill {
         // One queued run retires lanes the moment their verdict is final
         // and refills them mid-sweep, so the whole chunk is a single
-        // (multi-sweep) engine session.
-        if cancel.load(Ordering::Relaxed) {
+        // (multi-sweep) engine session. The queue polls `cancelled`
+        // between lane-refill rounds, so a cancellation lands mid-batch;
+        // partially-judged faults keep no verdict (their results are
+        // discarded by the cancellation anyway).
+        if cancelled() {
             return Ok(stats);
         }
         let faults: Vec<Fault> = reps.iter().map(|&i| job_chunk[i].1).collect();
-        let out = dut.run_batch_queue::<W>(&config.workload, &faults, golden_run)?;
+        let out =
+            dut.run_batch_queue::<W>(&config.workload, &faults, golden_run, Some(cancelled))?;
         occupancy.extend(out.occupancy.iter().copied());
         stats.refills = out.refills;
         let n = job_chunk.len() as u64;
@@ -485,6 +489,9 @@ fn run_batched_chunk<const W: usize>(
         let rem = out.work % n;
         let mut k = 0u64;
         for (class, fault_outcome) in out.faults.iter().enumerate() {
+            let Some(fault_outcome) = fault_outcome else {
+                continue;
+            };
             scatter(
                 mine,
                 class,
@@ -504,7 +511,7 @@ fn run_batched_chunk<const W: usize>(
         // golden, so a batch carries up to `64·W - 1` faults).
         let classes: Vec<usize> = (0..reps.len()).collect();
         for batch_classes in classes.chunks(W * ssresf_sim::WORD_LANES - 1) {
-            if cancel.load(Ordering::Relaxed) {
+            if cancelled() {
                 break;
             }
             let faults: Vec<Fault> = batch_classes
@@ -694,6 +701,9 @@ fn run_jobs_with_golden(
     // Raised on the first failure so sibling workers stop simulating
     // chunks whose results will be discarded anyway.
     let cancel = AtomicBool::new(false);
+    // The caller's cancellation flag (e.g. a serve coordinator relaying a
+    // client cancel); polled alongside the internal one.
+    let external_cancel = hooks.cancel;
 
     // Shared progress state (approximate during the run; the Finished
     // report re-derives exact totals from the records).
@@ -763,6 +773,12 @@ fn run_jobs_with_golden(
                         *guard = Some(e);
                     }
                 };
+                // A worker stops on the internal flag (a sibling failed) or
+                // the caller-provided external cancellation flag.
+                let is_cancelled = || {
+                    cancel.load(Ordering::Relaxed)
+                        || external_cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+                };
                 let mut stats = BatchChunkStats::default();
                 if config.batching {
                     // Dispatch the configured lane count to a compile-time
@@ -780,7 +796,7 @@ fn run_jobs_with_golden(
                         collapse,
                         job_chunk,
                         mine,
-                        cancel,
+                        &is_cancelled,
                         &note_done,
                         &mut jobs_done,
                         &mut occupancy,
@@ -790,7 +806,7 @@ fn run_jobs_with_golden(
                     }
                 } else {
                     for ((cell, fault), slot) in job_chunk.iter().zip(mine.iter_mut()) {
-                        if cancel.load(Ordering::Relaxed) {
+                        if is_cancelled() {
                             break;
                         }
                         // `resume` falls back to a from-scratch run when
@@ -850,6 +866,12 @@ fn run_jobs_with_golden(
 
     if let Some(e) = error.into_inner().expect("mutex poisoned") {
         return Err(e);
+    }
+    // An external cancellation leaves partial results behind; report the
+    // cancellation instead of a partial outcome (simulation failures above
+    // take precedence).
+    if external_cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+        return Err(SsresfError::Cancelled);
     }
     let mut records = Vec::with_capacity(jobs.len());
     let mut work_per_injection = Vec::with_capacity(jobs.len());
@@ -1108,6 +1130,47 @@ mod tests {
         let one = run_campaign(&dut, &cells, &CampaignConfig { threads: 1, ..base }).unwrap();
         let four = run_campaign(&dut, &cells, &CampaignConfig { threads: 4, ..base }).unwrap();
         assert_eq!(one.records, four.records);
+    }
+
+    #[test]
+    fn external_cancellation_aborts_scalar_and_batched_campaigns() {
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+        let scalar = CampaignConfig {
+            workload: Workload {
+                reset_cycles: 2,
+                run_cycles: 15,
+            },
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let batched = CampaignConfig {
+            engine: EngineKind::Levelized,
+            batching: true,
+            batch_lanes: 64,
+            collapse_faults: true,
+            lane_refill: true,
+            ..scalar
+        };
+        let flag = AtomicBool::new(true);
+        let hooks = Instrument {
+            cancel: Some(&flag),
+            ..Instrument::default()
+        };
+        for config in [&scalar, &batched] {
+            assert!(matches!(
+                run_campaign_with(&dut, &cells, config, &hooks),
+                Err(SsresfError::Cancelled)
+            ));
+        }
+        // An unset flag is inert: records match the uninstrumented run.
+        flag.store(false, Ordering::Relaxed);
+        for config in [&scalar, &batched] {
+            let plain = run_campaign(&dut, &cells, config).unwrap();
+            let hooked = run_campaign_with(&dut, &cells, config, &hooks).unwrap();
+            assert_eq!(plain.records, hooked.records);
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum SsresfError {
     MissingNet(String),
     /// Invalid framework configuration.
     Config(String),
+    /// The campaign was cancelled through an external cancellation flag
+    /// ([`Instrument::cancel`](crate::Instrument)) before it completed.
+    Cancelled,
 }
 
 impl fmt::Display for SsresfError {
@@ -35,6 +38,7 @@ impl fmt::Display for SsresfError {
             SsresfError::EmptyNetlist => write!(f, "netlist has no cells"),
             SsresfError::MissingNet(name) => write!(f, "required net `{name}` not found"),
             SsresfError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SsresfError::Cancelled => write!(f, "campaign cancelled"),
         }
     }
 }

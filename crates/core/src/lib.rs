@@ -51,6 +51,7 @@ pub mod report;
 pub mod sampling;
 pub mod sensitivity;
 pub mod ser;
+pub mod shard;
 pub mod workload;
 
 pub use active::{label_cells, ActiveAnalysis, ActiveLearningConfig, ActiveRound};
@@ -81,6 +82,10 @@ pub use sensitivity::{
     train_sensitivity, SensitivityConfig, SensitivityReport, TrainedSensitivity,
 };
 pub use ser::{evaluate_ser, ClusterSer, SerEvaluation};
+pub use shard::{
+    campaign_jobs, merge_shard_outcomes, plan_shards, run_campaign_shard, run_sharded_campaign,
+    ShardOutcome,
+};
 // Re-exported so downstream users can attach metrics without depending on
 // the telemetry crate directly.
 pub use ssresf_telemetry::{MetricsRegistry, Span};

@@ -11,6 +11,7 @@
 //! records or traces.
 
 use ssresf_telemetry::MetricsRegistry;
+use std::sync::atomic::AtomicBool;
 use std::time::Duration;
 
 /// Default number of completed injections between heartbeat reports.
@@ -100,6 +101,11 @@ pub struct Instrument<'a> {
     /// Completed injections between heartbeats (0 = use
     /// [`DEFAULT_HEARTBEAT_EVERY`]).
     pub heartbeat_every: usize,
+    /// External cancellation flag. When set mid-campaign, workers stop at
+    /// the next poll point (between scalar injections, between batches,
+    /// and between lane-refill rounds inside a queued batch) and the
+    /// campaign returns [`SsresfError::Cancelled`](crate::SsresfError).
+    pub cancel: Option<&'a AtomicBool>,
 }
 
 impl std::fmt::Debug for Instrument<'_> {
@@ -108,6 +114,7 @@ impl std::fmt::Debug for Instrument<'_> {
             .field("metrics", &self.metrics.is_some())
             .field("progress", &self.progress.is_some())
             .field("heartbeat_every", &self.heartbeat_every)
+            .field("cancel", &self.cancel.is_some())
             .finish()
     }
 }

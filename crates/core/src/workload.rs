@@ -117,8 +117,9 @@ pub struct QueuedFaultOutcome {
 /// Outcome of one queued bit-parallel run ([`Dut::run_batch_queue`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchQueueOutcome {
-    /// One observation per queued fault, in input order.
-    pub faults: Vec<QueuedFaultOutcome>,
+    /// One observation per queued fault, in input order. `None` only when
+    /// the run was cancelled before the fault's verdict became final.
+    pub faults: Vec<Option<QueuedFaultOutcome>>,
     /// Word evaluations spent across all sweeps (excluding fast-forwarded
     /// prefixes).
     pub work: u64,
@@ -130,6 +131,9 @@ pub struct BatchQueueOutcome {
     /// Mid-sweep lane refills performed (retired lanes rewritten with a
     /// fresh pending fault).
     pub refills: u64,
+    /// Whether a cancellation check stopped the run before every queued
+    /// fault had a final verdict.
+    pub cancelled: bool,
 }
 
 /// A golden-run engine snapshot taken at a post-reset cycle boundary.
@@ -145,6 +149,14 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
+    /// Rebuilds a checkpoint from its parts — used by the serve layer to
+    /// rehydrate cached golden runs from disk. `cycle` must be the
+    /// post-reset cycle the snapshot was taken at, or fast-forwarding
+    /// through it will silently diverge.
+    pub fn new(cycle: u64, state: EngineState) -> Self {
+        Checkpoint { cycle, state }
+    }
+
     /// The captured engine state.
     pub fn state(&self) -> &EngineState {
         &self.state
@@ -447,6 +459,14 @@ impl<'a> Dut<'a> {
     /// golden lane's, which (lane 0 being deterministic) proves the
     /// remaining cycles diverge nowhere.
     ///
+    /// The optional `cancel` predicate is polled between sweeps and
+    /// between lane-refill rounds (once per simulated cycle), so a
+    /// cancellation lands mid-batch instead of waiting for the whole queue
+    /// to drain. On cancellation the outcome's
+    /// [`cancelled`](BatchQueueOutcome::cancelled) flag is set and faults
+    /// whose verdict was not yet final stay `None`; completed verdicts are
+    /// still exact.
+    ///
     /// # Errors
     ///
     /// Propagates engine construction failures.
@@ -461,6 +481,7 @@ impl<'a> Dut<'a> {
         workload: &Workload,
         faults: &[Fault],
         golden: &GoldenRun,
+        cancel: Option<&dyn Fn() -> bool>,
     ) -> Result<BatchQueueOutcome, SsresfError> {
         let lanes = W * WORD_LANES;
         assert!(!faults.is_empty(), "a queued batch needs at least 1 fault");
@@ -484,8 +505,14 @@ impl<'a> Dut<'a> {
         let mut telemetry = EngineTelemetry::default();
         let mut occupancy = Vec::new();
         let mut refills = 0u64;
+        let mut cancelled = false;
+        let is_cancelled = || cancel.is_some_and(|c| c());
 
         while let Some(&head) = pending.front() {
+            if is_cancelled() {
+                cancelled = true;
+                break;
+            }
             let mut engine = BitParallelEngine::<W>::new(self.netlist, self.clock)?;
             let resumed_from = match golden.nearest_checkpoint(faults[head].cycle()) {
                 Some(start) => {
@@ -569,31 +596,48 @@ impl<'a> Dut<'a> {
                     // sweep is over.
                     break;
                 }
+                // Poll between refill rounds so a cancellation lands
+                // mid-batch instead of after the whole queue drains.
+                if is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
             }
 
-            // Lanes still active at the workload end get their verdict now.
-            for &idx in owner.iter().flatten() {
-                outcomes[idx] = Some(QueuedFaultOutcome {
-                    soft_error: divergences[idx] > 0,
-                    divergences: divergences[idx],
-                    resumed_from,
-                    early_stopped: false,
-                });
+            if !cancelled {
+                // Lanes still active at the workload end get their verdict
+                // now. On cancellation their divergence counts may be
+                // partial, so they keep no verdict at all.
+                for &idx in owner.iter().flatten() {
+                    outcomes[idx] = Some(QueuedFaultOutcome {
+                        soft_error: divergences[idx] > 0,
+                        divergences: divergences[idx],
+                        resumed_from,
+                        early_stopped: false,
+                    });
+                }
             }
             work += engine.word_evals() - resumed_at;
             telemetry.accumulate(engine.telemetry().since(telemetry_base));
             occupancy.push(carried);
+            if cancelled {
+                break;
+            }
         }
 
+        if !cancelled {
+            debug_assert!(
+                outcomes.iter().all(Option::is_some),
+                "every queued fault fires before the workload ends"
+            );
+        }
         Ok(BatchQueueOutcome {
-            faults: outcomes
-                .into_iter()
-                .map(|o| o.expect("every queued fault fires before the workload ends"))
-                .collect(),
+            faults: outcomes,
             work,
             engine: telemetry,
             occupancy,
             refills,
+            cancelled,
         })
     }
 
@@ -908,6 +952,77 @@ mod tests {
                 assert!(resumed.work <= scratch.work);
             }
         }
+    }
+
+    #[test]
+    fn batch_queue_honors_cancellation_between_refill_rounds() {
+        use std::cell::Cell;
+        let flat = counter_netlist();
+        let dut = Dut::from_conventions(&flat).unwrap();
+        let wl = Workload {
+            reset_cycles: 2,
+            run_cycles: 40,
+        };
+        let golden = dut
+            .run_golden_with_checkpoints(EngineKind::Levelized, &wl, 8)
+            .unwrap();
+        let ff = flat.cell_by_name("u_ff").unwrap();
+        let faults: Vec<Fault> = (0..6)
+            .map(|i| {
+                Fault::Seu(SeuFault {
+                    cell: ff,
+                    cycle: 1 + 2 * i,
+                    offset: 0.1,
+                })
+            })
+            .collect();
+
+        // Baseline: no cancel hook and a never-firing hook are identical.
+        let base = dut
+            .run_batch_queue::<1>(&wl, &faults, &golden, None)
+            .unwrap();
+        assert!(!base.cancelled);
+        assert!(base.faults.iter().all(Option::is_some));
+        let never = dut
+            .run_batch_queue::<1>(
+                &wl,
+                &faults,
+                &golden,
+                Some(&(|| false) as &dyn Fn() -> bool),
+            )
+            .unwrap();
+        assert_eq!(base, never);
+
+        // A cancel firing on the third poll lands mid-batch: simulation
+        // work was already spent, but no verdict is finalized and the
+        // outcome says so.
+        let polls = Cell::new(0u32);
+        let cancel = || {
+            polls.set(polls.get() + 1);
+            polls.get() >= 3
+        };
+        let out = dut
+            .run_batch_queue::<1>(&wl, &faults, &golden, Some(&cancel as &dyn Fn() -> bool))
+            .unwrap();
+        assert!(out.cancelled);
+        assert!(out.work > 0, "cancellation fired before any simulation");
+        assert!(
+            out.work < base.work,
+            "cancellation did not truncate the sweep"
+        );
+        assert!(
+            out.faults.iter().any(Option::is_none),
+            "mid-batch cancel left no unfinished fault"
+        );
+
+        // A pre-set cancellation returns before any sweep starts.
+        let pre = dut
+            .run_batch_queue::<1>(&wl, &faults, &golden, Some(&(|| true) as &dyn Fn() -> bool))
+            .unwrap();
+        assert!(pre.cancelled);
+        assert_eq!(pre.work, 0);
+        assert!(pre.occupancy.is_empty());
+        assert!(pre.faults.iter().all(Option::is_none));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod features;
 pub mod flat;
 pub mod generate;
 pub mod harden;
+pub mod hash;
 pub mod path;
 pub mod stats;
 pub mod verilog;
@@ -56,6 +57,7 @@ pub use features::{
 pub use flat::{CellId, CellView, Driver, FlatNetlist, NetId, NetView};
 pub use generate::{CircuitSpec, GateSpec, GENERATOR_KINDS};
 pub use harden::{hardened_kind, HardeningReport};
+pub use hash::{ContentHash, StableHasher};
 pub use path::{HierPath, LayerSignatures, PathId, PathInterner, ABSENT_LAYER};
 pub use stats::NetlistStats;
 

@@ -1,0 +1,199 @@
+//! The campaign service CLI.
+//!
+//! Subcommands:
+//!
+//! - `worker` — the shard-worker protocol loop over stdin/stdout; spawned
+//!   by a coordinator, never run by hand.
+//! - `run` — coordinate a sharded campaign over a SoC preset, spawning
+//!   one worker process (this same binary) per shard, and print a JSON
+//!   summary.
+//! - `log <file>` — replay and pretty-print a job log.
+
+use ssresf::CampaignConfig;
+use ssresf_json::Value;
+use ssresf_netlist::CellId;
+use ssresf_serve::{
+    replay, run_worker, serve_campaign, CacheConfig, JobSpec, NetlistSpec, ServeOptions,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ssresf-serve worker\n       \
+         ssresf-serve run --soc NAME [--shards N] [--cells N] [--injections N] \
+[--seed N] [--cycles N] [--cache DIR] [--log FILE] [--in-process] [--batched]\n       \
+         ssresf-serve log FILE"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => match run_worker(std::io::stdin(), std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("worker protocol failure: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("run") => run_command(&args[1..]),
+        Some("log") => match args.get(1) {
+            Some(path) => log_command(path),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn log_command(path: &str) -> ExitCode {
+    match replay(path) {
+        Ok(events) => {
+            for event in events {
+                println!("{}", event.to_string_compact());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot replay {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_command(args: &[String]) -> ExitCode {
+    let mut soc = String::from("PULP SoC_1");
+    let mut shards = 2usize;
+    let mut cells_cap: Option<usize> = None;
+    let mut injections = 1usize;
+    let mut seed = 3u64;
+    let mut cycles = 40u64;
+    let mut cache_root: Option<PathBuf> = None;
+    let mut log_path: Option<PathBuf> = None;
+    let mut in_process = false;
+    let mut batched = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{arg} needs a value"))
+                .cloned()
+        };
+        let parsed = match arg.as_str() {
+            "--soc" => value().map(|v| soc = v),
+            "--shards" => {
+                value().and_then(|v| v.parse().map(|n| shards = n).map_err(|e| format!("{e}")))
+            }
+            "--cells" => value().and_then(|v| {
+                v.parse()
+                    .map(|n| cells_cap = Some(n))
+                    .map_err(|e| format!("{e}"))
+            }),
+            "--injections" => value().and_then(|v| {
+                v.parse()
+                    .map(|n| injections = n)
+                    .map_err(|e| format!("{e}"))
+            }),
+            "--seed" => {
+                value().and_then(|v| v.parse().map(|n| seed = n).map_err(|e| format!("{e}")))
+            }
+            "--cycles" => {
+                value().and_then(|v| v.parse().map(|n| cycles = n).map_err(|e| format!("{e}")))
+            }
+            "--cache" => value().map(|v| cache_root = Some(PathBuf::from(v))),
+            "--log" => value().map(|v| log_path = Some(PathBuf::from(v))),
+            "--in-process" => {
+                in_process = true;
+                Ok(())
+            }
+            "--batched" => {
+                batched = true;
+                Ok(())
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return usage();
+        }
+    }
+
+    let netlist = NetlistSpec::Soc { preset: soc };
+    let flat = match netlist.build() {
+        Ok(flat) => flat,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cells: Vec<CellId> = flat.iter_cells().map(|(id, _)| id).collect();
+    if let Some(cap) = cells_cap {
+        cells.truncate(cap);
+    }
+    let config = CampaignConfig {
+        workload: ssresf::Workload {
+            reset_cycles: 3,
+            run_cycles: cycles,
+        },
+        injections_per_cell: injections,
+        seed,
+        engine: ssresf::EngineKind::Levelized,
+        batching: batched,
+        collapse_faults: batched,
+        lane_refill: batched,
+        ..CampaignConfig::default()
+    };
+    let spec = JobSpec {
+        netlist,
+        cells,
+        config,
+    };
+
+    let metrics = ssresf::MetricsRegistry::new();
+    let worker_binary = if in_process {
+        None
+    } else {
+        match std::env::current_exe() {
+            Ok(exe) => Some(exe),
+            Err(e) => {
+                eprintln!("cannot locate worker binary: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let options = ServeOptions {
+        shard_count: shards,
+        worker_binary,
+        cache: cache_root.map(|root| CacheConfig {
+            root,
+            max_bytes: None,
+        }),
+        metrics: Some(&metrics),
+        progress: None,
+        job_log: log_path,
+        cancel: None,
+    };
+    match serve_campaign(&spec, &options) {
+        Ok(outcome) => {
+            let summary = ssresf_json::object([
+                ("records", Value::from(outcome.records.len())),
+                ("soft_errors", Value::from(outcome.soft_errors())),
+                ("total_work", Value::from(outcome.total_work)),
+                ("cache_hits", Value::from(metrics.counter("cache.hits"))),
+                ("cache_misses", Value::from(metrics.counter("cache.misses"))),
+                (
+                    "shards",
+                    Value::from(metrics.gauge("shard.count").unwrap_or(0.0)),
+                ),
+            ]);
+            println!("{}", summary.to_string_pretty());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

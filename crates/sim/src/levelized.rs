@@ -70,6 +70,10 @@ impl LevelizedState {
         &self.activity
     }
 
+    pub(crate) fn evals(&self) -> u64 {
+        self.evals
+    }
+
     pub(crate) fn from_parts(
         values: Vec<Logic>,
         state: Vec<Logic>,

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod bitparallel;
+pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod eval;
